@@ -1,0 +1,104 @@
+"""EXP-X5 (extension) — approximate queries: recall under typos.
+
+Paper Section 7.1: "We are also working on supporting approximate
+queries."  This bench quantifies the implemented ``contains~k`` operator:
+a web is generated where a known fraction of the planted target strings
+carry a one-character typo; exact ``contains`` misses them, ``contains~1``
+recovers them, and ``contains~2`` adds nothing further (the typos are
+single edits) while costing more evaluation time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import QueryStatus, WebDisEngine
+from repro.web.builders import WebBuilder
+
+from harness import format_table, report
+
+SITES = 10
+TYPO_FRACTION = 0.4
+TARGET = "convener"
+SEED = 7
+
+
+def _typo(word: str, rng: random.Random) -> str:
+    """One random substitution, never producing the original word."""
+    index = rng.randrange(len(word))
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    replacement = rng.choice([c for c in alphabet if c != word[index]])
+    return word[:index] + replacement + word[index + 1 :]
+
+
+def _build_web() -> tuple[object, int]:
+    rng = random.Random(SEED)
+    builder = WebBuilder()
+    builder.site("root.example").page(
+        "/",
+        title="directory",
+        links=[(f"s{i}", f"http://s{i}.example/") for i in range(SITES)],
+    )
+    planted = 0
+    for i in range(SITES):
+        word = TARGET
+        if rng.random() < TYPO_FRACTION:
+            word = _typo(TARGET, rng)
+        planted += 1
+        builder.site(f"s{i}.example").page(
+            "/", title=f"site {i} people", ruled=[f"{word.upper()} Prof. {i}"]
+        )
+    return builder.build(), planted
+
+
+def _query(op: str) -> str:
+    return (
+        "select d.url, r.text\n"
+        'from document d such that "http://root.example/" G d,\n'
+        '     relinfon r such that r.delimiter = "hr"\n'
+        f'where r.text {op} "{TARGET}"'
+    )
+
+
+def _run(web, op: str):
+    engine = WebDisEngine(web)
+    handle = engine.run_query(_query(op))
+    assert handle.status is QueryStatus.COMPLETE
+    return engine, handle
+
+
+def bench_approximate_queries(benchmark):
+    web, planted = _build_web()
+    rows = []
+    recalls = {}
+    for op in ("contains", "contains~1", "contains~2"):
+        engine, handle = _run(web, op)
+        found = len(handle.unique_rows())
+        recalls[op] = found / planted
+        rows.append(
+            (
+                op,
+                found,
+                planted,
+                f"{100 * found / planted:.0f}%",
+                f"{handle.response_time():.3f}",
+            )
+        )
+
+    body = format_table(
+        ("operator", "answers found", "planted", "recall", "response(s)"), rows
+    )
+    body += (
+        f"\n\n{TYPO_FRACTION:.0%} of the planted '{TARGET}' strings carry a"
+        " one-character typo"
+        "\n\nextension shape: exact contains misses every typo'd instance;"
+        " contains~1 recovers 100% recall; contains~2 adds nothing further"
+        " on single-edit noise"
+    )
+    report("EXP-X5", "approximate queries (contains~k) recall under typos", body)
+
+    assert recalls["contains"] < 1.0
+    assert recalls["contains~1"] == 1.0
+    assert recalls["contains~2"] == 1.0
+
+    benchmark(lambda: _run(web, "contains~1")[1].completion_time)

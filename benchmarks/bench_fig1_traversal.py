@@ -1,0 +1,73 @@
+"""EXP-F1 — Figure 1: web traversal path and node roles.
+
+Regenerates the paper's Figure 1 narrative for ``Q = S G·(G|L) q1 (G|L) q2``:
+nodes 1-3 act as PureRouters, nodes 4-8 as ServerRouters, node 4 acts twice
+(q1 then q2), and node 7 dead-ends after failing q1.
+"""
+
+from __future__ import annotations
+
+from repro import WebDisEngine
+from repro.core.trace import PURE_ROUTER, SERVER_ROUTER
+from repro.web.figures import (
+    EXPECTED_FIG1_DEAD_ENDS,
+    EXPECTED_FIG1_DOUBLE_ACTOR,
+    EXPECTED_FIG1_PURE_ROUTERS,
+    EXPECTED_FIG1_SERVER_ROUTERS,
+    FIG1_NODE_NAMES,
+    FIGURE1_START_URL,
+    build_figure1_web,
+    figure_query_disql,
+)
+
+from harness import format_table, report
+
+
+def _run():
+    engine = WebDisEngine(build_figure1_web(), trace=True)
+    handle = engine.run_query(figure_query_disql(FIGURE1_START_URL))
+    return engine, handle
+
+
+def bench_fig1_traversal(benchmark):
+    engine, handle = _run()
+    tracer = engine.tracer
+
+    def name(url: str) -> str:
+        return FIG1_NODE_NAMES.get(url, url)
+
+    roles: dict[str, list[str]] = {}
+    for event in tracer.events:
+        if event.role in (PURE_ROUTER, SERVER_ROUTER):
+            roles.setdefault(name(event.node), [])
+            if event.action in ("routed", "answered", "failed"):
+                label = event.role + (f"({event.detail})" if event.detail else "")
+                roles[name(event.node)].append(label)
+
+    rows = []
+    for node in sorted(roles, key=lambda n: (n != "S", n)):
+        dead = "dead-end" if any(
+            e.action == "dead-end" and name(e.node) == node for e in tracer.events
+        ) else ""
+        rows.append((node, ", ".join(roles[node]), dead))
+
+    body = format_table(("node", "acts as", "note"), rows)
+    body += (
+        "\n\npaper: PureRouters {1,2,3}; ServerRouters {4,5,6,7,8}; "
+        "node 4 acts twice; node 7 dead-ends after failing q1"
+    )
+    report("EXP-F1", "Figure 1 web traversal path", body)
+
+    pure = {name(n) for n in tracer.nodes_with_role(PURE_ROUTER)} - {"S"}
+    servers = {name(n) for n in tracer.nodes_with_role(SERVER_ROUTER)}
+    assert pure == set(EXPECTED_FIG1_PURE_ROUTERS)
+    assert servers == set(EXPECTED_FIG1_SERVER_ROUTERS)
+    double = [
+        e.detail for e in tracer.events
+        if name(e.node) == EXPECTED_FIG1_DOUBLE_ACTOR and e.action == "answered"
+    ]
+    assert double == ["q1", "q2"]
+    dead_names = {name(e.node) for e in tracer.events if e.action == "dead-end"}
+    assert set(EXPECTED_FIG1_DEAD_ENDS) <= dead_names
+
+    benchmark(lambda: _run()[1].response_time())

@@ -1,0 +1,84 @@
+"""EXP-F5 — Figure 5: multiple visits to a node and duplicate suppression.
+
+Regenerates the five visits (a-e) to node 4 with their computation states,
+shows that visits c, d, e arrive in the same state, and quantifies the
+log table's effect: with it on, exactly two clones are dropped; with it
+off, node 4 recomputes q2 three times and the user receives duplicate rows.
+"""
+
+from __future__ import annotations
+
+from repro import EngineConfig, WebDisEngine
+from repro.web.figures import (
+    EXPECTED_FIG5_DUPLICATE_DROPS,
+    EXPECTED_FIG5_FOCUS_NODE,
+    EXPECTED_FIG5_VISITS,
+    FIGURE5_START_URL,
+    build_figure5_web,
+    figure_query_disql,
+)
+
+from harness import format_table, report
+
+_ARRIVAL_ACTIONS = ("routed", "answered", "failed", "duplicate-dropped")
+
+
+def _run(log_table: bool):
+    engine = WebDisEngine(
+        build_figure5_web(),
+        config=EngineConfig(log_table_enabled=log_table),
+        trace=True,
+    )
+    handle = engine.run_query(figure_query_disql(FIGURE5_START_URL))
+    return engine, handle
+
+
+def bench_fig5_duplicates(benchmark):
+    engine, handle = _run(log_table=True)
+    visits = [
+        e for e in engine.tracer.visits_to(EXPECTED_FIG5_FOCUS_NODE)
+        if e.action in _ARRIVAL_ACTIONS
+    ]
+    rows = [
+        (chr(ord("a") + i), str(e.state), e.action + (f" {e.detail}" if e.detail else ""))
+        for i, e in enumerate(visits)
+    ]
+    table = format_table(("visit", "state", "handling"), rows)
+
+    off_engine, off_handle = _run(log_table=False)
+    off_evals = [
+        e for e in off_engine.tracer.visits_to(EXPECTED_FIG5_FOCUS_NODE)
+        if e.action == "answered"
+    ]
+    comparison = format_table(
+        ("metric", "log table ON", "log table OFF"),
+        [
+            ("visits to node 4", len(visits), len(
+                [e for e in off_engine.tracer.visits_to(EXPECTED_FIG5_FOCUS_NODE)
+                 if e.action in _ARRIVAL_ACTIONS]
+            )),
+            ("node-query evaluations at node 4", len(
+                [e for e in visits if e.action == "answered"]
+            ), len(off_evals)),
+            ("duplicates dropped (whole run)", engine.stats.duplicates_dropped,
+             off_engine.stats.duplicates_dropped),
+            ("result rows at user (q2, raw)", len(handle.rows("q2")),
+             len(off_handle.rows("q2"))),
+            ("result rows at user (q2, unique)", len(handle.unique_rows("q2")),
+             len(off_handle.unique_rows("q2"))),
+        ],
+    )
+    body = (
+        f"visits to node 4 ({EXPECTED_FIG5_FOCUS_NODE}):\n{table}\n\n{comparison}"
+        "\n\npaper: node 4 visited five times (a-e); states of c, d, e identical;"
+        " duplicates must be recognized to avoid recomputation cascades"
+    )
+    report("EXP-F5", "Figure 5 multiple visits to a node", body)
+
+    assert len(visits) == EXPECTED_FIG5_VISITS
+    states = [str(e.state) for e in visits]
+    assert len(set(states[-3:])) == 1  # c, d, e same state
+    assert engine.stats.duplicates_dropped == EXPECTED_FIG5_DUPLICATE_DROPS
+    assert len(off_evals) > len([e for e in visits if e.action == "answered"])
+
+    benchmark(lambda: _run(log_table=True)[0].stats.duplicates_dropped)

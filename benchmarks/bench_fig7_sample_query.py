@@ -1,0 +1,49 @@
+"""EXP-F7 — Figure 7: traversal of the sample query (with EXP-F6 round-trip).
+
+Regenerates the Section 5 sample execution: the query's state as it
+traverses the campus web, from ``(2, L)`` at the CSA homepage through
+``(1, L*1)`` at the lab homepages.  Also folds in EXP-F6 (Figure 6 GUI):
+the DISQL text assembles, parses and round-trips through the formatter.
+"""
+
+from __future__ import annotations
+
+from repro import WebDisEngine, format_disql, parse_disql
+from repro.web.campus import CAMPUS_QUERY_DISQL, build_campus_web
+
+from harness import format_table, report
+
+
+def _run():
+    engine = WebDisEngine(build_campus_web(), trace=True)
+    handle = engine.run_query(CAMPUS_QUERY_DISQL)
+    return engine, handle
+
+
+def bench_fig7_sample_query(benchmark):
+    engine, handle = _run()
+
+    rows = [
+        (f"{e.time:.4f}", str(e.state), e.role, e.action, e.node)
+        for e in engine.tracer.events
+    ]
+    body = format_table(("t(sim s)", "state", "role", "action", "node"), rows)
+    body += (
+        "\n\npaper: query starts at CSA homepage with state (2, L); after the"
+        " Labs page answers q1 the state becomes (1, G.L*1); lab homepages and"
+        " their local pages evaluate q2; dead ends occur at non-matching pages"
+    )
+    report("EXP-F7", "Figure 7 traversal of the sample query", body)
+
+    # EXP-F6: the GUI-assembled DISQL round-trips.
+    parsed = parse_disql(CAMPUS_QUERY_DISQL)
+    assert parse_disql(format_disql(parsed)) == parsed
+
+    states = {str(e.state) for e in engine.tracer.events}
+    assert "(2, L)" in states  # at the start node
+    assert "(2, N)" in states  # at the one-local-link pages (q1 evaluation)
+    assert "(1, L*1)" in states  # at the lab homepages (q2 with one L leeway)
+    assert "(1, N)" in states  # one local link deeper
+    assert handle.response_time() is not None
+
+    benchmark(lambda: _run()[1].completion_time)

@@ -1,0 +1,42 @@
+"""EXP-F8 — Figure 8: results of the sample query.
+
+Regenerates the paper's final results table byte-for-byte: the Laboratories
+page URL from q1, and the three (lab page, title, convener) rows from q2.
+"""
+
+from __future__ import annotations
+
+from repro import WebDisEngine
+from repro.web.campus import (
+    CAMPUS_QUERY_DISQL,
+    EXPECTED_CONVENER_ROWS,
+    EXPECTED_D0_URL,
+    build_campus_web,
+)
+
+from harness import format_table, report
+
+
+def _run():
+    engine = WebDisEngine(build_campus_web())
+    return engine.run_query(CAMPUS_QUERY_DISQL)
+
+
+def bench_fig8_results(benchmark):
+    handle = _run()
+
+    q1_rows = [tuple(r.values) for r in handle.unique_rows("q1")]
+    q2_rows = sorted(tuple(r.values) for r in handle.unique_rows("q2"))
+
+    body = "d0.url\n------\n" + "\n".join(v[0] for v in q1_rows) + "\n\n"
+    body += format_table(("d1.url", "d1.title", "d1_rv.text"), q2_rows)
+    body += (
+        "\n\npaper Figure 8: d0 = www.csa.iisc.ernet.in/Labs; three convener"
+        " rows (DSL / Compiler Lab / System Software Lab)"
+    )
+    report("EXP-F8", "Figure 8 results of the query", body)
+
+    assert q1_rows == [(EXPECTED_D0_URL,)]
+    assert q2_rows == sorted(EXPECTED_CONVENER_ROWS)
+
+    benchmark(lambda: len(_run().unique_rows("q2")))

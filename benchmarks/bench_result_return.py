@@ -1,0 +1,74 @@
+"""EXP-C2 — direct result return vs path retrace (paper Section 2.6).
+
+The paper rejects retracing the query's path for three stated reasons:
+the path history must travel with the query ("we cannot forget the past"),
+results take longer to reach the user, and intermediate servers carry relay
+load.  This bench implements both policies and measures all three effects.
+"""
+
+from __future__ import annotations
+
+from repro import EngineConfig, WebDisEngine
+from repro.web import SyntheticWebConfig, build_synthetic_web
+from repro.web.synthetic import synthetic_start_url
+
+from harness import format_table, report
+
+CONFIG = SyntheticWebConfig(sites=12, pages_per_site=5, seed=26)
+QUERY = (
+    'select d.url from document d such that "{start}" (L|G)*4 d\n'
+    'where d.title contains "topic"'
+)
+
+
+def _run(direct: bool):
+    web = build_synthetic_web(CONFIG)
+    engine = WebDisEngine(web, config=EngineConfig(direct_result_return=direct))
+    handle = engine.run_query(QUERY.format(start=synthetic_start_url(CONFIG)))
+    return engine, handle
+
+
+def bench_result_return(benchmark):
+    direct_engine, direct_handle = _run(direct=True)
+    retrace_engine, retrace_handle = _run(direct=False)
+
+    assert {r.values for r in direct_handle.unique_rows()} == {
+        r.values for r in retrace_handle.unique_rows()
+    }
+
+    def row(name, engine, handle):
+        query_bytes = engine.stats.bytes_by_kind["query"]
+        return (
+            name,
+            engine.stats.messages_sent,
+            engine.stats.messages_by_kind.get("relay", 0),
+            engine.stats.bytes_sent,
+            query_bytes,
+            f"{handle.first_result_latency():.3f}",
+            f"{handle.response_time():.3f}",
+        )
+
+    body = format_table(
+        ("policy", "messages", "relay msgs", "bytes", "clone bytes",
+         "first result(s)", "completion(s)"),
+        [
+            row("direct (WEBDIS)", direct_engine, direct_handle),
+            row("path retrace", retrace_engine, retrace_handle),
+        ],
+    )
+    body += (
+        "\n\nclaim shape: retrace adds relay messages and server load, carries"
+        " path history in every clone (bigger clone bytes), and delays results"
+    )
+    report("EXP-C2", "direct result return vs path retrace", body)
+
+    assert retrace_engine.stats.messages_by_kind["relay"] > 0
+    assert retrace_engine.stats.messages_sent > direct_engine.stats.messages_sent
+    # "Cannot forget the past": clones carry history, so query traffic grows.
+    assert (
+        retrace_engine.stats.bytes_by_kind["query"]
+        > direct_engine.stats.bytes_by_kind["query"]
+    )
+    assert retrace_handle.response_time() > direct_handle.response_time()
+
+    benchmark(lambda: _run(direct=True)[1].response_time())

@@ -1,0 +1,82 @@
+"""EXP-S1 (extension) — scaling behaviour with web size.
+
+Not a paper claim but a reproduction-quality check: as the web grows, the
+distributed engine's *per-site* work must stay roughly flat (the whole
+point of the architecture) while the centralized baseline's user-site work
+grows linearly with the reachable corpus.  Also serves as the simulator's
+throughput benchmark (wall-clock per simulated query via pytest-benchmark).
+"""
+
+from __future__ import annotations
+
+from repro import QueryStatus, WebDisEngine
+from repro.baselines import DataShippingEngine
+from repro.web import SyntheticWebConfig, build_synthetic_web
+from repro.web.synthetic import synthetic_start_url
+
+from harness import format_table, report
+
+QUERY = (
+    'select d.url from document d such that "{start}" (L|G)*3 d\n'
+    'where d.title contains "topic"'
+)
+
+
+def _config(scale: int) -> SyntheticWebConfig:
+    return SyntheticWebConfig(
+        sites=4 * scale, pages_per_site=5, local_out_degree=2,
+        global_out_degree=2, seed=500 + scale,
+    )
+
+
+def _run_pair(scale: int):
+    config = _config(scale)
+    web = build_synthetic_web(config)
+    disql = QUERY.format(start=synthetic_start_url(config))
+    qs = WebDisEngine(web)
+    qs_handle = qs.run_query(disql)
+    assert qs_handle.status is QueryStatus.COMPLETE
+    ds = DataShippingEngine(web)
+    ds_result = ds.run_query(disql)
+    return web, qs, qs_handle, ds, ds_result
+
+
+def bench_scalability(benchmark):
+    rows = []
+    peaks = []
+    for scale in (1, 2, 4, 8):
+        web, qs, qs_handle, ds, ds_result = _run_pair(scale)
+        __, qs_peak = qs.stats.max_site_load()
+        __, ds_peak = ds.stats.max_site_load()
+        peaks.append((web.page_count(), qs_peak, ds_peak))
+        rows.append(
+            (
+                f"{len(web.site_names)} sites / {web.page_count()} pages",
+                qs.stats.documents_parsed,
+                f"{qs_peak:.4f}",
+                f"{ds_peak:.4f}",
+                f"{qs_handle.response_time():.3f}",
+                f"{ds_result.response_time():.3f}",
+                qs.clock.events_executed,
+            )
+        )
+
+    body = format_table(
+        ("web size", "docs evaluated (QS)", "peak site CPU QS",
+         "peak site CPU DS", "QS resp(s)", "DS resp(s)", "sim events"),
+        rows,
+    )
+    body += (
+        "\n\nshape: the centralized peak (user site) grows with the reachable"
+        " corpus; the distributed peak grows far slower because work spreads"
+        " across the growing site population"
+    )
+    report("EXP-S1", "scaling behaviour with web size", body)
+
+    # Peak-load growth factor from smallest to largest web:
+    first, last = peaks[0], peaks[-1]
+    qs_growth = last[1] / first[1]
+    ds_growth = last[2] / first[2]
+    assert ds_growth > qs_growth
+
+    benchmark(lambda: _run_pair(2)[2].completion_time)

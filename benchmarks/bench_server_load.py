@@ -1,0 +1,87 @@
+"""EXP-C6 — "the client-site becoming a processing bottleneck" (Section 1).
+
+Compares the distribution of CPU work across sites between the two
+architectures on the same workload.  Expected shape: under data shipping
+essentially all node-query work lands on the single user site; under query
+shipping the same total work spreads across the web's sites, so the
+maximum per-site load (the bottleneck) is far smaller.
+"""
+
+from __future__ import annotations
+
+from repro import WebDisEngine
+from repro.baselines import DataShippingEngine
+from repro.web import SyntheticWebConfig, build_synthetic_web
+from repro.web.synthetic import synthetic_start_url
+
+from harness import format_table, ratio, report
+
+CONFIG = SyntheticWebConfig(sites=16, pages_per_site=6, padding_words=300, seed=64)
+QUERY = (
+    'select d.url from document d such that "{start}" (L|G)*4 d\n'
+    'where d.title contains "topic"'
+)
+
+
+def _run_both():
+    web = build_synthetic_web(CONFIG)
+    disql = QUERY.format(start=synthetic_start_url(CONFIG))
+    qs = WebDisEngine(web)
+    qs_handle = qs.run_query(disql)
+    ds = DataShippingEngine(web)
+    ds_result = ds.run_query(disql)
+    return qs, qs_handle, ds, ds_result
+
+
+def bench_server_load(benchmark):
+    qs, qs_handle, ds, ds_result = _run_both()
+
+    def load_stats(stats):
+        loads = stats.processing_by_site
+        total = sum(loads.values())
+        site, peak = stats.max_site_load()
+        user = loads.get("user.example", 0.0)
+        return total, site, peak, user
+
+    qs_total, qs_peak_site, qs_peak, qs_user = load_stats(qs.stats)
+    ds_total, ds_peak_site, ds_peak, ds_user = load_stats(ds.stats)
+
+    rows = [
+        (
+            "query shipping",
+            f"{qs_total:.4f}",
+            qs_peak_site,
+            f"{qs_peak:.4f}",
+            f"{100 * qs_peak / qs_total:.1f}%",
+            f"{100 * qs_user / qs_total:.1f}%",
+            f"{qs_handle.response_time():.3f}",
+        ),
+        (
+            "data shipping",
+            f"{ds_total:.4f}",
+            ds_peak_site,
+            f"{ds_peak:.4f}",
+            f"{100 * ds_peak / ds_total:.1f}%",
+            f"{100 * ds_user / ds_total:.1f}%",
+            f"{ds_result.response_time():.3f}",
+        ),
+    ]
+    body = format_table(
+        ("architecture", "total CPU(s)", "peak site", "peak CPU(s)",
+         "peak share", "user-site share", "response(s)"),
+        rows,
+    )
+    body += f"\n\npeak-load reduction: {ratio(ds_peak, qs_peak)} in favour of query shipping"
+    body += (
+        "\n\nclaim shape: data shipping concentrates nearly all processing at"
+        " the user site (the bottleneck); query shipping spreads it, and the"
+        " parallelism also shortens response time"
+    )
+    report("EXP-C6", "processing-load distribution (client bottleneck)", body)
+
+    assert ds_peak_site == "user.example"
+    assert ds_user / ds_total > 0.5
+    assert qs_peak < ds_peak
+    assert qs_user / qs_total < 0.1  # the user site does almost nothing
+
+    benchmark(lambda: _run_both()[0].stats.max_site_load())

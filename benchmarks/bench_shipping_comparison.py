@@ -1,0 +1,98 @@
+"""EXP-C1 — the headline claim: query shipping cuts network traffic.
+
+Paper Sections 1 and 3.2: data shipping "transfers large amounts of
+unnecessary data resulting in network congestion and poor bandwidth
+utilization"; WEBDIS "never downloads a web resource".
+
+The bench sweeps web size and document size over the same two-step query
+and compares bytes, messages, shipped documents and response time between
+the distributed engine and the centralized baseline.  Expected shape:
+data-shipping bytes grow with corpus/document volume; query-shipping bytes
+track query + result volume and stay nearly flat as documents grow.
+"""
+
+from __future__ import annotations
+
+from repro import WebDisEngine
+from repro.baselines import DataShippingEngine
+from repro.web import SyntheticWebConfig, build_synthetic_web
+from repro.web.synthetic import synthetic_start_url
+
+from harness import format_table, ratio, report
+
+QUERY = (
+    'select d.url, r.text\n'
+    'from document d such that "{start}" (L|G)*3 d,\n'
+    '     relinfon r such that r.delimiter = "b"\n'
+    'where d.title contains "topic"'
+)
+
+SWEEP = [
+    ("small web, small docs", SyntheticWebConfig(sites=4, pages_per_site=4, padding_words=50, seed=1)),
+    ("small web, big docs", SyntheticWebConfig(sites=4, pages_per_site=4, padding_words=1000, seed=1)),
+    ("medium web, small docs", SyntheticWebConfig(sites=10, pages_per_site=6, padding_words=50, seed=2)),
+    ("medium web, big docs", SyntheticWebConfig(sites=10, pages_per_site=6, padding_words=1000, seed=2)),
+    ("large web, big docs", SyntheticWebConfig(sites=20, pages_per_site=8, padding_words=1000, seed=3)),
+]
+
+
+def _pair(config: SyntheticWebConfig):
+    web = build_synthetic_web(config)
+    disql = QUERY.format(start=synthetic_start_url(config))
+    qs = WebDisEngine(web)
+    qs_handle = qs.run_query(disql)
+    ds = DataShippingEngine(web)
+    ds_result = ds.run_query(disql)
+    assert {r.values for r in qs_handle.unique_rows()} == {
+        r.values for r in ds_result.unique_rows()
+    }
+    return web, qs, qs_handle, ds, ds_result
+
+
+def bench_shipping_comparison(benchmark):
+    rows = []
+    flat_check = []
+    for label, config in SWEEP:
+        web, qs, qs_handle, ds, ds_result = _pair(config)
+        rows.append(
+            (
+                label,
+                web.page_count(),
+                web.total_bytes(),
+                qs.stats.bytes_sent,
+                ds.stats.bytes_sent,
+                ratio(ds.stats.bytes_sent, qs.stats.bytes_sent),
+                ds.stats.documents_shipped,
+                f"{qs_handle.response_time():.2f}",
+                f"{ds_result.response_time():.2f}",
+            )
+        )
+        flat_check.append((label, config.padding_words, qs.stats.bytes_sent, ds.stats.bytes_sent))
+        # The direction of the claim must hold on every point.
+        assert ds.stats.bytes_sent > qs.stats.bytes_sent
+        assert qs.stats.documents_shipped == 0
+
+    body = format_table(
+        (
+            "workload", "pages", "corpus B", "QS bytes", "DS bytes",
+            "DS/QS", "DS docs", "QS resp(s)", "DS resp(s)",
+        ),
+        rows,
+    )
+    body += (
+        "\n\nclaim shape: DS bytes scale with document volume; QS bytes do not"
+        " (compare small-docs vs big-docs rows); QS ships zero documents"
+    )
+    report("EXP-C1", "query shipping vs data shipping network traffic", body)
+
+    # Document-size sensitivity: going small->big docs must blow up DS bytes
+    # far more than QS bytes on the same web.
+    small = next(r for r in flat_check if r[0] == "medium web, small docs")
+    big = next(r for r in flat_check if r[0] == "medium web, big docs")
+    qs_growth = big[2] / small[2]
+    ds_growth = big[3] / small[3]
+    assert ds_growth > 2.0
+    assert qs_growth < ds_growth / 2
+
+    config = SWEEP[0][1]
+    benchmark(lambda: _pair(config)[1].stats.bytes_sent)

@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling harness module importable as `harness` regardless of the
+# invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

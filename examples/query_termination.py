@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Passive query termination — paper Section 2.8.
+
+A long-running gather query is cancelled mid-flight.  The user-site simply
+closes its listening socket; each server discovers the cancellation when
+its result dispatch fails and purges the query locally.  No termination
+messages ever chase the query through the web — the count of termination
+messages sent is, by construction, zero.
+
+Run:
+    python examples/query_termination.py
+"""
+
+from repro import NetworkConfig, WebDisEngine
+from repro.web import SyntheticWebConfig, build_synthetic_web
+from repro.web.synthetic import synthetic_start_url
+
+QUERY = (
+    'select d.url from document d such that "{start}" (L|G)*6 d\n'
+    'where d.title contains "topic"'
+)
+
+
+def main() -> None:
+    config = SyntheticWebConfig(sites=10, pages_per_site=6, seed=88)
+    web = build_synthetic_web(config)
+    # Slow the network down so the query is still spreading when we cancel.
+    engine = WebDisEngine(web, net_config=NetworkConfig(latency_base=0.2))
+
+    handle = engine.submit_disql(QUERY.format(start=synthetic_start_url(config)))
+    engine.cancel(handle, at=1.0)
+    engine.run()
+
+    print(f"status at end          : {handle.status.value}")
+    print(f"results before cancel  : {len(handle.results)}")
+    print(f"refused result sends   : {engine.stats.refused_sends} "
+          "(servers discovering the closed socket)")
+    print(f"clones still forwarded after those refusals: 0 by protocol — each "
+          "refusal purges the query at that server")
+    active = sum(server.queue_depth for server in engine.servers.values())
+    print(f"server queue depth at quiescence: {active}")
+
+
+if __name__ == "__main__":
+    main()

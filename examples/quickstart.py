@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's example query 2 on the campus web replica.
+
+This is the smallest complete WEBDIS program: build a simulated web, stand
+up a distributed deployment (one query-server per site), ship a DISQL query
+to its start node, and read the results back — reproducing the paper's
+Figure 8 results table.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import WebDisEngine
+from repro.web import build_campus_web
+from repro.web.campus import CAMPUS_QUERY_DISQL
+
+
+def main() -> None:
+    web = build_campus_web()
+    engine = WebDisEngine(web)
+
+    print("DISQL query:")
+    print(CAMPUS_QUERY_DISQL.strip())
+    print()
+
+    handle = engine.run_query(CAMPUS_QUERY_DISQL)
+
+    print(handle.display_table())
+    print()
+    print(f"status            : {handle.status.value}")
+    print(f"response time     : {handle.response_time():.3f} simulated seconds")
+    print(f"messages on wire  : {engine.stats.messages_sent}")
+    print(f"bytes on wire     : {engine.stats.bytes_sent}")
+    print(f"documents shipped : {engine.stats.documents_shipped}  (query shipping moves none)")
+
+
+if __name__ == "__main__":
+    main()

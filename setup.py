@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where the `wheel` package
+(required by PEP 660 builds) is unavailable."""
+
+from setuptools import setup
+
+setup()

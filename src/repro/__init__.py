@@ -1,0 +1,56 @@
+"""WEBDIS — distributed query processing on the Web.
+
+A faithful, fully self-contained reproduction of *"Distributed Query
+Processing on the Web"* (Gupta, Haritsa, Ramanath; ICDE 2000): a
+query-shipping engine in which DISQL web-queries migrate from site to site
+over a simulated Web, with exact completion detection (the CHT protocol),
+passive termination, and duplicate-suppression via per-site node-query log
+tables.
+
+Quick start::
+
+    from repro import WebDisEngine
+    from repro.web import build_campus_web
+    from repro.web.campus import CAMPUS_QUERY_DISQL
+
+    engine = WebDisEngine(build_campus_web())
+    handle = engine.run_query(CAMPUS_QUERY_DISQL)
+    print(handle.display_table())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .core.config import EngineConfig
+from .core.client import QueryHandle, QueryStatus
+from .core.engine import WebDisEngine
+from .core.webquery import QueryClone, QueryId, WebQuery, WebQueryStep
+from .disql import compile_disql, format_disql, parse_disql
+from .errors import WebDisError
+from .net.network import NetworkConfig
+from .pre import parse_pre
+from .web import Web, WebBuilder, build_campus_web, build_synthetic_web
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineConfig",
+    "NetworkConfig",
+    "QueryClone",
+    "QueryHandle",
+    "QueryId",
+    "QueryStatus",
+    "Web",
+    "WebBuilder",
+    "WebDisEngine",
+    "WebDisError",
+    "WebQuery",
+    "WebQueryStep",
+    "__version__",
+    "build_campus_web",
+    "build_synthetic_web",
+    "compile_disql",
+    "format_disql",
+    "parse_disql",
+    "parse_pre",
+]

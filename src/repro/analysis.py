@@ -1,0 +1,108 @@
+"""Run reports and paired comparisons.
+
+Downstream experiments keep asking the same two questions: *what did this
+run cost?* and *how does it compare to that other run?*  This module
+packages the answers:
+
+* :class:`RunReport` — one engine run's key metrics in a flat, printable
+  record (works for the distributed engine, the data-shipping baseline and
+  the hybrid — anything exposing ``stats`` plus a handle/result object);
+* :func:`compare_runs` — a paired table with per-metric ratios, the shape
+  every bench in ``benchmarks/`` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["RunReport", "compare_runs", "format_comparison"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunReport:
+    """One run's economics."""
+
+    name: str
+    metrics: Mapping[str, float]
+
+    _CORE_KEYS = (
+        "messages",
+        "bytes",
+        "documents_shipped",
+        "document_bytes_shipped",
+        "documents_parsed",
+        "node_queries_evaluated",
+        "duplicates_dropped",
+        "clones_forwarded",
+    )
+
+    @classmethod
+    def from_run(cls, name: str, engine, handle) -> "RunReport":
+        """Build a report from any engine + handle/result pair.
+
+        ``engine`` needs ``stats`` (:class:`~repro.net.stats.TrafficStats`);
+        ``handle`` needs ``response_time()`` and ``rows()``.
+        """
+        summary = engine.stats.summary()
+        metrics: dict[str, float] = {
+            key: float(summary[key]) for key in cls._CORE_KEYS if key in summary
+        }
+        metrics["result_rows"] = float(len(handle.rows()))
+        response = handle.response_time()
+        if response is not None:
+            metrics["response_time"] = response
+        first = handle.first_result_latency()
+        if first is not None:
+            metrics["first_result_latency"] = first
+        peak_site, peak_load = engine.stats.max_site_load()
+        metrics["peak_site_cpu"] = peak_load
+        return cls(name, metrics)
+
+    def render(self) -> str:
+        width = max(len(k) for k in self.metrics)
+        lines = [f"run: {self.name}"]
+        for key in sorted(self.metrics):
+            lines.append(f"  {key.ljust(width)}  {_fmt(self.metrics[key])}")
+        return "\n".join(lines)
+
+
+def compare_runs(a: RunReport, b: RunReport) -> list[tuple[str, float, float, float | None]]:
+    """Per-metric rows ``(metric, a_value, b_value, b/a ratio)``.
+
+    Metrics present in only one report are skipped — comparisons should be
+    apples to apples.  The ratio is ``None`` when ``a`` is zero.
+    """
+    rows = []
+    for key in sorted(set(a.metrics) & set(b.metrics)):
+        left, right = a.metrics[key], b.metrics[key]
+        ratio = (right / left) if left else None
+        rows.append((key, left, right, ratio))
+    return rows
+
+
+def format_comparison(a: RunReport, b: RunReport) -> str:
+    """A printable paired table."""
+    rows = compare_runs(a, b)
+    headers = ("metric", a.name, b.name, f"{b.name}/{a.name}")
+    rendered = [
+        (key, _fmt(left), _fmt(right), f"{ratio:.2f}x" if ratio is not None else "-")
+        for key, left, right, ratio in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(4)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4f}"

@@ -1,0 +1,27 @@
+"""Web-administration applications built on the WEBDIS public API.
+
+The paper's introduction motivates query shipping with three application
+families; each is implemented here on top of the distributed engine:
+
+* :mod:`repro.apps.sitemap` — "site map" construction for a web domain
+  (only link lists travel, not documents);
+* :mod:`repro.apps.linkcheck` — detection of "floating links" (links
+  pointing to non-existent documents), the web-site maintenance task of
+  Section 1.2;
+* :mod:`repro.apps.gather` — gathering similar information from several
+  different sites (the search-engine-style workload of Section 1).
+"""
+
+from .gather import GatherResult, gather_segments
+from .linkcheck import FloatingLink, LinkCheckReport, find_floating_links
+from .sitemap import SiteMap, build_site_map
+
+__all__ = [
+    "FloatingLink",
+    "GatherResult",
+    "LinkCheckReport",
+    "SiteMap",
+    "build_site_map",
+    "find_floating_links",
+    "gather_segments",
+]

@@ -1,0 +1,33 @@
+"""Comparison engines and design-alternative implementations.
+
+The paper argues for query shipping *against* alternatives it does not
+implement.  This package implements them so the claims become measurable:
+
+* :mod:`repro.baselines.datashipping` — the centralized engine every prior
+  web-query system used (documents downloaded to the user-site, evaluated
+  locally): the paper's §1 foil, bench EXP-C1/EXP-C6;
+* :mod:`repro.baselines.docservice` — the plain document-fetch substrate
+  (an HTTP-like request/response service) that data shipping and the hybrid
+  engine share;
+* :mod:`repro.baselines.hybrid` — the §7.1 migration path: participating
+  sites process queries, documents from non-participating sites are pulled
+  to the user-site and processed centrally, bench EXP-C7.
+
+The §2.6 *path-retrace* result-return alternative is implemented inside the
+core server (``EngineConfig.direct_result_return=False``) because it changes
+forwarding behaviour, not the engine topology; bench EXP-C2 compares it.
+"""
+
+from .datashipping import DataShippingEngine, DataShippingResult
+from .docservice import DOC_PORT, DocResponse, DocServer, FetchRequest
+from .hybrid import HybridEngine
+
+__all__ = [
+    "DOC_PORT",
+    "DataShippingEngine",
+    "DataShippingResult",
+    "DocResponse",
+    "DocServer",
+    "FetchRequest",
+    "HybridEngine",
+]

@@ -1,0 +1,105 @@
+"""An HTTP-like document-fetch service.
+
+Centralized processing needs plain document retrieval: a small request, a
+response carrying the full document bytes.  Every site can serve documents
+(serving static files needs no WEBDIS participation), so
+:class:`DocServer` instances are installed web-wide by the engines that
+need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..net.network import Network
+from ..net.simclock import SimClock
+from ..net.stats import TrafficStats
+from ..urlutils import Url
+from ..web.web import Web
+
+__all__ = ["DOC_PORT", "FetchRequest", "DocResponse", "DocServer", "install_doc_servers"]
+
+#: The well-known port document servers listen on (think port 80).
+DOC_PORT = 80
+
+
+@dataclass(frozen=True, slots=True)
+class FetchRequest:
+    """``GET url`` — ``reply_to`` names the requester's (site, port)."""
+
+    url: Url
+    reply_site: str
+    reply_port: int
+    request_id: int
+
+    @property
+    def kind(self) -> str:
+        return "fetch"
+
+    def size_bytes(self) -> int:
+        return len(str(self.url)) + len(self.reply_site) + 12
+
+
+@dataclass(frozen=True, slots=True)
+class DocResponse:
+    """The fetched document (``html is None`` = 404, a floating link)."""
+
+    url: Url
+    html: str | None
+    request_id: int
+
+    @property
+    def kind(self) -> str:
+        return "document"
+
+    def size_bytes(self) -> int:
+        body = len(self.html) if self.html is not None else 0
+        return len(str(self.url)) + body + 16
+
+
+class DocServer:
+    """Serves one site's documents over :data:`DOC_PORT`."""
+
+    def __init__(
+        self,
+        site: str,
+        web: Web,
+        network: Network,
+        clock: SimClock,
+        stats: TrafficStats,
+        service_time: float = 0.001,
+    ) -> None:
+        self.site = site
+        self.web = web
+        self.network = network
+        self.clock = clock
+        self.stats = stats
+        self.service_time = service_time
+        network.listen(site, DOC_PORT, self._on_request)
+
+    def _on_request(self, src: str, payload: object) -> None:
+        assert isinstance(payload, FetchRequest)
+        html = self.web.html_for(payload.url)
+        response = DocResponse(payload.url, html, payload.request_id)
+        if html is not None:
+            self.stats.documents_shipped += 1
+            self.stats.document_bytes_shipped += len(html)
+        self.stats.record_processing(self.site, self.service_time)
+        self.clock.schedule(
+            self.service_time,
+            lambda: self.network.send(
+                self.site, payload.reply_site, payload.reply_port, response
+            ),
+        )
+
+
+def install_doc_servers(
+    web: Web,
+    network: Network,
+    clock: SimClock,
+    stats: TrafficStats,
+) -> dict[str, DocServer]:
+    """Run a :class:`DocServer` at every site of ``web``."""
+    return {
+        site: DocServer(site, web, network, clock, stats)
+        for site in web.site_names
+    }

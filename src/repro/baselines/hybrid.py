@@ -1,0 +1,287 @@
+"""The hybrid engine — the paper's Section 7.1 migration path.
+
+"Queries related to documents on [non-participating] web-servers can be
+handled in the traditional manner by retrieving all documents from the
+remote site and then applying the query predicates locally at the
+user-site.  Therefore, we can expect a gradual migration path ... from a
+largely centralized to a fully distributed system."
+
+Mechanics:
+
+* participating sites run normal :class:`~repro.core.server.QueryServer`
+  daemons;
+* every site serves plain documents (:mod:`repro.baselines.docservice`);
+* a :class:`CentralProcessor` at the user-site accepts clones whose
+  destination sites refused the query connection, *downloads* their
+  documents, processes them locally with the identical per-node logic, and
+  resumes query-shipping for forwards that target participating sites.
+
+Sweeping the participation fraction from 0 to 1 interpolates between the
+data-shipping and query-shipping cost profiles (bench EXP-C7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Iterable
+
+from ..core.config import EngineConfig
+from ..core.engine import DEFAULT_USER_SITE, WebDisEngine
+from ..core.logtable import LogAction, NodeQueryLogTable
+from ..core.messages import ChtEntry, Disposition, NodeReport, ResultMessage
+from ..core.processing import process_node
+from ..core.trace import Tracer
+from ..core.webquery import QueryClone, QueryId
+from ..model.database import DatabaseConstructor, build_documents_table
+from ..net.network import HELPER_PORT, QUERY_PORT, Network, NetworkConfig
+from ..net.simclock import SimClock
+from ..net.stats import TrafficStats
+from ..urlutils import Url
+from ..web.web import Web
+from .docservice import DOC_PORT, DocResponse, FetchRequest, install_doc_servers
+
+__all__ = ["CentralProcessor", "HybridEngine"]
+
+_CENTRAL_FETCH_PORT = 4501
+
+
+class CentralProcessor:
+    """Processes clones for non-participating sites at the user-site.
+
+    Runs the same per-node logic as a query-server, except every document
+    must first be *fetched* over the network — the centralized cost the
+    paper wants to migrate away from.
+    """
+
+    def __init__(
+        self,
+        user_site: str,
+        network: Network,
+        clock: SimClock,
+        config: EngineConfig,
+        stats: TrafficStats,
+        tracer: Tracer,
+        participating: set[str],
+        web: Web | None = None,
+    ) -> None:
+        self.site = user_site
+        self.web = web
+        self._site_documents: dict[str, object] = {}
+        self.network = network
+        self.clock = clock
+        self.config = config
+        self.stats = stats
+        self.tracer = tracer
+        self.participating = participating
+        self.constructor = DatabaseConstructor(config.db_cache_size)
+        self.log_table = NodeQueryLogTable(config.log_subsumption)
+        self._queue: deque[QueryClone] = deque()
+        self._busy = False
+        self._purged: set[QueryId] = set()
+        self._request_ids = itertools.count(1)
+        self._awaiting: dict[int, Url] = {}
+        self._documents: dict[Url, str | None] = {}
+        self._current: QueryClone | None = None
+        network.listen(user_site, HELPER_PORT, self._on_clone)
+        network.listen(user_site, _CENTRAL_FETCH_PORT, self._on_document)
+
+    # -- clone intake ------------------------------------------------------------
+
+    def _on_clone(self, src: str, payload: object) -> None:
+        assert isinstance(payload, QueryClone)
+        self._queue.append(payload)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        clone = self._queue.popleft()
+        if clone.query.qid in self._purged:
+            self._pump()
+            return
+        self._busy = True
+        self._current = clone
+        self._documents = {}
+        self._awaiting = {}
+        for node in clone.dest:
+            request_id = next(self._request_ids)
+            request = FetchRequest(node, self.site, _CENTRAL_FETCH_PORT, request_id)
+            if self.network.send(self.site, node.host, DOC_PORT, request):
+                self._awaiting[request_id] = node
+            else:
+                self._documents[node] = None
+        self._maybe_process()
+
+    def _on_document(self, src: str, payload: object) -> None:
+        assert isinstance(payload, DocResponse)
+        node = self._awaiting.pop(payload.request_id, None)
+        if node is None:
+            return
+        self._documents[node] = payload.html
+        self._maybe_process()
+
+    # -- local processing -----------------------------------------------------------
+
+    def _maybe_process(self) -> None:
+        if self._current is None or self._awaiting:
+            return
+        clone = self._current
+        reports, clones, service = self._process(clone)
+        self.stats.record_processing(self.site, service)
+        self.clock.schedule(service, lambda: self._complete(clone, reports, clones))
+
+    def _process(self, clone: QueryClone):
+        now = self.clock.now
+        qid = clone.query.qid
+        reports: list[NodeReport] = []
+        forwards = []
+        seen_forwards = set()
+        service = 0.0
+
+        for node in clone.dest:
+            entry = ChtEntry(node, clone.state)
+            rem = clone.rem
+            disposition = Disposition.PROCESSED
+            if self.config.log_table_enabled:
+                observation = self.log_table.observe(node, qid, clone.state, now)
+                if observation.action is LogAction.DROP:
+                    self.stats.duplicates_dropped += 1
+                    service += self.config.node_service_time
+                    reports.append(NodeReport(entry, Disposition.DUPLICATE))
+                    continue
+                if observation.action is LogAction.REWRITE:
+                    assert observation.rewritten_rem is not None
+                    rem = observation.rewritten_rem
+                    disposition = Disposition.REWRITTEN
+                    self.stats.queries_rewritten += 1
+            html = self._documents.get(node)
+            if html is None:
+                service += self.config.node_service_time
+                reports.append(NodeReport(entry, Disposition.MISSING))
+                continue
+            database = self.constructor.construct(node, html)
+            self.stats.documents_parsed += 1
+            outcome = process_node(
+                node, database, clone.query, clone.step_index, rem, self.config,
+                site_documents=self._site_documents_for(clone.query, node.host),
+            )
+            service += self.config.service_time(len(html), outcome.tuples_scanned)
+            self.stats.node_queries_evaluated += len(outcome.evaluations)
+            for step_index, success in outcome.evaluations:
+                self.tracer.record(
+                    now, str(node), self.site, clone.state, outcome.role,
+                    "answered" if success else "failed",
+                    detail=f"central:{clone.query.step_label(step_index)}",
+                )
+            fresh = [fw for fw in outcome.forwards if fw not in seen_forwards]
+            seen_forwards.update(fresh)
+            forwards.extend(fresh)
+            new_entries = tuple(
+                ChtEntry(
+                    fw.target,
+                    QueryClone(clone.query, fw.step_index, fw.rem, (fw.target,)).state,
+                )
+                for fw in fresh
+            )
+            reports.append(NodeReport(entry, disposition, new_entries, tuple(outcome.results)))
+
+        groups: dict[tuple, list[Url]] = {}
+        for fw in forwards:
+            key = (fw.target.host, fw.step_index, fw.rem)
+            groups.setdefault(key, []).append(fw.target)
+        clones = [
+            QueryClone(clone.query, step_index, rem, tuple(dict.fromkeys(targets)))
+            for (__, step_index, rem), targets in groups.items()
+        ]
+        return reports, clones, service
+
+    def _site_documents_for(self, query, site_name: str):
+        """Site-spanning DOCUMENT table for §7.1 multi-document queries."""
+        if self.web is None or not any(
+            step.query.sitewide_aliases for step in query.steps
+        ):
+            return None
+        table = self._site_documents.get(site_name)
+        if table is None and self.web.has_site(site_name):
+            site = self.web.site(site_name)
+            pages = [
+                (site.url_of(path), page.html)
+                for path, page in sorted(site.pages.items())
+            ]
+            table = build_documents_table(pages)
+            self._site_documents[site_name] = table
+        return table
+
+    def _complete(self, clone: QueryClone, reports, clones) -> None:
+        qid = clone.query.qid
+        try:
+            ok = True
+            if reports:
+                ok = self.network.send(
+                    self.site, qid.host, qid.port, ResultMessage(qid, tuple(reports))
+                )
+            if not ok:
+                self._purged.add(qid)
+                return
+            for fclone in clones:
+                self._forward(fclone)
+        finally:
+            self._busy = False
+            self._current = None
+            self._pump()
+
+    def _forward(self, fclone: QueryClone) -> None:
+        qid = fclone.query.qid
+        if fclone.site in self.participating:
+            if self.network.send(self.site, fclone.site, QUERY_PORT, fclone):
+                self.stats.clones_forwarded += 1
+                return
+        elif self.network.send(self.site, self.site, HELPER_PORT, fclone):
+            # Not participating: keep it central.
+            self.stats.local_hops += 1
+            return
+        retractions = tuple(
+            NodeReport(ChtEntry(url, fclone.state), Disposition.UNREACHABLE)
+            for url in fclone.dest
+        )
+        self.network.send(self.site, qid.host, qid.port, ResultMessage(qid, retractions, kind="cht"))
+
+
+class HybridEngine(WebDisEngine):
+    """A WEBDIS deployment in which only some sites participate (§7.1)."""
+
+    def __init__(
+        self,
+        web: Web,
+        participating_sites: Iterable[str],
+        *,
+        config: EngineConfig | None = None,
+        net_config: NetworkConfig | None = None,
+        user_site: str = DEFAULT_USER_SITE,
+        user: str = "maya",
+        trace: bool = False,
+    ) -> None:
+        from dataclasses import replace
+
+        base = config if config is not None else EngineConfig()
+        super().__init__(
+            web,
+            config=replace(base, central_fallback=True),
+            net_config=net_config,
+            user_site=user_site,
+            user=user,
+            participating_sites=participating_sites,
+            trace=trace,
+        )
+        install_doc_servers(web, self.network, self.clock, self.stats)
+        self.central = CentralProcessor(
+            user_site,
+            self.network,
+            self.clock,
+            self.config,
+            self.stats,
+            self.tracer,
+            set(self.servers),
+            web=web,
+        )

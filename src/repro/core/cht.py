@@ -1,0 +1,92 @@
+"""The Current Hosts Table (CHT) — exact query-completion detection.
+
+Paper Section 2.7.1: the user-site tracks every node currently hosting a
+clone of the query.  Servers send the CHT delta (their own retired entry on
+top, the new entries below) *before* forwarding clones, so the table always
+has complete knowledge and "all entries marked deleted" is an exact
+completion test.
+
+Implementation note: result messages from different servers are independent
+connections, so deltas can arrive out of order — a deletion may precede the
+arrival of the report that added the entry.  We therefore keep *signed
+pending counts* per ``(node, state)`` key.  The balance argument: every
+deletion is paired with exactly one addition (by ``send_query`` or an
+upstream report), and any in-flight report keeps the entries it would retire
+positive.  Hence "all counts zero" still holds exactly when no clone is
+active and no report is in flight — transient negative counts never produce
+a false completion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+from .messages import ChtEntry
+
+__all__ = ["ChtRecord", "CurrentHostsTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChtRecord:
+    """One historical table row (kept for traces and debugging)."""
+
+    entry: ChtEntry
+    time: float
+    deleted: bool
+
+
+class CurrentHostsTable:
+    """Signed-multiset CHT with a full audit history."""
+
+    def __init__(self) -> None:
+        self._pending: Counter[ChtEntry] = Counter()
+        self._history: list[ChtRecord] = []
+        self._additions = 0
+        self._deletions = 0
+
+    def add(self, entry: ChtEntry, time: float = 0.0) -> None:
+        """Record that a clone is (about to be) active at ``entry``."""
+        self._pending[entry] += 1
+        self._additions += 1
+        self._history.append(ChtRecord(entry, time, deleted=False))
+
+    def mark_deleted(self, entry: ChtEntry, time: float = 0.0) -> None:
+        """Retire one pending instance of ``entry``."""
+        self._pending[entry] -= 1
+        self._deletions += 1
+        self._history.append(ChtRecord(entry, time, deleted=True))
+
+    def all_deleted(self) -> bool:
+        """True exactly when the query has fully completed (see module doc)."""
+        return self._additions == self._deletions and all(
+            count == 0 for count in self._pending.values()
+        )
+
+    @property
+    def additions(self) -> int:
+        return self._additions
+
+    @property
+    def deletions(self) -> int:
+        return self._deletions
+
+    def pending_entries(self) -> list[ChtEntry]:
+        """Entries with a positive pending count (active clone locations)."""
+        return sorted(
+            (entry for entry, count in self._pending.items() if count > 0),
+            key=str,
+        )
+
+    def imbalance(self) -> int:
+        """Net outstanding additions; 0 at completion."""
+        return self._additions - self._deletions
+
+    def history(self) -> list[ChtRecord]:
+        return list(self._history)
+
+    def check_consistency(self) -> None:
+        """Raise :class:`ProtocolError` if counts and totals disagree."""
+        if sum(self._pending.values()) != self._additions - self._deletions:
+            raise ProtocolError("CHT counts diverged from addition/deletion totals")

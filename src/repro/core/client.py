@@ -1,0 +1,315 @@
+"""The user-site WEBDIS client: submission, result collection, termination.
+
+Implements Figure 2's ``send_query`` / ``receive_results`` pair:
+
+* ``submit`` allocates a result port, opens the listening socket, seeds the
+  CHT with the StartNodes, and dispatches the initial clones (grouped per
+  start site);
+* each arriving :class:`ResultMessage` retires its reports' CHT entries,
+  merges the new entries, and stores result rows; when the CHT shows all
+  entries deleted the query is complete — exact completion detection with
+  no timeouts;
+* ``cancel`` implements passive termination (Section 2.8): the listening
+  socket is closed and the query is purged locally; servers discover the
+  cancellation when their next result dispatch fails.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import QueryLifecycleError
+from ..net.network import HELPER_PORT, QUERY_PORT, Network
+from ..net.simclock import SimClock
+from ..net.stats import TrafficStats
+from ..relational.query import ResultRow
+from ..urlutils import Url
+from .cht import CurrentHostsTable
+from .config import EngineConfig
+from .messages import ChtEntry, Disposition, ResultMessage
+from .trace import START_NODE, Tracer
+from .webquery import QueryClone, QueryId, WebQuery
+
+__all__ = ["QueryStatus", "QueryHandle", "UserSiteClient"]
+
+_FIRST_RESULT_PORT = 5000
+
+
+class QueryStatus(enum.Enum):
+    RUNNING = "running"
+    COMPLETE = "complete"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class QueryHandle:
+    """The user's view of one submitted web-query."""
+
+    query: WebQuery
+    cht: CurrentHostsTable
+    submit_time: float
+    status: QueryStatus = QueryStatus.RUNNING
+    completion_time: float | None = None
+    first_result_time: float | None = None
+    cancel_time: float | None = None
+    results: list[tuple[str, ResultRow, float]] = field(default_factory=list)
+    messages_received: int = 0
+    #: Arrival time of the most recent report message (None before any).
+    last_message_time: float | None = None
+    #: Streaming hooks — results display incrementally, like the paper's
+    #: GUI, which showed rows as they arrived rather than at completion.
+    on_result: Callable[[str, ResultRow, float], None] | None = None
+    on_complete: Callable[["QueryHandle"], None] | None = None
+    #: Set by the watchdog when the query made no progress past a deadline.
+    #: Note this is a *failure detector*, not completion detection — the
+    #: CHT makes completion exact without timeouts (§2.7); the watchdog
+    #: only flags queries stalled by lost messages or dead servers.
+    stall_detected_at: float | None = None
+
+    @property
+    def stalled(self) -> bool:
+        return self.stall_detected_at is not None
+
+    @property
+    def qid(self) -> QueryId:
+        return self.query.qid
+
+    def rows(self, label: str | None = None) -> list[ResultRow]:
+        """Result rows, optionally restricted to one node-query label."""
+        return [row for lbl, row, __ in self.results if label is None or lbl == label]
+
+    def unique_rows(self, label: str | None = None) -> list[ResultRow]:
+        """Rows with exact duplicates removed, preserving first-seen order."""
+        seen: set[tuple[tuple[str, ...], tuple[object, ...]]] = set()
+        unique = []
+        for row in self.rows(label):
+            key = (row.header, row.values)
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        return unique
+
+    def response_time(self) -> float | None:
+        """Submission-to-completion latency (None while running)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.submit_time
+
+    def first_result_latency(self) -> float | None:
+        if self.first_result_time is None:
+            return None
+        return self.first_result_time - self.submit_time
+
+    def display_rows(self, label: str | None = None) -> list[ResultRow]:
+        """Rows after applying the query's display directives.
+
+        ``select distinct`` collapses duplicates; ``order by`` sorts by the
+        requested keys where they appear in a row's header (rows from steps
+        that lack a key keep arrival order).  This is the result collector's
+        "process results for display" step (Figure 2, line 13).
+        """
+        rows = self.unique_rows(label) if self.query.display_distinct else self.rows(label)
+        keys = [
+            (name, descending)
+            for name, descending in self.query.display_order
+            if rows and name in rows[0].header
+        ]
+        for name, descending in reversed(keys):
+            index = rows[0].header.index(name)
+            rows = sorted(rows, key=lambda r: str(r.values[index]), reverse=descending)
+        if self.query.display_limit is not None:
+            rows = rows[: self.query.display_limit]
+        return rows
+
+    def display_table(self) -> str:
+        """Render results grouped by node-query, Figure-8 style."""
+        lines = [f"Results of the query {self.qid.number} by user {self.qid.user}"]
+        labels = list(dict.fromkeys(lbl for lbl, __, ___ in self.results))
+        for label in labels:
+            has_directives = (
+                self.query.display_order
+                or self.query.display_distinct
+                or self.query.display_limit is not None
+            )
+            rows = self.display_rows(label) if has_directives else self.unique_rows(label)
+            if not rows:
+                continue
+            header = rows[0].header
+            widths = [
+                max(len(h), *(len(str(r.values[i])) for r in rows))
+                for i, h in enumerate(header)
+            ]
+            lines.append("")
+            lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+            lines.append("  ".join("-" * w for w in widths))
+            for row in rows:
+                lines.append(
+                    "  ".join(str(v).ljust(w) for v, w in zip(row.values, widths))
+                )
+        return "\n".join(lines)
+
+
+class UserSiteClient:
+    """The WEBDIS client process at one user site."""
+
+    def __init__(
+        self,
+        site: str,
+        network: Network,
+        clock: SimClock,
+        stats: TrafficStats,
+        tracer: Tracer,
+        config: EngineConfig,
+        user: str = "maya",
+    ) -> None:
+        self.site = site
+        self.network = network
+        self.clock = clock
+        self.stats = stats
+        self.tracer = tracer
+        self.config = config
+        self.user = user
+        self._query_numbers = itertools.count(1)
+        self._ports = itertools.count(_FIRST_RESULT_PORT)
+        self._handles: dict[QueryId, QueryHandle] = {}
+
+    # -- Figure 2: send_query ---------------------------------------------------
+
+    def submit(
+        self,
+        query: WebQuery,
+        on_result: Callable[[str, ResultRow, float], None] | None = None,
+        on_complete: Callable[[QueryHandle], None] | None = None,
+    ) -> QueryHandle:
+        """Dispatch ``query`` to its StartNodes and start listening.
+
+        ``on_result(label, row, time)`` fires per arriving row (streaming
+        display); ``on_complete(handle)`` fires once at exact completion.
+        """
+        number = next(self._query_numbers)
+        port = next(self._ports)
+        qid = QueryId(self.user, self.site, port, number)
+        query = query.with_qid(qid)
+        handle = QueryHandle(
+            query,
+            CurrentHostsTable(),
+            submit_time=self.clock.now,
+            on_result=on_result,
+            on_complete=on_complete,
+        )
+        self._handles[qid] = handle
+        self.network.listen(
+            self.site, port, lambda src, payload: self._receive(handle, src, payload)
+        )
+
+        initial_pre = query.steps[0].pre
+        state = query.initial_state()
+        by_site: dict[str, list[Url]] = {}
+        for url in query.start_urls:
+            node = url.without_fragment()
+            handle.cht.add(ChtEntry(node, state), self.clock.now)
+            self.tracer.record(
+                self.clock.now, str(node), node.host, state, START_NODE, "dispatched"
+            )
+            by_site.setdefault(node.host, []).append(node)
+
+        for site, nodes in by_site.items():
+            groups = [tuple(nodes)] if self.config.batch_per_site else [(n,) for n in nodes]
+            for group in groups:
+                clone = QueryClone(query, 0, initial_pre, group)
+                if self.network.send(self.site, site, QUERY_PORT, clone):
+                    self.stats.clones_forwarded += 1
+                    continue
+                if self.config.central_fallback and self.network.send(
+                    self.site, self.site, HELPER_PORT, clone
+                ):
+                    self.stats.clones_forwarded += 1
+                    continue
+                # Start site unreachable / not participating: retire entries.
+                for node in group:
+                    handle.cht.mark_deleted(ChtEntry(node, state), self.clock.now)
+                    self.tracer.record(
+                        self.clock.now, str(node), site, state, START_NODE,
+                        "unreachable-start",
+                    )
+        self._check_completion(handle)
+        return handle
+
+    # -- Figure 2: receive_results ------------------------------------------------
+
+    def _receive(self, handle: QueryHandle, src: str, payload: object) -> None:
+        assert isinstance(payload, ResultMessage)
+        if handle.status is not QueryStatus.RUNNING:
+            return
+        now = self.clock.now
+        handle.messages_received += 1
+        handle.last_message_time = now
+        for report in payload.reports:
+            if report.disposition is not Disposition.DATA_ONLY:
+                handle.cht.mark_deleted(report.entry, now)
+                for entry in report.new_entries:
+                    handle.cht.add(entry, now)
+            for label, row in report.results:
+                if handle.first_result_time is None:
+                    handle.first_result_time = now
+                handle.results.append((label, row, now))
+                if handle.on_result is not None:
+                    handle.on_result(label, row, now)
+        self._check_completion(handle)
+
+    def _check_completion(self, handle: QueryHandle) -> None:
+        if handle.status is QueryStatus.RUNNING and handle.cht.all_deleted():
+            handle.status = QueryStatus.COMPLETE
+            handle.completion_time = self.clock.now
+            self.network.close(self.site, handle.qid.port)
+            if handle.on_complete is not None:
+                handle.on_complete(handle)
+
+    # -- failure detection (extension) --------------------------------------------
+
+    def watch(
+        self,
+        handle: QueryHandle,
+        quiet_timeout: float,
+        on_stall: Callable[[QueryHandle], None] | None = None,
+    ) -> None:
+        """Flag ``handle`` as stalled after ``quiet_timeout`` silent seconds.
+
+        "Silent" means no report message arrived.  Progress re-arms the
+        timer; completion or cancellation disarms it.  The handle stays
+        RUNNING (late messages are still accepted) — the caller decides
+        whether to cancel and retry.
+        """
+
+        def arm() -> None:
+            # Capture the count *now*; the check compares against it later.
+            count_at_arm = handle.messages_received
+            self.clock.schedule(quiet_timeout, lambda: check(count_at_arm))
+
+        def check(expected_count: int) -> None:
+            if handle.status is not QueryStatus.RUNNING:
+                return
+            if handle.messages_received != expected_count:
+                arm()  # progress since the timer was set: re-arm
+                return
+            handle.stall_detected_at = self.clock.now
+            if on_stall is not None:
+                on_stall(handle)
+
+        arm()
+
+    # -- Section 2.8: passive termination ----------------------------------------
+
+    def cancel(self, handle: QueryHandle) -> None:
+        """Cancel a running query by closing its result socket."""
+        if handle.status is not QueryStatus.RUNNING:
+            raise QueryLifecycleError(f"cannot cancel a {handle.status.value} query")
+        handle.status = QueryStatus.CANCELLED
+        handle.cancel_time = self.clock.now
+        self.network.close(self.site, handle.qid.port)
+
+    def handles(self) -> list[QueryHandle]:
+        return list(self._handles.values())

@@ -1,0 +1,69 @@
+"""Engine configuration and ablation toggles.
+
+Defaults reproduce the paper's full design.  Each toggle disables one of the
+paper's mechanisms or optimizations so the benches can quantify it
+(DESIGN.md experiments EXP-C2..C4):
+
+===========================  =====================================================
+``log_table_enabled``        Section 3.1 duplicate suppression
+``batch_per_site``           Section 3.2 item 4 — one clone per destination site
+``combine_results_and_cht``  Section 3.2 item 3 — results + CHT in one message
+``direct_result_return``     Section 2.6 — direct socket vs. path retrace
+``strict_dead_end``          Figure 4's literal dead-end rule (see DESIGN.md §4.2)
+===========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Behavioural switches plus the CPU cost model."""
+
+    # --- protocol mechanisms ------------------------------------------------
+    log_table_enabled: bool = True
+    #: Log-table equivalence test: "paper" (exact + A*m·B subsumption,
+    #: Section 3.1.1) or "language" (exact regular-language containment —
+    #: an extension that also recognizes rewritten clones as duplicates).
+    log_subsumption: str = "paper"
+    batch_per_site: bool = True
+    combine_results_and_cht: bool = True
+    direct_result_return: bool = True
+    strict_dead_end: bool = False
+
+    #: §7.1 migration path: when a clone's destination site refuses the
+    #: query connection (not participating in WEBDIS), redirect the clone to
+    #: the central helper at the user-site instead of retiring its entries.
+    central_fallback: bool = False
+
+    # --- server resource management ------------------------------------------
+    #: Query-processor threads per server.  The paper's design is a single
+    #: thread that "sequentially processes the queue of pending web-queries"
+    #: (§4.4); >1 is an ablation of that choice (bench EXP-X4).
+    server_threads: int = 1
+    #: Node databases retained per site (footnote 3); 0 = build-use-purge.
+    db_cache_size: int = 0
+    #: Purge log entries older than this many simulated seconds (None = keep).
+    log_max_age: float | None = None
+    #: How often each server runs the purge (None = never).
+    log_purge_interval: float | None = None
+
+    # --- CPU cost model (simulated seconds) -----------------------------------
+    #: Fixed cost of handling one destination node.
+    node_service_time: float = 0.002
+    #: Cost of parsing one KiB of HTML into the virtual relations.
+    parse_time_per_kb: float = 0.001
+    #: Cost per virtual-relation tuple scanned during node-query evaluation.
+    eval_time_per_tuple: float = 0.0001
+
+    def service_time(self, html_bytes: int, tuples_scanned: int) -> float:
+        """CPU time to parse a document and evaluate node-queries over it."""
+        return (
+            self.node_service_time
+            + self.parse_time_per_kb * (html_bytes / 1024.0)
+            + self.eval_time_per_tuple * tuples_scanned
+        )

@@ -1,0 +1,123 @@
+"""The WEBDIS engine façade.
+
+``WebDisEngine`` assembles one complete deployment: a simulated
+:class:`~repro.web.web.Web`, a :class:`~repro.net.network.Network` over a
+:class:`~repro.net.simclock.SimClock`, one
+:class:`~repro.core.server.QueryServer` per participating site, and a
+:class:`~repro.core.client.UserSiteClient`.  Typical use::
+
+    engine = WebDisEngine(build_campus_web(), trace=True)
+    handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+    engine.run()
+    for row in handle.unique_rows("q2"):
+        print(row)
+
+``participating_sites`` restricts which sites run query-servers — sites
+outside the set refuse query connections, which the hybrid engine
+(:mod:`repro.baselines.hybrid`) uses to model the paper's Section 7.1
+migration path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..disql.translate import compile_disql
+from ..net.network import Network, NetworkConfig
+from ..net.simclock import SimClock
+from ..net.stats import TrafficStats
+from ..web.web import Web
+from .client import QueryHandle, UserSiteClient
+from .config import EngineConfig
+from .server import QueryServer
+from .trace import Tracer
+from .webquery import WebQuery
+
+__all__ = ["WebDisEngine", "DEFAULT_USER_SITE"]
+
+DEFAULT_USER_SITE = "user.example"
+
+
+class WebDisEngine:
+    """One runnable WEBDIS deployment over a simulated web."""
+
+    def __init__(
+        self,
+        web: Web,
+        *,
+        config: EngineConfig | None = None,
+        net_config: NetworkConfig | None = None,
+        user_site: str = DEFAULT_USER_SITE,
+        user: str = "maya",
+        participating_sites: Iterable[str] | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.web = web
+        self.config = config if config is not None else EngineConfig()
+        self.clock = SimClock()
+        self.stats = TrafficStats()
+        self.tracer = Tracer(enabled=trace)
+        self.network = Network(self.clock, self.stats, net_config)
+        self.user_site = user_site
+
+        participating = (
+            set(web.site_names)
+            if participating_sites is None
+            else {name.lower() for name in participating_sites}
+        )
+        self.network.register_site(user_site)
+        self.servers: dict[str, QueryServer] = {}
+        for site in web.site_names:
+            self.network.register_site(site)
+            if site in participating:
+                self.servers[site] = QueryServer(
+                    site, web, self.network, self.clock, self.config, self.stats, self.tracer
+                )
+        self.client = UserSiteClient(
+            user_site, self.network, self.clock, self.stats, self.tracer, self.config, user
+        )
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, query: WebQuery, on_result=None, on_complete=None) -> QueryHandle:
+        """Submit a pre-built web-query (optionally with streaming hooks)."""
+        return self.client.submit(query, on_result, on_complete)
+
+    def submit_disql(
+        self, text: str, on_result=None, on_complete=None, search_index=None
+    ) -> QueryHandle:
+        """Parse, translate and submit a DISQL query.
+
+        ``search_index`` resolves ``index("keywords", k)`` StartNode sources
+        (§1.1's automated pipeline, surfaced in the language).
+        """
+        return self.submit(
+            compile_disql(text, search_index=search_index), on_result, on_complete
+        )
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Drive the simulation until quiescence (or virtual time ``until``)."""
+        return self.clock.run(until)
+
+    def run_query(self, disql_text: str) -> QueryHandle:
+        """Submit DISQL and run to completion — the one-call happy path."""
+        handle = self.submit_disql(disql_text)
+        self.run()
+        return handle
+
+    def cancel(self, handle: QueryHandle, at: float | None = None) -> None:
+        """Cancel ``handle`` now, or schedule the cancellation at time ``at``."""
+        if at is None:
+            self.client.cancel(handle)
+        else:
+            self.clock.schedule_at(at, lambda: self.client.cancel(handle))
+
+    # -- introspection -----------------------------------------------------------------
+
+    def server_for(self, site: str) -> QueryServer:
+        return self.servers[site.lower()]
+
+    def total_log_entries(self) -> int:
+        return sum(server.log_table.entry_count() for server in self.servers.values())

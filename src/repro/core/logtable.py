@@ -1,0 +1,141 @@
+"""The node-query log table — duplicate detection and the multi-rewrite.
+
+Paper Section 3.1.1.  Each site logs ``[URL_node, Query_ID, State]`` for
+every node-query it processes.  A newly arrived clone for the same node and
+query id is compared state-wise against the logged entries:
+
+* identical state, or ``A*m·B`` with ``m <= n`` — the clone is a duplicate
+  and is dropped;
+* ``A*m·B`` with ``m > n`` — the clone covers strictly more paths: the log
+  entry is replaced and the query is rewritten ``A·A*(m-1)·B``, forcing this
+  node to act as a PureRouter for the rewritten clone;
+* otherwise — a genuinely new state: logged and processed normally.
+
+Old entries are purged periodically; an over-eager purge only costs
+recomputation, never correctness (Section 3.1.1), which the ablation bench
+EXP-C3 demonstrates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..pre.ast import Pre
+from ..pre.automaton import AutomatonLimitError, language_subsumes
+from ..pre.ops import LogComparison, compare_for_log, rewrite_superset
+from ..urlutils import Url
+from .state import QueryState
+from .webquery import QueryId
+
+__all__ = ["LogAction", "LogObservation", "NodeQueryLogTable"]
+
+
+class LogAction(enum.Enum):
+    """What the server should do with an arriving clone at one node."""
+
+    PROCESS = "process"
+    DROP = "drop"
+    REWRITE = "rewrite"
+
+
+@dataclass(frozen=True, slots=True)
+class LogObservation:
+    """The outcome of a log-table check.
+
+    ``rewritten_rem`` is set only for :attr:`LogAction.REWRITE`.
+    """
+
+    action: LogAction
+    rewritten_rem: Pre | None = None
+
+
+@dataclass
+class _LogEntry:
+    state: QueryState
+    time: float
+
+
+class NodeQueryLogTable:
+    """Per-site log of node-query visits, keyed by ``(node, qid)``.
+
+    ``mode`` selects the equivalence test:
+
+    * ``"paper"`` (default) — exact match plus the ``A*m·B`` subsumption of
+      Section 3.1.1;
+    * ``"language"`` — exact regular-language containment
+      (:func:`~repro.pre.automaton.language_subsumes`): strictly more
+      duplicates recognized (e.g. a rewritten ``L·L*2·B`` clone arriving
+      where ``L*4·B`` is logged), still with the paper's rewrite for the
+      ``A*m·B`` superset case.
+    """
+
+    def __init__(self, mode: str = "paper") -> None:
+        if mode not in ("paper", "language"):
+            raise ValueError(f"unknown log-table mode {mode!r}")
+        self.mode = mode
+        self._entries: dict[tuple[Url, QueryId], list[_LogEntry]] = {}
+        self.drops = 0
+        self.rewrites = 0
+        self.inserts = 0
+
+    def observe(self, node: Url, qid: QueryId, state: QueryState, now: float) -> LogObservation:
+        """Check (and update) the table for a clone arriving at ``node``.
+
+        Implements the paper's three-way outcome; comparisons only apply
+        between states with equal ``num_q`` (the paper requires all fields
+        equal except the PRE).
+        """
+        key = (node, qid)
+        entries = self._entries.setdefault(key, [])
+        for entry in entries:
+            if entry.state.num_q != state.num_q:
+                continue
+            relation = compare_for_log(state.rem, entry.state.rem)
+            if relation is LogComparison.DUPLICATE:
+                self.drops += 1
+                return LogObservation(LogAction.DROP)
+            if relation is LogComparison.SUPERSET:
+                # Replace the existing entry with the wider incoming state,
+                # then hand back the rewritten PRE (paper step 1 + 2).
+                entry.state = state
+                entry.time = now
+                self.rewrites += 1
+                return LogObservation(LogAction.REWRITE, rewrite_superset(state.rem))
+            if self.mode == "language" and self._language_covered(state.rem, entry.state.rem):
+                self.drops += 1
+                return LogObservation(LogAction.DROP)
+        entries.append(_LogEntry(state, now))
+        self.inserts += 1
+        return LogObservation(LogAction.PROCESS)
+
+    @staticmethod
+    def _language_covered(incoming: Pre, logged: Pre) -> bool:
+        try:
+            return language_subsumes(logged, incoming)
+        except AutomatonLimitError:
+            # Pathological PRE: fall back to the conservative answer.
+            return False
+
+    def purge_older_than(self, cutoff: float) -> int:
+        """Drop entries logged strictly before ``cutoff``; returns the count.
+
+        This is the paper's periodic purge.  It can only cause duplicate
+        recomputation, never wrong answers.
+        """
+        removed = 0
+        for key in list(self._entries):
+            kept = [entry for entry in self._entries[key] if entry.time >= cutoff]
+            removed += len(self._entries[key]) - len(kept)
+            if kept:
+                self._entries[key] = kept
+            else:
+                del self._entries[key]
+        return removed
+
+    def entry_count(self) -> int:
+        return sum(len(entries) for entries in self._entries.values())
+
+    def states_for(self, node: Url, qid: QueryId) -> list[QueryState]:
+        """Logged states for one node/query (test and trace support)."""
+        return [entry.state for entry in self._entries.get((node, qid), [])]

@@ -1,0 +1,111 @@
+"""Messages flowing back to the user-site.
+
+Optimization 3 of Section 3.2: node-query results and the new
+``(NextNode, QueryState)`` information for the CHT are *shipped together* in
+one message, batched across all the nodes a clone covered at a site.  Each
+:class:`NodeReport` inside the message is the per-node unit: it names the
+processed node and received state (the CHT entry to mark deleted), lists the
+CHT entries for the clones about to be forwarded, and carries that node's
+result rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..relational.query import ResultRow
+from ..urlutils import Url
+from .state import QueryState
+from .webquery import QueryId
+
+__all__ = ["Disposition", "ChtEntry", "NodeReport", "ResultMessage"]
+
+
+class Disposition(enum.Enum):
+    """How the server handled one destination node."""
+
+    PROCESSED = "processed"  # node-query stage processed normally
+    DATA_ONLY = "data-only"  # result rows only; carries no CHT bookkeeping
+    DUPLICATE = "duplicate"  # dropped by the node-query log table
+    REWRITTEN = "rewritten"  # log table superset: query rewritten, processed
+    MISSING = "missing"  # node does not exist at this site (floating link)
+    UNREACHABLE = "unreachable"  # forward of this entry's clone failed
+    PURGED = "purged"  # query purged at the server (termination)
+
+
+@dataclass(frozen=True, slots=True)
+class ChtEntry:
+    """One ``(node URL, query state)`` pair — the CHT's key."""
+
+    node: Url
+    state: QueryState
+
+    def size_bytes(self) -> int:
+        return len(str(self.node)) + self.state.size_bytes()
+
+    def __str__(self) -> str:
+        return f"{self.node} {self.state}"
+
+
+@dataclass(frozen=True, slots=True)
+class NodeReport:
+    """Everything the user-site learns about one processed node.
+
+    ``entry`` is the CHT entry this report retires (the paper's "top-most
+    entry in the list").  ``new_entries`` are the entries for the clones the
+    server is about to forward — sent *before* the forwarding happens so the
+    CHT always has complete knowledge (Section 2.7.1).  ``results`` pairs
+    each row with the node-query label that produced it.
+    """
+
+    entry: ChtEntry
+    disposition: Disposition
+    new_entries: tuple[ChtEntry, ...] = ()
+    results: tuple[tuple[str, ResultRow], ...] = ()
+
+    def size_bytes(self) -> int:
+        size = self.entry.size_bytes() + 1
+        size += sum(entry.size_bytes() for entry in self.new_entries)
+        for label, row in self.results:
+            size += len(label) + sum(len(str(value)) for value in row.values)
+        return size
+
+
+@dataclass(frozen=True, slots=True)
+class ResultMessage:
+    """A batch of node reports sent directly to the user-site (§2.6, §3.2).
+
+    ``kind`` is ``"result"`` for the paper's combined message; the
+    results/CHT-separation ablation labels the CHT-only half ``"cht"``.
+    """
+
+    qid: QueryId
+    reports: tuple[NodeReport, ...]
+    kind: str = "result"
+
+    def size_bytes(self) -> int:
+        return self.qid.size_bytes() + sum(report.size_bytes() for report in self.reports) + 8
+
+    def result_count(self) -> int:
+        return sum(len(report.results) for report in self.reports)
+
+
+@dataclass(frozen=True, slots=True)
+class RelayMessage:
+    """A result message retracing the query's path (§2.6 alternative).
+
+    ``remaining`` lists the server sites still to traverse backwards; the
+    last hop delivers ``inner`` to the user-site's result port.  Only used
+    when ``EngineConfig.direct_result_return`` is False.
+    """
+
+    remaining: tuple[str, ...]
+    inner: ResultMessage
+
+    @property
+    def kind(self) -> str:
+        return "relay"
+
+    def size_bytes(self) -> int:
+        return self.inner.size_bytes() + sum(len(site) + 2 for site in self.remaining) + 8

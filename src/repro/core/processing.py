@@ -1,0 +1,139 @@
+"""Per-node query processing — the heart of Figures 3 and 4.
+
+Given one destination node's virtual-relation database and the clone state
+``(step_index, rem)``, :func:`process_node` decides:
+
+* whether the node acts as a **ServerRouter** (the remaining PRE is nullable
+  — "contains the null link" — so the node-query is evaluated) or a
+  **PureRouter** (forward only);
+* which result rows to return;
+* which ``(step_index, rem', target)`` forwards to emit.
+
+State worklist: a successful node-query both *continues the current PRE*
+(deeper nodes may also satisfy ``q_k``) and *starts the next PRE* at this
+very node — when ``p_{k+1}`` is itself nullable the node immediately
+evaluates ``q_{k+1}`` too (the paper's node 4 "acts twice").  A failed
+node-query blocks progression to the next stage; under
+``strict_dead_end=True`` it additionally blocks the current PRE's
+continuations (Figure 4's literal rule — see DESIGN.md §4.2 for why the
+lenient rule is the default).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..model.database import NodeDatabase
+from ..pre.ast import Never, Pre
+from ..pre.ops import advance, first_symbols, nullable
+from ..relational.query import ResultRow, evaluate_node_query
+from ..urlutils import Url
+from .config import EngineConfig
+from .trace import PURE_ROUTER, SERVER_ROUTER
+from .webquery import WebQuery
+
+__all__ = ["Forward", "NodeOutcome", "process_node"]
+
+
+@dataclass(frozen=True, slots=True)
+class Forward:
+    """One outgoing clone seed: evaluate step ``step_index`` after ``rem``."""
+
+    step_index: int
+    rem: Pre
+    target: Url
+
+
+@dataclass
+class NodeOutcome:
+    """Everything that happened while processing one node."""
+
+    results: list[tuple[str, ResultRow]] = field(default_factory=list)
+    forwards: list[Forward] = field(default_factory=list)
+    #: Step indices whose node-query was evaluated here, with success flag.
+    evaluations: list[tuple[int, bool]] = field(default_factory=list)
+    #: Tuples scanned across evaluations (input to the CPU cost model).
+    tuples_scanned: int = 0
+
+    @property
+    def role(self) -> str:
+        """ServerRouter if any node-query ran here, else PureRouter."""
+        return SERVER_ROUTER if self.evaluations else PURE_ROUTER
+
+    @property
+    def answered(self) -> bool:
+        return any(success for __, success in self.evaluations)
+
+    @property
+    def failed(self) -> bool:
+        return any(not success for __, success in self.evaluations)
+
+    @property
+    def dead_end(self) -> bool:
+        """No results and nothing forwarded — the clone dies at this node."""
+        return not self.results and not self.forwards
+
+
+def process_node(
+    node: Url,
+    database: NodeDatabase,
+    query: WebQuery,
+    step_index: int,
+    rem: Pre,
+    config: EngineConfig,
+    site_documents=None,
+) -> NodeOutcome:
+    """Run the ServerRouter/PureRouter logic for one node.
+
+    ``site_documents`` is the site-spanning DOCUMENT table required by
+    node-queries with sitewide aliases (§7.1 multi-document extension).
+
+    Pure function: no network, no tables — the server layers protocol
+    bookkeeping (log table, CHT reports, message batching) on top.
+    """
+    outcome = NodeOutcome()
+    pending: deque[tuple[int, Pre]] = deque([(step_index, rem)])
+    seen: set[tuple[int, Pre]] = set()
+
+    while pending:
+        k, current = pending.popleft()
+        if (k, current) in seen:
+            continue
+        seen.add((k, current))
+
+        forward_continuations = True
+        if nullable(current) and k < len(query.steps):
+            step = query.steps[k]
+            rows = evaluate_node_query(step.query, database, site_documents)
+            outcome.tuples_scanned += database.tuple_count()
+            if step.query.sitewide_aliases and site_documents is not None:
+                outcome.tuples_scanned += len(site_documents)
+            success = bool(rows)
+            outcome.evaluations.append((k, success))
+            if success:
+                label = query.step_label(k)
+                outcome.results.extend((label, row) for row in rows)
+                if k + 1 < len(query.steps):
+                    pending.append((k + 1, query.steps[k + 1].pre))
+            elif config.strict_dead_end:
+                forward_continuations = False
+
+        if forward_continuations:
+            _emit_forwards(outcome, database, k, current)
+
+    return outcome
+
+
+def _emit_forwards(outcome: NodeOutcome, database: NodeDatabase, k: int, rem: Pre) -> None:
+    """Append one forward per (link matching ``rem``'s first symbols)."""
+    emitted: set[Forward] = set(outcome.forwards)
+    for ltype in sorted(first_symbols(rem), key=lambda lt: lt.value):
+        next_rem = advance(rem, ltype)
+        if isinstance(next_rem, Never):
+            continue
+        for anchor in database.outgoing_links(ltype):
+            forward = Forward(k, next_rem, anchor.href.without_fragment())
+            if forward not in emitted:
+                emitted.add(forward)
+                outcome.forwards.append(forward)

@@ -1,0 +1,375 @@
+"""The per-site WEBDIS query-server daemon.
+
+Implements the algorithms of Figures 3 and 4 plus the optimizations of
+Section 3: the node-query log table, per-site clone batching, combined
+result + CHT shipping, and passive termination.  Each server processes its
+queue *sequentially* (paper Section 4.4) under the engine's CPU cost model.
+
+Protocol ordering (Section 2.7.1, deliberately preserved): the result/CHT
+message is dispatched to the user-site **first**; clones are forwarded only
+when that dispatch succeeds.  A failed dispatch (user closed the result
+socket — termination, Section 2.8) purges the query at this server.
+
+One engineering extension beyond the paper (DESIGN.md §4): when a clone
+*forward* fails — the destination site is unreachable or refuses — the
+server sends a supplementary report retiring the affected CHT entries, so
+completion detection stays exact instead of hanging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..model.database import DatabaseConstructor, build_documents_table
+from ..net.network import HELPER_PORT, QUERY_PORT, Network
+from ..net.simclock import SimClock
+from ..net.stats import TrafficStats
+from ..pre.ast import Pre
+from ..urlutils import Url
+from ..web.web import Web
+from .config import EngineConfig
+from .logtable import LogAction, NodeQueryLogTable
+from .messages import ChtEntry, Disposition, NodeReport, RelayMessage, ResultMessage
+from .processing import Forward, process_node
+from .trace import Tracer
+from .webquery import QueryClone, QueryId
+
+__all__ = ["QueryServer"]
+
+
+class QueryServer:
+    """One site's query-server daemon, listening on :data:`QUERY_PORT`."""
+
+    def __init__(
+        self,
+        site: str,
+        web: Web,
+        network: Network,
+        clock: SimClock,
+        config: EngineConfig,
+        stats: TrafficStats,
+        tracer: Tracer,
+    ) -> None:
+        self.site = site
+        self.web = web
+        self.network = network
+        self.clock = clock
+        self.config = config
+        self.stats = stats
+        self.tracer = tracer
+        self.constructor = DatabaseConstructor(config.db_cache_size)
+        self.log_table = NodeQueryLogTable(config.log_subsumption)
+        self._queue: deque[QueryClone] = deque()
+        self._site_documents = None  # lazy §7.1 multi-document table
+        self._active_workers = 0
+        self._purged: set[QueryId] = set()
+        self._last_purge = 0.0
+        network.listen(site, QUERY_PORT, self._on_message)
+
+    # -- ingress ----------------------------------------------------------------
+
+    def _on_message(self, src: str, payload: object) -> None:
+        if isinstance(payload, RelayMessage):
+            self._relay(payload)
+            return
+        assert isinstance(payload, QueryClone), f"unexpected payload {payload!r}"
+        self._queue.append(payload)
+        self._pump()
+
+    def _relay(self, message: RelayMessage) -> None:
+        """Forward a retracing result message one hop back (§2.6 alternative).
+
+        Relaying loads this server — the very drawback the paper cites —
+        which we account as processing time without blocking the query queue.
+        """
+        self.stats.record_processing(self.site, self.config.node_service_time)
+        qid = message.inner.qid
+        if message.remaining:
+            next_hop, rest = message.remaining[0], message.remaining[1:]
+            self.network.send(self.site, next_hop, QUERY_PORT, RelayMessage(rest, message.inner))
+        else:
+            self.network.send(self.site, qid.host, qid.port, message.inner)
+
+    def enqueue_local(self, clone: QueryClone) -> None:
+        """Accept a clone forwarded within this site (no network message)."""
+        self.stats.local_hops += 1
+        self._queue.append(clone)
+        self._pump()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- sequential processing loop -----------------------------------------------
+
+    def _pump(self) -> None:
+        while self._queue and self._active_workers < self.config.server_threads:
+            self._active_workers += 1
+            clone = self._queue.popleft()
+            self._maybe_purge_log()
+            reports, clones, service = self._process(clone)
+            self.stats.record_processing(self.site, service)
+            self.clock.schedule(
+                service, lambda c=clone, r=reports, f=clones: self._complete(c, r, f)
+            )
+
+    def _maybe_purge_log(self) -> None:
+        interval = self.config.log_purge_interval
+        if interval is None or self.config.log_max_age is None:
+            return
+        now = self.clock.now
+        if now - self._last_purge >= interval:
+            self._last_purge = now
+            self.log_table.purge_older_than(now - self.config.log_max_age)
+
+    # -- the Figure 3 algorithm ------------------------------------------------
+
+    def _process(
+        self, clone: QueryClone
+    ) -> tuple[list[NodeReport], list[QueryClone], float]:
+        now = self.clock.now
+        qid = clone.query.qid
+        if qid in self._purged:
+            # Passive termination already observed here; drop silently.
+            self._trace_nodes(clone, "purged", Disposition.PURGED)
+            return [], [], self.config.node_service_time
+
+        reports: list[NodeReport] = []
+        all_forwards: list[Forward] = []
+        service = 0.0
+
+        for node in clone.dest:
+            entry = ChtEntry(node, clone.state)
+            rem: Pre = clone.rem
+            disposition = Disposition.PROCESSED
+
+            if self.config.log_table_enabled:
+                observation = self.log_table.observe(node, qid, clone.state, now)
+                if observation.action is LogAction.DROP:
+                    self.stats.duplicates_dropped += 1
+                    service += self.config.node_service_time
+                    self.tracer.record(
+                        now, str(node), self.site, clone.state, "-", "duplicate-dropped"
+                    )
+                    reports.append(NodeReport(entry, Disposition.DUPLICATE))
+                    continue
+                if observation.action is LogAction.REWRITE:
+                    assert observation.rewritten_rem is not None
+                    rem = observation.rewritten_rem
+                    disposition = Disposition.REWRITTEN
+                    self.stats.queries_rewritten += 1
+                    self.tracer.record(
+                        now, str(node), self.site, clone.state, "-", "rewritten",
+                        detail=f"rem -> {rem}",
+                    )
+
+            html = self.web.html_for(node)
+            if html is None:
+                service += self.config.node_service_time
+                self.tracer.record(now, str(node), self.site, clone.state, "-", "missing")
+                reports.append(NodeReport(entry, Disposition.MISSING))
+                continue
+
+            database = self.constructor.construct(node, html)
+            self.stats.documents_parsed += 1
+            outcome = process_node(
+                node, database, clone.query, clone.step_index, rem, self.config,
+                site_documents=self._site_documents_for(clone.query),
+            )
+            service += self.config.service_time(len(html), outcome.tuples_scanned)
+            self.stats.node_queries_evaluated += len(outcome.evaluations)
+            self._trace_outcome(now, node, clone, outcome)
+
+            new_forwards = self._dedupe_forwards(outcome.forwards, all_forwards)
+            new_entries = tuple(
+                ChtEntry(fw.target, self._forward_state(clone, fw)) for fw in new_forwards
+            )
+            all_forwards.extend(new_forwards)
+            reports.append(NodeReport(entry, disposition, new_entries, tuple(outcome.results)))
+
+        clones = self._build_clones(clone, all_forwards)
+        return reports, clones, service
+
+    def _site_documents_for(self, query):
+        """The site-spanning DOCUMENT table, built lazily on first need.
+
+        Only queries with sitewide document aliases (§7.1 multi-document
+        node-queries) pay for it; the build is charged once per server.
+        """
+        if not any(step.query.sitewide_aliases for step in query.steps):
+            return None
+        if self._site_documents is None:
+            site = self.web.site(self.site)
+            pages = [
+                (site.url_of(path), page.html)
+                for path, page in sorted(site.pages.items())
+            ]
+            self._site_documents = build_documents_table(pages)
+            self.stats.documents_parsed += len(pages)
+        return self._site_documents
+
+    @staticmethod
+    def _dedupe_forwards(
+        candidates: list[Forward], already: list[Forward]
+    ) -> list[Forward]:
+        """Keep only forwards not yet emitted during this clone's processing.
+
+        Without this, two destination nodes at one site pointing at the same
+        target would add two CHT entries for a single eventual visit and the
+        query would never be detected complete.
+        """
+        seen = set(already)
+        fresh: list[Forward] = []
+        for forward in candidates:
+            if forward not in seen:
+                seen.add(forward)
+                fresh.append(forward)
+        return fresh
+
+    def _forward_state(self, clone: QueryClone, forward: Forward):
+        return QueryClone(
+            clone.query, forward.step_index, forward.rem, (forward.target,)
+        ).state
+
+    def _build_clones(
+        self, clone: QueryClone, forwards: list[Forward]
+    ) -> list[QueryClone]:
+        """Group forwards into clones (optimization 4: one per site & state)."""
+        groups: dict[tuple[str, int, Pre], list[Url]] = {}
+        for forward in forwards:
+            if self.config.batch_per_site:
+                key = (forward.target.host, forward.step_index, forward.rem)
+            else:
+                key = (str(forward.target), forward.step_index, forward.rem)  # type: ignore[assignment]
+            groups.setdefault(key, []).append(forward.target)
+        if self.config.direct_result_return:
+            history: tuple[str, ...] = ()
+        elif clone.history and clone.history[-1] == self.site:
+            history = clone.history  # local hop: the retrace chain is unchanged
+        else:
+            history = clone.history + (self.site,)
+        clones = []
+        for (__, step_index, rem), targets in groups.items():
+            deduped = tuple(dict.fromkeys(targets))
+            clones.append(QueryClone(clone.query, step_index, rem, deduped, history))
+        return clones
+
+    # -- completion: dispatch results first, then forward (Figure 3, 17-20) ----
+
+    def _complete(
+        self,
+        clone: QueryClone,
+        reports: list[NodeReport],
+        clones: list[QueryClone],
+    ) -> None:
+        try:
+            if reports:
+                self._dispatch_and_forward(clone, reports, clones)
+        finally:
+            self._active_workers -= 1
+            self._pump()
+
+    def _dispatch_and_forward(
+        self,
+        clone: QueryClone,
+        reports: list[NodeReport],
+        clones: list[QueryClone],
+    ) -> None:
+        qid = clone.query.qid
+        if self.config.combine_results_and_cht:
+            ok = self._dispatch_report(clone, ResultMessage(qid, tuple(reports)))
+        else:
+            # Ablation: CHT bookkeeping and result rows travel separately.
+            cht_half = tuple(
+                NodeReport(r.entry, r.disposition, r.new_entries, ()) for r in reports
+            )
+            data_half = tuple(
+                NodeReport(r.entry, Disposition.DATA_ONLY, (), r.results)
+                for r in reports
+                if r.results
+            )
+            ok = self._dispatch_report(clone, ResultMessage(qid, cht_half, kind="cht"))
+            if ok and data_half:
+                # Pure payload message: loss doesn't affect completion keys.
+                self._dispatch_report(clone, ResultMessage(qid, data_half))
+        if not ok:
+            self._purge(clone)
+            return
+        for fclone in clones:
+            self._forward(fclone)
+
+    def _send_to_user(self, qid: QueryId, message: ResultMessage) -> bool:
+        return self.network.send(self.site, qid.host, qid.port, message)
+
+    def _dispatch_report(self, clone: QueryClone, message: ResultMessage) -> bool:
+        """Send a report either directly (§2.6 design) or by path retrace.
+
+        Under retrace, success only means the *first backward hop* accepted
+        the message — the weaker guarantee the paper criticizes (termination
+        no longer propagates to this server).
+        """
+        qid = clone.query.qid
+        if self.config.direct_result_return or not clone.history:
+            return self._send_to_user(qid, message)
+        trail = clone.history
+        first_hop, rest = trail[-1], tuple(reversed(trail[:-1]))
+        return self.network.send(self.site, first_hop, QUERY_PORT, RelayMessage(rest, message))
+
+    def _forward(self, fclone: QueryClone) -> None:
+        if fclone.site == self.site:
+            self.enqueue_local(fclone)
+            return
+        if self.network.send(self.site, fclone.site, QUERY_PORT, fclone):
+            self.stats.clones_forwarded += 1
+            return
+        qid = fclone.query.qid
+        if self.config.central_fallback:
+            # §7.1: the destination site does not participate — ship the
+            # clone to the user-site's central helper for local processing.
+            if self.network.send(self.site, qid.host, HELPER_PORT, fclone):
+                self.stats.clones_forwarded += 1
+                return
+        # Destination site unreachable: retire the CHT entries we announced.
+        retractions = tuple(
+            NodeReport(ChtEntry(url, fclone.state), Disposition.UNREACHABLE)
+            for url in fclone.dest
+        )
+        for url in fclone.dest:
+            self.tracer.record(
+                self.clock.now, str(url), self.site, fclone.state, "-", "unreachable-site"
+            )
+        self._send_to_user(qid, ResultMessage(qid, retractions, kind="cht"))
+
+    def _purge(self, clone: QueryClone) -> None:
+        qid = clone.query.qid
+        self._purged.add(qid)
+        self._trace_nodes(clone, "purged", Disposition.PURGED)
+        # Drop any queued clones of the same query right away.
+        self._queue = deque(c for c in self._queue if c.query.qid != qid)
+
+    # -- tracing ----------------------------------------------------------------
+
+    def _trace_outcome(self, now: float, node: Url, clone: QueryClone, outcome) -> None:
+        state = clone.state
+        for step_index, success in outcome.evaluations:
+            label = clone.query.step_label(step_index)
+            action = "answered" if success else "failed"
+            self.tracer.record(
+                now, str(node), self.site, state, outcome.role, action, detail=label
+            )
+        if not outcome.evaluations:
+            self.tracer.record(now, str(node), self.site, state, outcome.role, "routed")
+        if outcome.dead_end:
+            self.stats.dead_ends += 1
+            self.tracer.record(now, str(node), self.site, state, outcome.role, "dead-end")
+        elif outcome.forwards:
+            self.tracer.record(
+                now, str(node), self.site, state, outcome.role, "forwarded",
+                detail=f"{len(outcome.forwards)} link(s)",
+            )
+
+    def _trace_nodes(self, clone: QueryClone, action: str, __: Disposition) -> None:
+        for node in clone.dest:
+            self.tracer.record(
+                self.clock.now, str(node), self.site, clone.state, "-", action
+            )

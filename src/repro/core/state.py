@@ -1,0 +1,35 @@
+"""Query processing state.
+
+The paper (Section 2.7.1): *"the state of a query Q_clone ... is completely
+captured by num_q, the remaining number of node-queries yet to be processed,
+and rem(p_i), the remaining part of the current PRE."*  Both the CHT and the
+node-query log table key on this state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pre.ast import Pre
+from ..pre.ops import pre_size
+
+__all__ = ["QueryState"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryState:
+    """``(num_q, rem(p))`` — hashable so tables can key on it."""
+
+    num_q: int
+    rem: Pre
+
+    def __post_init__(self) -> None:
+        if self.num_q < 0:
+            raise ValueError(f"num_q must be >= 0, got {self.num_q}")
+
+    def size_bytes(self) -> int:
+        """Serialized size estimate (4 bytes per PRE node + the counter)."""
+        return 4 + 4 * pre_size(self.rem)
+
+    def __str__(self) -> str:
+        return f"({self.num_q}, {self.rem})"

@@ -1,0 +1,140 @@
+"""Execution tracing — the raw material for Figures 1, 5 and 7.
+
+Every significant per-node event (evaluation, forwarding, duplicate drop,
+rewrite, dead end, purge) is recorded with its virtual time, node, role and
+query state, so benches can print the paper's traversal diagrams as tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .state import QueryState
+
+__all__ = ["TraceEvent", "Tracer"]
+
+#: Role names as used in the paper.
+SERVER_ROUTER = "ServerRouter"
+PURE_ROUTER = "PureRouter"
+START_NODE = "StartNode"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One traversal event."""
+
+    time: float
+    node: str
+    site: str
+    state: QueryState
+    role: str
+    action: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" [{self.detail}]" if self.detail else ""
+        return (
+            f"t={self.time:8.4f}  {self.role:<12} {self.action:<18} "
+            f"{self.node}  state={self.state}{extra}"
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` objects when enabled."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self,
+        time: float,
+        node: str,
+        site: str,
+        state: QueryState,
+        role: str,
+        action: str,
+        detail: str = "",
+    ) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, node, site, state, role, action, detail))
+
+    # -- analysis helpers used by tests and benches ---------------------------
+
+    def visits_to(self, node: str) -> list[TraceEvent]:
+        """Arrival events (any action) at ``node``, in time order."""
+        return [event for event in self.events if event.node == node]
+
+    def nodes_with_role(self, role: str) -> list[str]:
+        """Distinct nodes that ever acted in ``role``, in first-seen order."""
+        seen: list[str] = []
+        for event in self.events:
+            if event.role == role and event.node not in seen:
+                seen.append(event.node)
+        return seen
+
+    def actions(self) -> Counter:
+        return Counter(event.action for event in self.events)
+
+    def to_dot(self, title: str = "WEBDIS traversal") -> str:
+        """Export the traversal as a Graphviz DOT digraph (Figure-7 style).
+
+        Nodes are the visited URLs (shaded by outcome: answered / failed /
+        duplicate / routed); edges connect consecutive distinct nodes in
+        trace order, labelled with the destination's query state.  The
+        output renders with ``dot -Tsvg``.
+        """
+        colors = {
+            "answered": "palegreen",
+            "failed": "lightsalmon",
+            "duplicate-dropped": "lightgoldenrod",
+            "dead-end": "lightsalmon",
+        }
+        node_color: dict[str, str] = {}
+        node_roles: dict[str, set[str]] = {}
+        for event in self.events:
+            node_roles.setdefault(event.node, set()).add(event.role)
+            if event.action in colors and event.node not in node_color:
+                node_color[event.node] = colors[event.action]
+            elif event.action == "answered":
+                node_color[event.node] = colors["answered"]
+        lines = [
+            "digraph webdis {",
+            f'  label="{title}";',
+            "  rankdir=LR;",
+            '  node [shape=box, style=filled, fillcolor=white, fontsize=10];',
+        ]
+        for node, roles in node_roles.items():
+            fill = node_color.get(node, "white")
+            role = "/".join(sorted(r for r in roles if r != "-")) or "visited"
+            lines.append(
+                f'  "{node}" [fillcolor={fill}, tooltip="{role}"];'
+            )
+        previous: str | None = None
+        seen_edges: set[tuple[str, str, str]] = set()
+        for event in self.events:
+            if previous is not None and previous != event.node:
+                edge = (previous, event.node, str(event.state))
+                if edge not in seen_edges:
+                    seen_edges.add(edge)
+                    lines.append(
+                        f'  "{previous}" -> "{event.node}" [label="{event.state}", fontsize=8];'
+                    )
+            previous = event.node
+        lines.append("}")
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """A printable table of the whole trace."""
+        lines = [
+            f"{'time':>10}  {'role':<12} {'action':<18} {'state':<18} node",
+            "-" * 88,
+        ]
+        for event in self.events:
+            lines.append(
+                f"{event.time:10.4f}  {event.role:<12} {event.action:<18} "
+                f"{str(event.state):<18} {event.node}"
+                + (f"  [{event.detail}]" if event.detail else "")
+            )
+        return "\n".join(lines)

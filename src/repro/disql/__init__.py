@@ -1,0 +1,46 @@
+"""DISQL — the SQL-like web-query language (paper Section 2.3).
+
+A DISQL query has one global ``select`` clause followed by a ``from`` clause
+containing a sequence of *sub-queries*.  Each sub-query declares virtual
+relations (``document``, ``anchor``, ``relinfon``) with optional ``such
+that`` clauses — either a *path specification* (``source PRE destalias``)
+giving the PRE to traverse, or a plain condition — plus an optional
+``where`` clause.  Example (the paper's example query 2)::
+
+    select d0.url, d1.url, r.text
+    from document d0 such that "http://csa.iisc.ernet.in" L d0
+    where d0.title contains "lab"
+         document d1 such that d0 G.(L*1) d1,
+         relinfon r such that r.delimiter = "hr"
+    where r.text contains "convener"
+
+:func:`parse_disql` produces the AST; :func:`translate` lowers it to the
+:class:`~repro.core.webquery.WebQuery` formalism ``S p1 q1 p2 q2 ...`` with
+the select list split per node-query, exactly as Section 2.3 describes.
+:func:`compile_disql` chains both.
+"""
+
+from .ast import AliasSource, Decl, DisqlQuery, PathSpec, StartSource, SubQuery
+from .explain import explain_webquery, format_node_query
+from .formatter import format_disql
+from .lexer import Token, TokenKind, tokenize_disql
+from .parser import parse_disql
+from .translate import compile_disql, translate
+
+__all__ = [
+    "AliasSource",
+    "Decl",
+    "DisqlQuery",
+    "PathSpec",
+    "StartSource",
+    "SubQuery",
+    "Token",
+    "TokenKind",
+    "compile_disql",
+    "explain_webquery",
+    "format_disql",
+    "format_node_query",
+    "parse_disql",
+    "tokenize_disql",
+    "translate",
+]

@@ -1,0 +1,112 @@
+"""DISQL abstract syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..pre.ast import Pre
+from ..relational.expr import Attr, Expr
+
+__all__ = ["StartSource", "AliasSource", "PathSpec", "Decl", "SubQuery", "DisqlQuery"]
+
+
+@dataclass(frozen=True, slots=True)
+class StartSource:
+    """A path source given as StartNode URL string(s): ``"u1" | "u2"``."""
+
+    urls: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class IndexSource:
+    """A path source resolved from a search index: ``index("keywords", k)``.
+
+    The paper's §1.1 automated StartNode pipeline surfaced in the language;
+    resolution happens at translation time against a supplied
+    :class:`~repro.index.inverted.InvertedIndex`.
+    """
+
+    keywords: str
+    k: int = 3
+
+
+@dataclass(frozen=True, slots=True)
+class AliasSource:
+    """A path source referring to the previous sub-query's document alias."""
+
+    alias: str
+
+
+Source = Union[StartSource, AliasSource, IndexSource]
+
+
+@dataclass(frozen=True, slots=True)
+class PathSpec:
+    """``such that <source> <PRE> <dest_alias>`` — a structural predicate.
+
+    ``pre_text`` is the verbatim source spelling, kept for diagnostics only
+    — two path specs with equal parsed PREs are equal regardless of how the
+    user parenthesized them.
+    """
+
+    source: Source
+    pre: Pre
+    pre_text: str = field(compare=False)
+    dest_alias: str
+
+
+@dataclass(frozen=True, slots=True)
+class Decl:
+    """One ``from`` declaration: a virtual relation bound to an alias.
+
+    ``path`` is set for traversal documents (``document d such that ... d``);
+    ``condition`` for attribute conditions (``relinfon r such that
+    r.delimiter = "hr"``); ``sitewide`` for the §7.1 multi-document
+    extension (``document e such that sitewide`` — ``e`` ranges over every
+    document at the current node's site).  At most one of the three is set.
+    """
+
+    relation: str
+    alias: str
+    path: PathSpec | None = None
+    condition: Expr | None = None
+    sitewide: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SubQuery:
+    """One ``p_i q_i`` unit before lowering: declarations plus a ``where``."""
+
+    decls: tuple[Decl, ...]
+    where: Expr | None
+
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(decl.alias for decl in self.decls)
+
+    def traversal_decl(self) -> Decl | None:
+        """The (single) declaration carrying this sub-query's path spec."""
+        for decl in self.decls:
+            if decl.path is not None:
+                return decl
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class DisqlQuery:
+    """A parsed DISQL query: global select list + sub-query sequence.
+
+    ``distinct`` and ``order_by`` are *display directives*: node-queries ship
+    unchanged, and the user-site's result collector applies them when
+    presenting rows ("process results for display", Figure 2 line 13).
+    ``order_by`` entries are ``(attr, descending)`` pairs.
+    """
+
+    select: tuple[Attr, ...]
+    subqueries: tuple[SubQuery, ...]
+    distinct: bool = False
+    order_by: tuple[tuple[Attr, bool], ...] = ()
+    limit: int | None = None
+    #: ``select *`` — the select list expands at translation time to every
+    #: attribute of every declared virtual relation, in declaration order.
+    select_all: bool = False

@@ -1,0 +1,56 @@
+"""DISQL pretty-printer (the textual equivalent of the paper's Figure 6 GUI).
+
+``format_disql`` renders a :class:`~repro.disql.ast.DisqlQuery` back to
+canonical DISQL text.  ``format_disql(parse_disql(text))`` round-trips to a
+query that parses to an equal AST (tested property-style), which is how the
+GUI assembled queries from its form fields.
+"""
+
+from __future__ import annotations
+
+from .ast import AliasSource, Decl, DisqlQuery, IndexSource, StartSource
+
+__all__ = ["format_disql"]
+
+
+def format_disql(query: DisqlQuery) -> str:
+    """Render ``query`` as canonical DISQL text."""
+    keyword = "select distinct " if query.distinct else "select "
+    select_text = "*" if query.select_all else ", ".join(str(a) for a in query.select)
+    lines = [keyword + select_text]
+    first = True
+    for subquery in query.subqueries:
+        for index, decl in enumerate(subquery.decls):
+            prefix = "from " if first else "     "
+            first = False
+            trailing = "," if index < len(subquery.decls) - 1 else ""
+            lines.append(prefix + _format_decl(decl) + trailing)
+        if subquery.where is not None:
+            lines.append(f"where {subquery.where}")
+    if query.order_by:
+        entries = ", ".join(
+            f"{attr} desc" if desc else str(attr) for attr, desc in query.order_by
+        )
+        lines.append(f"order by {entries}")
+    if query.limit is not None:
+        lines.append(f"limit {query.limit}")
+    return "\n".join(lines)
+
+
+def _format_decl(decl: Decl) -> str:
+    text = f"{decl.relation} {decl.alias}"
+    if decl.sitewide:
+        return text + " such that sitewide"
+    if decl.path is not None:
+        source = decl.path.source
+        if isinstance(source, StartSource):
+            rendered = " | ".join(f'"{url}"' for url in source.urls)
+        elif isinstance(source, IndexSource):
+            rendered = f'index("{source.keywords}", {source.k})'
+        else:
+            assert isinstance(source, AliasSource)
+            rendered = source.alias
+        text += f" such that {rendered} {decl.path.pre} {decl.path.dest_alias}"
+    elif decl.condition is not None:
+        text += f" such that {decl.condition}"
+    return text

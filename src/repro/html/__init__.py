@@ -1,0 +1,32 @@
+"""Lightweight HTML tooling for the simulated Web.
+
+WEBDIS models every web resource as an HTML document (paper Section 2.2) and
+builds its virtual relations — DOCUMENT, ANCHOR, RELINFON — from a single
+pass over the document.  This subpackage provides the three pieces that make
+that possible without any external dependency:
+
+* :mod:`repro.html.tokenizer` — a forgiving HTML 2.0-era tokenizer,
+* :mod:`repro.html.parser` — extraction of title, visible text, anchors and
+  delimiter-scoped *rel-infon* segments,
+* :mod:`repro.html.generator` — rendering of synthetic pages so web builders
+  can express sites structurally and still exercise the real parser.
+"""
+
+from .generator import PageSpec, render_page
+from .parser import Anchor, ParsedDocument, RelInfon, parse_html
+from .tokenizer import Comment, EndTag, StartTag, Text, Token, tokenize
+
+__all__ = [
+    "Anchor",
+    "Comment",
+    "EndTag",
+    "PageSpec",
+    "ParsedDocument",
+    "RelInfon",
+    "StartTag",
+    "Text",
+    "Token",
+    "parse_html",
+    "render_page",
+    "tokenize",
+]

@@ -1,0 +1,196 @@
+"""A small, forgiving HTML tokenizer.
+
+The tokenizer targets the HTML 2.0 subset the paper works with ([6] in the
+paper is RFC 1866): start tags with attributes, end tags, comments, and
+character data.  It never raises on sloppy markup — unclosed quotes and bare
+``<`` characters are treated as data, matching how 1999-era browsers (and
+therefore 1999-era pages) behaved.  Entities ``&amp; &lt; &gt; &quot; &#...;``
+are decoded in text and attribute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = ["StartTag", "EndTag", "Text", "Comment", "Token", "tokenize"]
+
+
+@dataclass(frozen=True, slots=True)
+class StartTag:
+    """``<name attr="value" ...>``; ``self_closing`` covers ``<hr/>`` forms."""
+
+    name: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class EndTag:
+    """``</name>``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Text:
+    """A run of character data with entities decoded."""
+
+    data: str
+
+
+@dataclass(frozen=True, slots=True)
+class Comment:
+    """``<!-- ... -->`` (also swallows ``<!DOCTYPE ...>`` declarations)."""
+
+    data: str
+
+
+Token = Union[StartTag, EndTag, Text, Comment]
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'", "nbsp": " "}
+
+
+def decode_entities(text: str) -> str:
+    """Decode the small set of entities used by the generator and test pages."""
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1 or end - i > 10:
+            out.append(ch)
+            i += 1
+            continue
+        name = text[i + 1 : end]
+        if name.startswith("#") and name[1:].isdigit():
+            out.append(chr(int(name[1:])))
+        elif name.lower() in _ENTITIES:
+            out.append(_ENTITIES[name.lower()])
+        else:
+            out.append(text[i : end + 1])
+        i = end + 1
+    return "".join(out)
+
+
+def tokenize(html: str) -> Iterator[Token]:
+    """Yield :data:`Token` objects for ``html``.
+
+    Tag and attribute names are lower-cased.  Malformed constructs degrade to
+    :class:`Text` rather than raising.
+    """
+    i = 0
+    n = len(html)
+    text_start = 0
+    while i < n:
+        if html[i] != "<":
+            i += 1
+            continue
+        # Flush pending character data.
+        if i > text_start:
+            yield Text(decode_entities(html[text_start:i]))
+        if html.startswith("<!--", i):
+            end = html.find("-->", i + 4)
+            if end == -1:
+                yield Text(html[i:])
+                return
+            yield Comment(html[i + 4 : end].strip())
+            i = end + 3
+        elif html.startswith("<!", i):
+            end = html.find(">", i + 2)
+            if end == -1:
+                yield Text(html[i:])
+                return
+            yield Comment(html[i + 2 : end].strip())
+            i = end + 1
+        else:
+            token, i_next = _read_tag(html, i)
+            if token is None:
+                # A bare '<' — treat it as text and move on.
+                yield Text("<")
+                i += 1
+            else:
+                yield token
+                i = i_next
+        text_start = i
+    if text_start < n:
+        yield Text(decode_entities(html[text_start:]))
+
+
+def _read_tag(html: str, start: int) -> tuple[Token | None, int]:
+    """Read one ``<...>`` tag starting at ``start``; ``(None, _)`` if malformed."""
+    end = html.find(">", start + 1)
+    if end == -1:
+        return None, start
+    body = html[start + 1 : end].strip()
+    if not body:
+        return None, start
+    closing = body.startswith("/")
+    if closing:
+        name = body[1:].strip().lower()
+        if not _is_tag_name(name):
+            return None, start
+        return EndTag(name), end + 1
+    self_closing = body.endswith("/")
+    if self_closing:
+        body = body[:-1].rstrip()
+    name, _, attr_text = _partition_name(body)
+    if not _is_tag_name(name):
+        return None, start
+    return StartTag(name.lower(), _parse_attrs(attr_text), self_closing), end + 1
+
+
+def _partition_name(body: str) -> tuple[str, str, str]:
+    for idx, ch in enumerate(body):
+        if ch.isspace():
+            return body[:idx], " ", body[idx + 1 :]
+    return body, "", ""
+
+
+def _is_tag_name(name: str) -> bool:
+    return bool(name) and name[0].isalpha() and all(c.isalnum() or c in "-_:" for c in name)
+
+
+def _parse_attrs(text: str) -> dict[str, str]:
+    """Parse ``key="value" key='v' key=v key`` attribute text."""
+    attrs: dict[str, str] = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        while i < n and text[i].isspace():
+            i += 1
+        if i >= n:
+            break
+        key_start = i
+        while i < n and not text[i].isspace() and text[i] != "=":
+            i += 1
+        key = text[key_start:i].lower()
+        while i < n and text[i].isspace():
+            i += 1
+        if i < n and text[i] == "=":
+            i += 1
+            while i < n and text[i].isspace():
+                i += 1
+            if i < n and text[i] in "\"'":
+                quote = text[i]
+                close = text.find(quote, i + 1)
+                if close == -1:
+                    value, i = text[i + 1 :], n
+                else:
+                    value, i = text[i + 1 : close], close + 1
+            else:
+                val_start = i
+                while i < n and not text[i].isspace():
+                    i += 1
+                value = text[val_start:i]
+            attrs[key] = decode_entities(value)
+        elif key:
+            attrs[key] = ""
+    return attrs

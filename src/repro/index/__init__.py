@@ -1,0 +1,34 @@
+"""Search-index substrate: crawler, inverted index, StartNode resolution.
+
+Paper Section 1.1: *"The set of StartNodes are obtained from either the
+user's domain knowledge or from existing search-indices (this process can
+be automated and made invisible to the user)."* and Section 7.1: *"we are
+exploring ways in which existing search-indices can be used to augment the
+user's domain knowledge."*
+
+This package provides that substrate:
+
+* :mod:`repro.index.text` — tokenization (lower-casing, stopwords);
+* :mod:`repro.index.inverted` — a TF-IDF inverted index with title boost;
+* :mod:`repro.index.crawler` — a breadth-first crawler over the simulated
+  Web that records how many documents/bytes an index build must move
+  (the very cost WEBDIS queries avoid);
+* :func:`resolve_start_nodes` — keyword → ranked StartNode URLs, the
+  automated step the paper describes.
+"""
+
+from .crawler import CrawlResult, crawl
+from .inverted import IndexedDocument, InvertedIndex, SearchHit
+from .resolve import build_index_for_web, resolve_start_nodes
+from .text import tokenize_terms
+
+__all__ = [
+    "CrawlResult",
+    "IndexedDocument",
+    "InvertedIndex",
+    "SearchHit",
+    "build_index_for_web",
+    "crawl",
+    "resolve_start_nodes",
+    "tokenize_terms",
+]

@@ -1,0 +1,148 @@
+"""A TF-IDF inverted index with title boosting.
+
+Small by design — the paper's search-engine discussion predates link
+analysis, so ranking is classic TF-IDF with a multiplicative boost for
+title terms.  Deterministic: ties break on the URL string.  Indexes
+persist to a single JSON file (:meth:`InvertedIndex.save` /
+:meth:`InvertedIndex.load`) so the expensive crawl can be amortized across
+sessions — the "existing search-indices" of paper §7.1.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..urlutils import Url, parse_url
+from .text import tokenize_terms
+
+__all__ = ["IndexedDocument", "SearchHit", "InvertedIndex"]
+
+_TITLE_BOOST = 3.0
+
+
+@dataclass(frozen=True, slots=True)
+class IndexedDocument:
+    """What the index remembers about one document."""
+
+    url: Url
+    title: str
+    length: int  # term count, for normalization
+
+
+@dataclass(frozen=True, slots=True)
+class SearchHit:
+    """One ranked result."""
+
+    url: Url
+    score: float
+    title: str
+
+
+@dataclass
+class InvertedIndex:
+    """Term -> postings map with TF-IDF scoring."""
+
+    _postings: dict[str, dict[Url, float]] = field(default_factory=dict)
+    _documents: dict[Url, IndexedDocument] = field(default_factory=dict)
+
+    def add_document(self, url: Url, title: str, text: str) -> None:
+        """Index (or re-index) one document."""
+        url = url.without_fragment()
+        if url in self._documents:
+            self._remove(url)
+        title_terms = tokenize_terms(title)
+        body_terms = tokenize_terms(text)
+        weights: dict[str, float] = {}
+        for term in body_terms:
+            weights[term] = weights.get(term, 0.0) + 1.0
+        for term in title_terms:
+            weights[term] = weights.get(term, 0.0) + _TITLE_BOOST
+        length = max(1, len(body_terms) + len(title_terms))
+        for term, weight in weights.items():
+            self._postings.setdefault(term, {})[url] = weight / length
+        self._documents[url] = IndexedDocument(url, title, length)
+
+    def _remove(self, url: Url) -> None:
+        for postings in self._postings.values():
+            postings.pop(url, None)
+        self._documents.pop(url, None)
+
+    @property
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return sum(1 for postings in self._postings.values() if postings)
+
+    def documents(self) -> list[IndexedDocument]:
+        return sorted(self._documents.values(), key=lambda d: str(d.url))
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency of ``term``."""
+        matching = len(self._postings.get(term, {}))
+        if not matching:
+            return 0.0
+        return math.log(1.0 + self.document_count / matching)
+
+    def search(self, query: str, k: int = 10) -> list[SearchHit]:
+        """Top-``k`` documents for ``query``, TF-IDF ranked."""
+        terms = tokenize_terms(query)
+        if not terms:
+            return []
+        scores: dict[Url, float] = {}
+        for term in terms:
+            idf = self.idf(term)
+            if idf == 0.0:
+                continue
+            for url, tf in self._postings.get(term, {}).items():
+                scores[url] = scores.get(url, 0.0) + tf * idf
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], str(item[0])))
+        return [
+            SearchHit(url, score, self._documents[url].title)
+            for url, score in ranked[:k]
+        ]
+
+    # -- persistence -----------------------------------------------------------
+
+    _FORMAT_VERSION = 1
+
+    def save(self, path: str | Path) -> None:
+        """Persist the index as one JSON file."""
+        payload = {
+            "version": self._FORMAT_VERSION,
+            "documents": {
+                str(doc.url): {"title": doc.title, "length": doc.length}
+                for doc in self._documents.values()
+            },
+            "postings": {
+                term: {str(url): tf for url, tf in postings.items()}
+                for term, postings in self._postings.items()
+                if postings
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, separators=(",", ":"), sort_keys=True),
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InvertedIndex":
+        """Inverse of :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("version") != cls._FORMAT_VERSION:
+            raise ValueError(f"unsupported index format: {payload.get('version')!r}")
+        index = cls()
+        for url_text, record in payload["documents"].items():
+            url = parse_url(url_text)
+            index._documents[url] = IndexedDocument(
+                url, record["title"], record["length"]
+            )
+        for term, postings in payload["postings"].items():
+            index._postings[term] = {
+                parse_url(url_text): tf for url_text, tf in postings.items()
+            }
+        return index

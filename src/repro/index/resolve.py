@@ -1,0 +1,36 @@
+"""Automated StartNode resolution (paper Section 1.1).
+
+Bridges the index to the engine: a keyword query against the inverted
+index yields the ranked StartNode set a WEBDIS query should begin from —
+"this process can be automated and made invisible to the user".
+"""
+
+from __future__ import annotations
+
+from ..urlutils import Url
+from ..web.web import Web
+from .crawler import crawl
+from .inverted import InvertedIndex
+
+__all__ = ["build_index_for_web", "resolve_start_nodes"]
+
+
+def build_index_for_web(web: Web, *, max_pages: int = 10_000) -> InvertedIndex:
+    """Index the whole Web by crawling from every site's sorted first page.
+
+    Convenience for setups where the index is assumed to pre-exist; the
+    crawl cost is intentionally not charged anywhere (use
+    :func:`repro.index.crawler.crawl` directly when the build cost is the
+    thing being measured).
+    """
+    seeds = []
+    for site_name in web.site_names:
+        site = web.site(site_name)
+        first_path = sorted(site.pages)[0]
+        seeds.append(str(Url(site_name, first_path)))
+    return crawl(web, seeds, max_pages=max_pages).index
+
+
+def resolve_start_nodes(index: InvertedIndex, keywords: str, k: int = 3) -> list[str]:
+    """The top-``k`` index hits for ``keywords``, as StartNode URL strings."""
+    return [str(hit.url) for hit in index.search(keywords, k)]

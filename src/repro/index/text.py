@@ -1,0 +1,30 @@
+"""Text analysis for indexing: tokenization and stopword removal."""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "tokenize_terms"]
+
+#: A compact English stopword list, period-appropriate.
+STOPWORDS = frozenset(
+    """a an and are as at be by for from has have in is it its of on or
+    that the this to was were will with""".split()
+)
+
+
+def tokenize_terms(text: str) -> list[str]:
+    """Lower-cased alphanumeric terms with stopwords removed.
+
+    Hyphens and underscores split tokens (``web-site`` indexes as ``web``
+    and ``site``), matching what a 1999-era engine would have done.
+    """
+    terms: list[str] = []
+    current: list[str] = []
+    for ch in text.lower():
+        if ch.isalnum():
+            current.append(ch)
+        elif current:
+            terms.append("".join(current))
+            current = []
+    if current:
+        terms.append("".join(current))
+    return [term for term in terms if term not in STOPWORDS]

@@ -1,0 +1,157 @@
+"""Per-node temporary databases of virtual relations.
+
+To process a node-query, a query-server "dynamically creates a temporary
+in-memory database of the virtual relations associated with the document"
+and purges it afterwards (paper Section 2.4).  The Database Constructor
+makes "a single pass over the associated document" building the DOCUMENT,
+ANCHOR and RELINFON tuples (paper Section 4.4).  Sites expecting repeated
+queries may retain databases in a bounded cache (footnote 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import SchemaError, UrlError
+from ..html.parser import ParsedDocument, parse_html
+from ..urlutils import Url, classify_link, parse_url
+from .relations import (
+    ANCHOR_SCHEMA,
+    DOCUMENT_SCHEMA,
+    RELINFON_SCHEMA,
+    AnchorTuple,
+    DocumentTuple,
+    LinkType,
+    RelInfonTuple,
+)
+from ..relational.table import Table
+
+__all__ = ["NodeDatabase", "DatabaseConstructor"]
+
+
+class NodeDatabase:
+    """The three virtual relations for one node, ready for node-queries."""
+
+    __slots__ = ("url", "document", "anchor", "relinfon", "_anchors")
+
+    def __init__(
+        self,
+        url: Url,
+        document: DocumentTuple,
+        anchors: tuple[AnchorTuple, ...],
+        relinfons: tuple[RelInfonTuple, ...],
+    ) -> None:
+        self.url = url
+        self._anchors = anchors
+        self.document = Table(DOCUMENT_SCHEMA, [document.as_row()])
+        self.anchor = Table(ANCHOR_SCHEMA, [a.as_row() for a in anchors])
+        self.relinfon = Table(RELINFON_SCHEMA, [r.as_row() for r in relinfons])
+
+    def relation(self, name: str) -> Table:
+        """Look up a virtual relation by its lowercase name."""
+        try:
+            return {"document": self.document, "anchor": self.anchor, "relinfon": self.relinfon}[
+                name
+            ]
+        except KeyError:
+            raise SchemaError(f"no virtual relation named {name!r}") from None
+
+    def outgoing_links(self, ltype: LinkType) -> list[AnchorTuple]:
+        """Anchors of the given link type; the forwarding step's input."""
+        return [anchor for anchor in self._anchors if anchor.ltype is ltype]
+
+    def tuple_count(self) -> int:
+        """Total tuples across the three relations (a proxy for build cost)."""
+        return len(self.document) + len(self.anchor) + len(self.relinfon)
+
+
+class DatabaseConstructor:
+    """Builds (and optionally caches) :class:`NodeDatabase` objects.
+
+    Args:
+        cache_size: number of node databases to retain (LRU).  ``0`` is the
+            paper's default behaviour — construct, use, purge.
+    """
+
+    def __init__(self, cache_size: int = 0) -> None:
+        self._cache_size = cache_size
+        self._cache: OrderedDict[Url, NodeDatabase] = OrderedDict()
+        self.builds = 0
+        self.cache_hits = 0
+
+    def construct(self, url: Url, html: str) -> NodeDatabase:
+        """Parse ``html`` and build the node database for ``url``."""
+        key = url.without_fragment()
+        if self._cache_size:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return cached
+        self.builds += 1
+        database = build_node_database(key, html)
+        if self._cache_size:
+            self._cache[key] = database
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return database
+
+    def purge(self) -> None:
+        """Drop every cached database."""
+        self._cache.clear()
+
+
+def build_documents_table(pages: "list[tuple[Url, str]]") -> Table:
+    """A DOCUMENT table spanning several pages (one row per page).
+
+    This is the site-wide relation multi-document node-queries range over
+    (paper §7.1 footnote 2): the extra document aliases join against every
+    page of the current site, still without any inter-site communication.
+    """
+    table = Table(DOCUMENT_SCHEMA)
+    for url, html in pages:
+        parsed = parse_html(html)
+        table.insert(
+            DocumentTuple(
+                url=url.without_fragment(),
+                title=parsed.title,
+                text=parsed.text,
+                length=len(html),
+            ).as_row()
+        )
+    return table
+
+
+def build_node_database(url: Url, html: str) -> NodeDatabase:
+    """Single-pass construction of the virtual relations for ``url``."""
+    parsed = parse_html(html)
+    document = DocumentTuple(url=url, title=parsed.title, text=parsed.text, length=len(html))
+    anchors = _anchor_tuples(url, parsed)
+    relinfons = tuple(
+        RelInfonTuple(delimiter=infon.delimiter, url=url, text=infon.text, length=len(infon.text))
+        for infon in parsed.relinfons
+    )
+    return NodeDatabase(url, document, anchors, relinfons)
+
+
+def _anchor_tuples(base: Url, parsed: ParsedDocument) -> tuple[AnchorTuple, ...]:
+    # A <base href> redirects *resolution* of relative hrefs (HTML 2.0
+    # §5.2.2); link classification still compares destinations against the
+    # document's actual URL, since I/L/G is about where the link leads
+    # relative to where the document lives.
+    resolve_base = base
+    if parsed.base_href:
+        try:
+            resolve_base = parse_url(parsed.base_href, base=base)
+        except UrlError:
+            pass
+    tuples = []
+    for anchor in parsed.anchors:
+        try:
+            href = parse_url(anchor.href, base=resolve_base)
+        except UrlError:
+            # Unresolvable hrefs (mailto:, malformed) carry no traversal value.
+            continue
+        ltype = LinkType.from_symbol(classify_link(base, href))
+        tuples.append(AnchorTuple(label=anchor.label, base=base, href=href, ltype=ltype))
+    return tuple(tuples)

@@ -1,0 +1,95 @@
+"""Link types and virtual-relation tuple definitions.
+
+The schemas here are the paper's, verbatim:
+
+* ``DOCUMENT(url, title, text, length)`` — one entry per document;
+* ``ANCHOR(label, base, href, ltype)`` — one entry per hyperlink;
+* ``RELINFON(delimiter, url, text, length)`` — one entry per delimiter-scoped
+  segment (the rel-infon extension the authors added to [14]'s model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..relational.schema import Schema
+from ..urlutils import Url
+
+__all__ = [
+    "LinkType",
+    "DocumentTuple",
+    "AnchorTuple",
+    "RelInfonTuple",
+    "DOCUMENT_SCHEMA",
+    "ANCHOR_SCHEMA",
+    "RELINFON_SCHEMA",
+]
+
+
+class LinkType(enum.Enum):
+    """The four link categories of paper Section 2.
+
+    The values are the one-letter symbols used in PREs and in the
+    ``ANCHOR.ltype`` attribute.
+    """
+
+    INTERIOR = "I"
+    LOCAL = "L"
+    GLOBAL = "G"
+    NULL = "N"
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "LinkType":
+        """Map ``"I"/"L"/"G"/"N"`` (case-insensitive) to a member."""
+        try:
+            return cls(symbol.upper())
+        except ValueError:
+            raise ValueError(f"unknown link type symbol {symbol!r}") from None
+
+    def __str__(self) -> str:
+        return self.value
+
+
+DOCUMENT_SCHEMA = Schema("document", ("url", "title", "text", "length"))
+ANCHOR_SCHEMA = Schema("anchor", ("label", "base", "href", "ltype"))
+RELINFON_SCHEMA = Schema("relinfon", ("delimiter", "url", "text", "length"))
+
+
+@dataclass(frozen=True, slots=True)
+class DocumentTuple:
+    """One DOCUMENT entry.  ``length`` is the document's size in characters."""
+
+    url: Url
+    title: str
+    text: str
+    length: int
+
+    def as_row(self) -> tuple[object, ...]:
+        return (str(self.url), self.title, self.text, self.length)
+
+
+@dataclass(frozen=True, slots=True)
+class AnchorTuple:
+    """One ANCHOR entry: hyperlink ``base -> href`` with ``ltype`` category."""
+
+    label: str
+    base: Url
+    href: Url
+    ltype: LinkType
+
+    def as_row(self) -> tuple[object, ...]:
+        return (self.label, str(self.base), str(self.href), self.ltype.value)
+
+
+@dataclass(frozen=True, slots=True)
+class RelInfonTuple:
+    """One RELINFON entry for the document at ``url``."""
+
+    delimiter: str
+    url: Url
+    text: str
+    length: int
+
+    def as_row(self) -> tuple[object, ...]:
+        return (self.delimiter, str(self.url), self.text, self.length)

@@ -1,0 +1,28 @@
+"""Deterministic discrete-event network simulation.
+
+The original WEBDIS ran over TCP sockets between campus web-servers.  This
+package replaces that substrate with a discrete-event simulator so the
+protocols become deterministic, measurable and failure-injectable:
+
+* :mod:`repro.net.simclock` — the event loop (virtual time, FIFO ties);
+* :mod:`repro.net.network` — sites, listening ports, latency + bandwidth
+  cost model, byte-accounted delivery, failure injection;
+* :mod:`repro.net.stats` — traffic counters shared by all engines.
+
+The WEBDIS protocols only depend on message *ordering* and *connect
+success/failure* semantics, both of which are reproduced here (DESIGN.md
+Section 2).
+"""
+
+from .network import Listener, Network, NetworkConfig, Payload
+from .simclock import SimClock
+from .stats import TrafficStats
+
+__all__ = [
+    "Listener",
+    "Network",
+    "NetworkConfig",
+    "Payload",
+    "SimClock",
+    "TrafficStats",
+]

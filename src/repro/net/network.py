@@ -1,0 +1,208 @@
+"""The simulated network: sites, listeners, latency, failures.
+
+Semantics mirror what the WEBDIS protocols rely on:
+
+* ``send`` models a TCP connect + transfer.  The *connect* outcome is known
+  synchronously (this is what Figure 3's "if dispatch of results is
+  successful" tests, and what passive termination exploits when the
+  user-site closes its listening socket); the *delivery* happens after the
+  modelled latency.
+* Every site hosts listeners on numbered ports.  Query-servers all listen on
+  the common :data:`QUERY_PORT`; each user query opens its own result port.
+* Failure injection: one-shot scheduled failures or a predicate, so tests
+  can break specific (src, dst) transfers at specific times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol
+
+from ..errors import NetworkError, SimulationError
+from .simclock import SimClock
+from .stats import TrafficStats
+
+__all__ = ["Payload", "Listener", "NetworkConfig", "Network", "QUERY_PORT"]
+
+#: The "common pre-specified port number" all query-servers listen on (§4.4).
+QUERY_PORT = 4000
+
+#: Port of the user-site central helper (hybrid engine, paper §7.1).
+HELPER_PORT = 4500
+
+
+class Payload(Protocol):
+    """Anything sendable: must know its serialized size and kind."""
+
+    def size_bytes(self) -> int: ...
+
+    @property
+    def kind(self) -> str: ...
+
+
+Listener = Callable[[str, "Payload"], None]  # (src_site, payload) -> None
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Latency/cost model parameters (abstract seconds and bytes).
+
+    ``latency_base`` is the per-message setup cost; transfer time adds
+    ``size / bandwidth``.  ``intra_site_latency`` applies when src == dst
+    (loopback); WEBDIS forwards same-site clones without the network at all,
+    so this only matters for baselines that centralize processing.
+
+    ``latency_overrides`` replaces the base latency for specific directed
+    ``(src, dst)`` pairs — the knob for modelling WAN/LAN asymmetry and for
+    forcing *message reordering* in protocol tests (a slow path's report
+    can then arrive after its children's reports).
+    """
+
+    latency_base: float = 0.050
+    bandwidth: float = 100_000.0  # bytes per simulated second
+    intra_site_latency: float = 0.001
+    envelope_bytes: int = 64
+    latency_overrides: Mapping[tuple[str, str], float] | None = None
+
+    def transfer_time(self, src: str, dst: str, size: int) -> float:
+        if src == dst:
+            return self.intra_site_latency
+        base = self.latency_base
+        if self.latency_overrides is not None:
+            base = self.latency_overrides.get((src, dst), base)
+        return base + size / self.bandwidth
+
+
+class Network:
+    """Message fabric between sites."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        stats: TrafficStats | None = None,
+        config: NetworkConfig | None = None,
+    ) -> None:
+        self.clock = clock
+        self.stats = stats if stats is not None else TrafficStats()
+        self.config = config if config is not None else NetworkConfig()
+        self._listeners: dict[tuple[str, int], Listener] = {}
+        self._sites: set[str] = set()
+        self._fail_once: set[tuple[str, str]] = set()
+        self._fail_predicate: Callable[[str, str, float], bool] | None = None
+        self._down_sites: set[str] = set()
+        self._tap: Callable[[float, str, str, int, Payload], None] | None = None
+
+    def set_tap(self, tap: Callable[[float, str, str, int, "Payload"], None] | None) -> None:
+        """Install an observer called for every successfully sent message.
+
+        Used by :class:`repro.journal.ProtocolJournal` to record traffic;
+        the tap sees ``(time, src, dst, port, payload)`` and must not
+        mutate anything.
+        """
+        self._tap = tap
+
+    # -- topology ---------------------------------------------------------
+
+    def register_site(self, site: str) -> None:
+        """Declare that ``site`` exists (needed before listening/sending)."""
+        self._sites.add(site)
+
+    @property
+    def sites(self) -> frozenset[str]:
+        return frozenset(self._sites)
+
+    # -- listeners (sockets) ----------------------------------------------
+
+    def listen(self, site: str, port: int, listener: Listener) -> None:
+        """Open a listening socket at ``site:port``."""
+        if site not in self._sites:
+            raise SimulationError(f"unknown site {site!r}; register it first")
+        key = (site, port)
+        if key in self._listeners:
+            raise NetworkError(f"port {port} already bound at {site}")
+        self._listeners[key] = listener
+
+    def close(self, site: str, port: int) -> None:
+        """Close the socket; later connects to it are refused (termination)."""
+        self._listeners.pop((site, port), None)
+
+    def is_listening(self, site: str, port: int) -> bool:
+        return (site, port) in self._listeners
+
+    # -- failure injection --------------------------------------------------
+
+    def fail_next(self, src: str, dst: str) -> None:
+        """Make the next ``src -> dst`` send fail (transient fault)."""
+        self._fail_once.add((src, dst))
+
+    def set_failure_predicate(
+        self, predicate: Callable[[str, str, float], bool] | None
+    ) -> None:
+        """Install ``predicate(src, dst, now) -> bool`` deciding send failures."""
+        self._fail_predicate = predicate
+
+    # -- whole-site failures (crash / recovery, §7.1 future work) -----------
+
+    def set_site_down(self, site: str) -> None:
+        """Crash ``site``: every connect to it is refused and in-flight
+        deliveries to it are lost until :meth:`set_site_up`."""
+        if site not in self._sites:
+            raise SimulationError(f"cannot crash unregistered site {site!r}")
+        self._down_sites.add(site)
+
+    def set_site_up(self, site: str) -> None:
+        """Bring ``site`` back; its listeners resume receiving."""
+        self._down_sites.discard(site)
+
+    def is_site_up(self, site: str) -> bool:
+        return site not in self._down_sites
+
+    # -- transfer -----------------------------------------------------------
+
+    def send(self, src: str, dst: str, port: int, payload: Payload) -> bool:
+        """Attempt a connect + transfer of ``payload`` from ``src`` to ``dst:port``.
+
+        Returns ``True`` when the connect succeeded, in which case delivery to
+        the listener is scheduled after the modelled transfer time.  Returns
+        ``False`` on refused connects (no listener — e.g. a cancelled query's
+        result port) and on injected transient failures.  The caller decides
+        what a failed send means; for WEBDIS it means "do not forward" /
+        "purge the query".
+        """
+        if src not in self._sites:
+            raise SimulationError(f"send from unregistered site {src!r}")
+        if dst not in self._sites:
+            # Unknown destination host: behaves like a DNS failure / refused
+            # connect, which is what forwarding to a nonexistent site hits.
+            self.stats.refused_sends += 1
+            return False
+        if dst in self._down_sites:
+            self.stats.refused_sends += 1
+            return False
+        if (src, dst) in self._fail_once:
+            self._fail_once.discard((src, dst))
+            self.stats.failed_sends += 1
+            return False
+        if self._fail_predicate is not None and self._fail_predicate(src, dst, self.clock.now):
+            self.stats.failed_sends += 1
+            return False
+        listener = self._listeners.get((dst, port))
+        if listener is None:
+            self.stats.refused_sends += 1
+            return False
+        size = payload.size_bytes() + self.config.envelope_bytes
+        self.stats.record_send(src, payload.kind, size)
+        if self._tap is not None:
+            self._tap(self.clock.now, src, dst, port, payload)
+        delay = self.config.transfer_time(src, dst, size)
+        self.clock.schedule(delay, lambda: self._deliver(src, dst, port, payload))
+        return True
+
+    def _deliver(self, src: str, dst: str, port: int, payload: Payload) -> None:
+        # The listener may have closed — or the whole site crashed — between
+        # connect and delivery; in-flight data is then lost silently.
+        if dst in self._down_sites:
+            return
+        listener = self._listeners.get((dst, port))
+        if listener is not None:
+            listener(src, payload)

@@ -1,0 +1,79 @@
+"""A minimal discrete-event simulation clock.
+
+Events are ``(time, sequence, callback)`` triples in a binary heap; the
+sequence number makes simultaneous events FIFO and the whole simulation
+deterministic.  Time is a float in abstract seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """The event loop driving one simulation run."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (``delay`` must be >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual ``time`` (>= now)."""
+        self.schedule(time - self._now, callback)
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Execute events until the queue drains (or ``until``/``max_events``).
+
+        Returns the final virtual time.  ``max_events`` is a runaway guard:
+        exceeding it raises :class:`SimulationError`, which in practice means
+        an engine is forwarding clones in an unbounded loop.
+        """
+        if self._running:
+            raise SimulationError("SimClock.run is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._heap:
+                time, __, callback = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                callback()
+                executed += 1
+                self.events_executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; suspected unbounded forwarding loop"
+                    )
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of scheduled, not yet executed events."""
+        return len(self._heap)

@@ -1,0 +1,75 @@
+"""Traffic and load accounting.
+
+A single :class:`TrafficStats` instance is shared by the network and every
+engine in a run, so query-shipping and data-shipping executions of the same
+workload produce directly comparable numbers (EXP-C1, EXP-C6 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Counters for one simulation run."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    messages_by_site: Counter = field(default_factory=Counter)
+    failed_sends: int = 0
+    refused_sends: int = 0
+
+    # Engine-level counters (incremented by query processors).
+    documents_shipped: int = 0
+    document_bytes_shipped: int = 0
+    documents_parsed: int = 0
+    node_queries_evaluated: int = 0
+    duplicates_dropped: int = 0
+    queries_rewritten: int = 0
+    clones_forwarded: int = 0
+    dead_ends: int = 0
+    local_hops: int = 0
+    processing_by_site: Counter = field(default_factory=Counter)
+
+    def record_send(self, src_site: str, kind: str, size: int) -> None:
+        """Account one successfully initiated message."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.messages_by_kind[kind] += 1
+        self.bytes_by_kind[kind] += size
+        self.messages_by_site[src_site] += 1
+
+    def record_processing(self, site: str, weight: float = 1.0) -> None:
+        """Account ``weight`` units of CPU work done at ``site``."""
+        self.processing_by_site[site] += weight
+
+    def max_site_load(self) -> tuple[str, float]:
+        """The most loaded site and its processing weight (EXP-C6)."""
+        if not self.processing_by_site:
+            return ("", 0.0)
+        site, load = self.processing_by_site.most_common(1)[0]
+        return (site, load)
+
+    def summary(self) -> dict[str, object]:
+        """A flat dictionary for bench tables."""
+        return {
+            "messages": self.messages_sent,
+            "bytes": self.bytes_sent,
+            "failed_sends": self.failed_sends,
+            "refused_sends": self.refused_sends,
+            "documents_shipped": self.documents_shipped,
+            "document_bytes_shipped": self.document_bytes_shipped,
+            "documents_parsed": self.documents_parsed,
+            "node_queries_evaluated": self.node_queries_evaluated,
+            "duplicates_dropped": self.duplicates_dropped,
+            "queries_rewritten": self.queries_rewritten,
+            "clones_forwarded": self.clones_forwarded,
+            "dead_ends": self.dead_ends,
+            "local_hops": self.local_hops,
+        }

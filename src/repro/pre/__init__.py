@@ -1,0 +1,59 @@
+"""Path Regular Expressions (PREs).
+
+PREs describe traversal paths on the Web graph (paper Section 2).  They are
+built from the link symbols ``I`` (interior), ``L`` (local), ``G`` (global)
+and ``N`` (null — the zero-length path) with concatenation (``·`` or ``.``),
+alternation (``|``) and bounded/unbounded repetition (``L*4`` means zero to
+four local links, ``L*`` zero or more).
+
+The paper manipulates PREs in three ways; this package formalizes each:
+
+* "modify the PRE to reflect the traversal of the next link" —
+  :func:`~repro.pre.ops.advance`, a Brzozowski-style derivative;
+* "the PRE contains a null link" (evaluate the node-query here) —
+  :func:`~repro.pre.ops.nullable`;
+* the log-table ``A*m·B`` subsumption and multi-rewrite of Section 3.1 —
+  :func:`~repro.pre.ops.compare_for_log` / :func:`~repro.pre.ops.rewrite_superset`.
+"""
+
+from .ast import Alt, Atom, Concat, Empty, Never, Pre, Repeat, UNBOUNDED, alt, concat, repeat
+from .ops import (
+    LogComparison,
+    accepts,
+    advance,
+    compare_for_log,
+    decompose_repeat_head,
+    enumerate_paths,
+    first_symbols,
+    nullable,
+    pre_size,
+    rewrite_superset,
+)
+from .optimize import optimize_pre
+from .parser import parse_pre
+
+__all__ = [
+    "Alt",
+    "Atom",
+    "Concat",
+    "Empty",
+    "LogComparison",
+    "Never",
+    "Pre",
+    "Repeat",
+    "UNBOUNDED",
+    "accepts",
+    "advance",
+    "alt",
+    "compare_for_log",
+    "concat",
+    "decompose_repeat_head",
+    "enumerate_paths",
+    "first_symbols",
+    "nullable",
+    "optimize_pre",
+    "parse_pre",
+    "pre_size",
+    "repeat",
+    "rewrite_superset",
+]

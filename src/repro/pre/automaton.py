@@ -1,0 +1,161 @@
+"""Finite automata over PREs: DFA construction and language containment.
+
+The alphabet is tiny ({I, L, G}) and :func:`~repro.pre.ops.advance` is a
+Brzozowski derivative, so the set of derivatives of a PRE — taken modulo the
+smart-constructor simplifications — is a deterministic automaton whose
+states *are* PREs.  That gives us:
+
+* :func:`to_dfa` — the reachable derivative automaton;
+* :func:`language_subsumes` — exact ``L(sub) ⊆ L(sup)`` via a product-state
+  search (a state pair with ``sub`` accepting but ``sup`` not is a
+  counterexample);
+* :func:`language_equivalent` — mutual containment.
+
+These power the generalized log-table subsumption mode
+(``EngineConfig.log_subsumption="language"``): the paper's Section 3.1.1
+only recognizes duplicates of the syntactic ``A*m·B`` shape, so a rewritten
+clone ``L·L*2·B`` arriving where ``L*4·B`` is already logged gets
+reprocessed; exact containment catches it.
+
+Brzozowski derivatives are guaranteed finite only modulo the full
+associativity/commutativity/idempotence laws; our simplifier applies a
+subset, so all searches carry a state cap and raise
+:class:`AutomatonLimitError` past it (never hit by realistic PREs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import WebDisError
+from ..model.relations import LinkType
+from .ast import Never, Pre
+from .ops import advance, nullable
+
+__all__ = [
+    "ALPHABET",
+    "AutomatonLimitError",
+    "Dfa",
+    "to_dfa",
+    "language_subsumes",
+    "language_equivalent",
+    "is_empty_language",
+]
+
+#: The traversal alphabet (``N`` is the empty path, not a symbol).
+ALPHABET = (LinkType.INTERIOR, LinkType.LOCAL, LinkType.GLOBAL)
+
+_DEFAULT_STATE_CAP = 10_000
+
+
+class AutomatonLimitError(WebDisError):
+    """The derivative state space exceeded the safety cap."""
+
+
+@dataclass(frozen=True, slots=True)
+class Dfa:
+    """A deterministic automaton whose states are PRE derivatives.
+
+    ``transitions[state][symbol]`` is always present (the ``Never`` state is
+    the explicit dead state).  ``accepting`` holds the nullable states.
+    """
+
+    start: Pre
+    states: tuple[Pre, ...]
+    transitions: dict[Pre, dict[LinkType, Pre]]
+    accepting: frozenset[Pre]
+
+    def accepts(self, path: tuple[LinkType, ...] | list[LinkType]) -> bool:
+        state = self.start
+        for symbol in path:
+            state = self.transitions[state][symbol]
+        return state in self.accepting
+
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+    def live_states(self) -> frozenset[Pre]:
+        """States from which some accepting state is reachable."""
+        inverse: dict[Pre, set[Pre]] = {state: set() for state in self.states}
+        for src, row in self.transitions.items():
+            for dst in row.values():
+                inverse[dst].add(src)
+        frontier = deque(self.accepting)
+        live = set(self.accepting)
+        while frontier:
+            state = frontier.popleft()
+            for pred in inverse[state]:
+                if pred not in live:
+                    live.add(pred)
+                    frontier.append(pred)
+        return frozenset(live)
+
+
+def to_dfa(pre: Pre, state_cap: int = _DEFAULT_STATE_CAP) -> Dfa:
+    """Build the reachable derivative automaton of ``pre``."""
+    transitions: dict[Pre, dict[LinkType, Pre]] = {}
+    order: list[Pre] = []
+    frontier = deque([pre])
+    seen = {pre}
+    while frontier:
+        state = frontier.popleft()
+        order.append(state)
+        row: dict[LinkType, Pre] = {}
+        for symbol in ALPHABET:
+            nxt = advance(state, symbol)
+            row[symbol] = nxt
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+                if len(seen) > state_cap:
+                    raise AutomatonLimitError(
+                        f"PRE automaton exceeded {state_cap} states"
+                    )
+        transitions[state] = row
+    accepting = frozenset(state for state in seen if nullable(state))
+    # Ensure every reached state has a transition row (dead state included).
+    for state in seen:
+        if state not in transitions:
+            transitions[state] = {symbol: advance(state, symbol) for symbol in ALPHABET}
+    return Dfa(pre, tuple(order), transitions, accepting)
+
+
+def language_subsumes(sup: Pre, sub: Pre, state_cap: int = _DEFAULT_STATE_CAP) -> bool:
+    """Exact decision of ``L(sub) ⊆ L(sup)``.
+
+    Product-construction search for a reachable pair where ``sub`` accepts
+    and ``sup`` does not.
+    """
+    start = (sub, sup)
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        sub_state, sup_state = frontier.popleft()
+        if nullable(sub_state) and not nullable(sup_state):
+            return False
+        if isinstance(sub_state, Never):
+            continue  # nothing more of sub's language down this branch
+        for symbol in ALPHABET:
+            nxt = (advance(sub_state, symbol), advance(sup_state, symbol))
+            if isinstance(nxt[0], Never):
+                continue
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+                if len(seen) > state_cap:
+                    raise AutomatonLimitError(
+                        f"containment search exceeded {state_cap} state pairs"
+                    )
+    return True
+
+
+def language_equivalent(a: Pre, b: Pre, state_cap: int = _DEFAULT_STATE_CAP) -> bool:
+    """Exact language equality."""
+    return language_subsumes(a, b, state_cap) and language_subsumes(b, a, state_cap)
+
+
+def is_empty_language(pre: Pre, state_cap: int = _DEFAULT_STATE_CAP) -> bool:
+    """True when ``pre`` matches no path at all."""
+    return pre not in to_dfa(pre, state_cap).live_states()

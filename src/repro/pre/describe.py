@@ -1,0 +1,60 @@
+"""Plain-English descriptions of PREs.
+
+``describe_pre`` renders a PRE the way the paper narrates them — e.g.
+``G.(L*1)`` becomes *"a global link, then up to 1 local link"* — used by
+the explain facility and the CLI so non-experts can read shipped queries.
+"""
+
+from __future__ import annotations
+
+from ..model.relations import LinkType
+from .ast import Alt, Atom, Concat, Empty, Never, Pre, Repeat
+
+__all__ = ["describe_pre"]
+
+_LINK_NAMES = {
+    LinkType.INTERIOR: "interior link",
+    LinkType.LOCAL: "local link",
+    LinkType.GLOBAL: "global link",
+}
+
+
+def describe_pre(pre: Pre) -> str:
+    """A human-readable description of the paths ``pre`` matches."""
+    return _describe(pre, top=True)
+
+
+def _describe(pre: Pre, top: bool = False) -> str:
+    if isinstance(pre, Empty):
+        return "the document itself" if top else "nothing"
+    if isinstance(pre, Never):
+        return "no path at all"
+    if isinstance(pre, Atom):
+        return f"a {_LINK_NAMES[pre.ltype]}"
+    if isinstance(pre, Concat):
+        return ", then ".join(_describe(part) for part in pre.parts)
+    if isinstance(pre, Alt):
+        options = [_describe(option, top) for option in pre.options]
+        if len(options) == 2:
+            return f"either {options[0]} or {options[1]}"
+        return "one of: " + "; ".join(options)
+    if isinstance(pre, Repeat):
+        body = _plural_body(pre.body)
+        if pre.bound is None:
+            return f"any number of {body}"
+        if pre.bound == 1:
+            return f"up to 1 {_singular_body(pre.body)}"
+        return f"up to {pre.bound} {body}"
+    return str(pre)
+
+
+def _singular_body(body: Pre) -> str:
+    if isinstance(body, Atom):
+        return _LINK_NAMES[body.ltype]
+    return f"repetition of ({_describe(body)})"
+
+
+def _plural_body(body: Pre) -> str:
+    if isinstance(body, Atom):
+        return _LINK_NAMES[body.ltype] + "s"
+    return f"repetitions of ({_describe(body)})"

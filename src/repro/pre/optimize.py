@@ -1,0 +1,86 @@
+"""Language-preserving PRE simplification.
+
+User-written PREs often carry redundancy — `N | L*` (the `N` is implied),
+`G | (G|L)` (the first branch is subsumed), `(L*2)*3` (nested bounds).
+Since clones ship the remaining PRE on every hop and the log table compares
+PREs structurally, simplifying before shipping both shrinks messages and
+makes duplicate detection more effective.
+
+Every rule preserves the path language exactly (property-tested against
+:func:`~repro.pre.automaton.language_equivalent`):
+
+* alternation absorption — drop options whose language is contained in a
+  sibling's;
+* nested repetition collapse — ``(A*m)*n ≡ A*(m·n)``, with ``∞`` absorbing;
+* ε-stripping inside repetition — ``(N|A)*k ≡ A*k`` (each iteration may
+  already contribute nothing);
+* and the constructor-level unit/absorption laws from :mod:`repro.pre.ast`.
+"""
+
+from __future__ import annotations
+
+from .ast import Alt, Atom, Concat, Empty, Never, Pre, Repeat, alt, concat, repeat
+from .automaton import AutomatonLimitError, language_subsumes
+
+__all__ = ["optimize_pre"]
+
+
+def optimize_pre(pre: Pre) -> Pre:
+    """Simplify ``pre`` without changing its path language."""
+    if isinstance(pre, (Empty, Never, Atom)):
+        return pre
+    if isinstance(pre, Concat):
+        return concat(optimize_pre(part) for part in pre.parts)
+    if isinstance(pre, Alt):
+        return _optimize_alt([optimize_pre(option) for option in pre.options])
+    if isinstance(pre, Repeat):
+        return _optimize_repeat(optimize_pre(pre.body), pre.bound)
+    return pre
+
+
+def _optimize_alt(options: list[Pre]) -> Pre:
+    """Drop alternation branches subsumed by a sibling."""
+    kept: list[Pre] = []
+    for candidate in options:
+        absorbed = False
+        for index, existing in enumerate(kept):
+            if _subsumes(existing, candidate):
+                absorbed = True
+                break
+            if _subsumes(candidate, existing):
+                kept[index] = candidate
+                absorbed = True
+                break
+        if not absorbed:
+            kept.append(candidate)
+    # A second pass handles replacements that now absorb later entries.
+    deduped: list[Pre] = []
+    for candidate in kept:
+        if not any(
+            other is not candidate and _subsumes(other, candidate) for other in kept
+        ):
+            if candidate not in deduped:
+                deduped.append(candidate)
+    return alt(deduped if deduped else kept)
+
+
+def _optimize_repeat(body: Pre, bound: int | None) -> Pre:
+    # ε inside a repetition body is redundant: each iteration may be empty.
+    if isinstance(body, Alt):
+        stripped = [o for o in body.options if not isinstance(o, Empty)]
+        if len(stripped) < len(body.options):
+            body = alt(stripped)
+    # Nested repetition: (A*m)*n covers 0..m·n repetitions of A.
+    if isinstance(body, Repeat):
+        inner_bound = body.bound
+        if inner_bound is None or bound is None:
+            return repeat(body.body, None)
+        return repeat(body.body, inner_bound * bound)
+    return repeat(body, bound)
+
+
+def _subsumes(sup: Pre, sub: Pre) -> bool:
+    try:
+        return language_subsumes(sup, sub)
+    except AutomatonLimitError:  # pragma: no cover - pathological inputs
+        return False

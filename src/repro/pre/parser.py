@@ -1,0 +1,121 @@
+"""PRE concrete syntax.
+
+Grammar (whitespace-insensitive)::
+
+    pre     := alt
+    alt     := cat ('|' cat)*
+    cat     := rep (('.' | '·') rep)*
+    rep     := primary ('*' bound?)*
+    primary := 'I' | 'L' | 'G' | 'N' | '(' alt ')'
+    bound   := decimal integer >= 1
+
+This matches the paper's notation: ``N | G.(L*4)``, ``G.(G|L)``, ``L*``.
+Link symbols are case-insensitive.  ``N`` denotes the zero-length path.
+"""
+
+from __future__ import annotations
+
+from ..errors import PreSyntaxError
+from ..model.relations import LinkType
+from .ast import EMPTY, Atom, Pre, alt, concat, repeat
+
+__all__ = ["parse_pre"]
+
+_CONCAT_CHARS = {".", "·"}  # '.' and the paper's '·'
+_LINK_SYMBOLS = {"I", "L", "G", "N"}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Pre:
+        result = self._alt()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise PreSyntaxError(
+                f"unexpected {self.text[self.pos]!r} at offset {self.pos} in PRE {self.text!r}"
+            )
+        return result
+
+    def _alt(self) -> Pre:
+        options = [self._cat()]
+        while self._peek() == "|":
+            self.pos += 1
+            options.append(self._cat())
+        return alt(options)
+
+    def _cat(self) -> Pre:
+        parts = [self._rep()]
+        while True:
+            ch = self._peek()
+            if ch in _CONCAT_CHARS:
+                self.pos += 1
+                parts.append(self._rep())
+            elif ch is not None and (ch.upper() in _LINK_SYMBOLS or ch == "("):
+                # Juxtaposition concatenation: "GL" == "G.L".
+                parts.append(self._rep())
+            else:
+                return concat(parts)
+
+    def _rep(self) -> Pre:
+        result = self._primary()
+        while self._peek() == "*":
+            self.pos += 1
+            bound = self._bound()
+            result = repeat(result, bound)
+        return result
+
+    def _primary(self) -> Pre:
+        ch = self._peek()
+        if ch is None:
+            raise PreSyntaxError(f"PRE {self.text!r} ended unexpectedly")
+        if ch == "(":
+            self.pos += 1
+            inner = self._alt()
+            if self._peek() != ")":
+                raise PreSyntaxError(f"missing ')' at offset {self.pos} in PRE {self.text!r}")
+            self.pos += 1
+            return inner
+        upper = ch.upper()
+        if upper in _LINK_SYMBOLS:
+            self.pos += 1
+            if upper == "N":
+                return EMPTY
+            return Atom(LinkType.from_symbol(upper))
+        raise PreSyntaxError(
+            f"expected link symbol or '(' at offset {self.pos} in PRE {self.text!r}, got {ch!r}"
+        )
+
+    def _bound(self) -> int | None:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        if self.pos == start:
+            return None
+        bound = int(self.text[start : self.pos])
+        if bound < 1:
+            raise PreSyntaxError(f"repetition bound must be >= 1 in PRE {self.text!r}")
+        return bound
+
+    def _peek(self) -> str | None:
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            return None
+        return self.text[self.pos]
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+
+def parse_pre(text: str) -> Pre:
+    """Parse PRE syntax into an AST.
+
+    Raises:
+        PreSyntaxError: on malformed input (including the empty string).
+    """
+    if not text or not text.strip():
+        raise PreSyntaxError("empty PRE")
+    return _Parser(text).parse()

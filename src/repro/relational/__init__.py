@@ -1,0 +1,41 @@
+"""A small in-memory relational engine.
+
+Query-servers evaluate node-queries against a *temporary in-memory database*
+of virtual relations built per document (paper Section 2.4).  This package
+provides the pieces: schemas, tables, a boolean/comparison expression
+evaluator with the paper's ``contains`` predicate, and nested-loop
+select-project evaluation of node-queries.
+"""
+
+from .expr import (
+    And,
+    Attr,
+    Compare,
+    Contains,
+    Expr,
+    Literal,
+    Not,
+    Or,
+    evaluate,
+)
+from .query import NodeQuery, ResultRow, TableDecl, evaluate_node_query
+from .schema import Schema
+from .table import Table
+
+__all__ = [
+    "And",
+    "Attr",
+    "Compare",
+    "Contains",
+    "Expr",
+    "Literal",
+    "NodeQuery",
+    "Not",
+    "Or",
+    "ResultRow",
+    "Schema",
+    "Table",
+    "TableDecl",
+    "evaluate",
+    "evaluate_node_query",
+]

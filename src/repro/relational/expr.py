@@ -1,0 +1,264 @@
+"""Boolean/comparison expression AST and evaluator for node-queries.
+
+The expression language is the one DISQL's ``where`` clauses need (paper
+Section 2.3): attribute references qualified by a table alias, string and
+numeric literals, the six comparison operators, the ``contains`` substring
+predicate, and ``and`` / ``or`` / ``not``.
+
+``contains`` is **case-insensitive**: in the paper's sample execution the
+condition ``r.text contains "convener"`` matches the segment
+``"CONVENER Jayant Haritsa"`` (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Union
+
+from ..errors import EvaluationError
+
+__all__ = [
+    "Expr",
+    "Attr",
+    "Literal",
+    "Compare",
+    "Contains",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "evaluate",
+    "attrs_referenced",
+    "conjuncts",
+    "conjoin",
+]
+
+Value = Union[str, int, float, bool]
+#: An evaluation environment: alias -> (attribute -> value).
+Bindings = Mapping[str, Mapping[str, Value]]
+
+
+@dataclass(frozen=True, slots=True)
+class Attr:
+    """A qualified attribute reference ``alias.name`` (e.g. ``d0.title``)."""
+
+    alias: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A constant string or number."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace('"', '\\"')
+            return f'"{escaped}"'
+        return str(self.value)
+
+
+_COMPARATORS: dict[str, Callable[[Value, Value], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Compare:
+    """``left op right`` with op one of ``= != < <= > >=``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise EvaluationError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Contains:
+    """``haystack contains[~k] needle`` — case-insensitive containment.
+
+    ``max_edits = 0`` is the paper's exact (substring) semantics;
+    ``max_edits = k > 0`` is the approximate-query extension (§7.1): the
+    needle may differ from some haystack window by up to ``k`` character
+    edits (see :mod:`repro.relational.fuzzy`).
+    """
+
+    haystack: "Expr"
+    needle: "Expr"
+    max_edits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_edits < 0:
+            raise EvaluationError("contains~k needs k >= 0")
+
+    def __str__(self) -> str:
+        op = "contains" if self.max_edits == 0 else f"contains~{self.max_edits}"
+        return f"{self.haystack} {op} {self.needle}"
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Or:
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+Expr = Union[Attr, Literal, Compare, Contains, And, Or, Not]
+
+#: A vacuously true predicate (empty ``where`` clause).
+TRUE: Expr = Literal(True)
+
+
+def evaluate(expr: Expr, bindings: Bindings) -> Value:
+    """Evaluate ``expr`` against ``bindings``.
+
+    Raises:
+        EvaluationError: on unknown aliases/attributes, type-incompatible
+            comparisons, or non-string ``contains`` operands.
+    """
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Attr):
+        try:
+            row = bindings[expr.alias]
+        except KeyError:
+            raise EvaluationError(f"unknown table alias {expr.alias!r}") from None
+        try:
+            return row[expr.name]
+        except KeyError:
+            raise EvaluationError(
+                f"table {expr.alias!r} has no attribute {expr.name!r}"
+            ) from None
+    if isinstance(expr, Compare):
+        left = evaluate(expr.left, bindings)
+        right = evaluate(expr.right, bindings)
+        left, right = _coerce_pair(expr.op, left, right)
+        try:
+            return _COMPARATORS[expr.op](left, right)
+        except TypeError:
+            raise EvaluationError(
+                f"cannot compare {type(left).__name__} {expr.op} {type(right).__name__}"
+            ) from None
+    if isinstance(expr, Contains):
+        haystack = evaluate(expr.haystack, bindings)
+        needle = evaluate(expr.needle, bindings)
+        if not isinstance(haystack, str) or not isinstance(needle, str):
+            raise EvaluationError("contains requires string operands")
+        if expr.max_edits:
+            from .fuzzy import fuzzy_contains
+
+            return fuzzy_contains(haystack, needle, expr.max_edits)
+        return needle.lower() in haystack.lower()
+    if isinstance(expr, And):
+        return bool(evaluate(expr.left, bindings)) and bool(evaluate(expr.right, bindings))
+    if isinstance(expr, Or):
+        return bool(evaluate(expr.left, bindings)) or bool(evaluate(expr.right, bindings))
+    if isinstance(expr, Not):
+        return not evaluate(expr.operand, bindings)
+    raise EvaluationError(f"unknown expression node {expr!r}")
+
+
+def _coerce_pair(op: str, left: Value, right: Value) -> tuple[Value, Value]:
+    """Allow number-vs-numeric-string comparisons (``d.length > "100"``)."""
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        converted = _to_number(right)
+        if converted is not None:
+            return left, converted
+    if isinstance(right, (int, float)) and isinstance(left, str):
+        converted = _to_number(left)
+        if converted is not None:
+            return converted, right
+    # Equality between mismatched types is well-defined (False) in Python.
+    if op in ("=", "!=") or type(left) is type(right):
+        return left, right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left, right
+    return left, right
+
+
+def _to_number(text: str) -> int | float | None:
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return None
+
+
+def attrs_referenced(expr: Expr) -> set[Attr]:
+    """All :class:`Attr` nodes appearing in ``expr`` (for semantic checks)."""
+    found: set[Attr] = set()
+    _collect_attrs(expr, found)
+    return found
+
+
+def _collect_attrs(expr: Expr, found: set[Attr]) -> None:
+    if isinstance(expr, Attr):
+        found.add(expr)
+    elif isinstance(expr, Compare):
+        _collect_attrs(expr.left, found)
+        _collect_attrs(expr.right, found)
+    elif isinstance(expr, Contains):
+        _collect_attrs(expr.haystack, found)
+        _collect_attrs(expr.needle, found)
+    elif isinstance(expr, (And, Or)):
+        _collect_attrs(expr.left, found)
+        _collect_attrs(expr.right, found)
+    elif isinstance(expr, Not):
+        _collect_attrs(expr.operand, found)
+
+
+def conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten a tree of ``And`` nodes into its conjunct list."""
+    if isinstance(expr, And):
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    # Note: identity check, not equality — Literal(1) == Literal(True) in
+    # Python and must not be treated as the vacuous predicate.
+    if isinstance(expr, Literal) and expr.value is True:
+        return []
+    return [expr]
+
+
+def conjoin(exprs: list[Expr]) -> Expr:
+    """Combine ``exprs`` with ``And``; empty input yields :data:`TRUE`."""
+    if not exprs:
+        return TRUE
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = And(result, expr)
+    return result

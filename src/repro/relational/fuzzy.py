@@ -1,0 +1,77 @@
+"""Approximate matching: bounded edit distance over word windows.
+
+Paper Section 7.1 lists "supporting approximate queries" as future work.
+This module implements it for the ``contains`` predicate: DISQL's
+``contains~k`` matches when some window of the haystack is within ``k``
+character edits (insert / delete / substitute) of the needle, compared
+case-insensitively on whitespace-normalized text.
+
+The distance computation is a banded Levenshtein: cost ``O(|a|·k)`` with an
+early exit once the band exceeds ``k``, so scanning long documents for
+small ``k`` stays cheap.
+"""
+
+from __future__ import annotations
+
+__all__ = ["within_edits", "fuzzy_contains"]
+
+
+def within_edits(a: str, b: str, max_edits: int) -> bool:
+    """True when ``levenshtein(a, b) <= max_edits`` (banded, early exit)."""
+    if max_edits < 0:
+        return False
+    if abs(len(a) - len(b)) > max_edits:
+        return False
+    if a == b:
+        return True
+    # Standard DP with a diagonal band of half-width max_edits.
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        lo = max(1, i - max_edits)
+        hi = min(len(b), i + max_edits)
+        current = [i] + [max_edits + 1] * len(b)
+        for j in range(lo, hi + 1):
+            cost = 0 if ch_a == b[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,        # delete from a
+                current[j - 1] + 1,     # insert into a
+                previous[j - 1] + cost,  # substitute / match
+            )
+        if min(current[max(0, lo - 1) : hi + 1]) > max_edits:
+            return False
+        previous = current
+    return previous[len(b)] <= max_edits
+
+
+def fuzzy_contains(haystack: str, needle: str, max_edits: int) -> bool:
+    """Approximate substring containment over word windows.
+
+    The needle (``w`` words after normalization) is compared against every
+    ``w``-word window of the haystack; windows one word shorter or longer
+    are also tried when ``max_edits > 0``, since an edit can delete or
+    insert a whole short word.  Exact ``max_edits=0`` degrades to the
+    case-insensitive ``contains`` semantics.
+    """
+    haystack_norm = " ".join(haystack.lower().split())
+    needle_norm = " ".join(needle.lower().split())
+    if not needle_norm:
+        return True
+    if max_edits == 0 or needle_norm in haystack_norm:
+        return needle_norm in haystack_norm
+
+    words = haystack_norm.split()
+    needle_len = len(needle_norm.split())
+    if not words:
+        return within_edits("", needle_norm, max_edits)
+    window_sizes = {needle_len}
+    if max_edits > 0:
+        window_sizes.add(max(1, needle_len - 1))
+        window_sizes.add(needle_len + 1)
+    for size in sorted(window_sizes):
+        if size > len(words):
+            continue
+        for start in range(len(words) - size + 1):
+            window = " ".join(words[start : start + size])
+            if within_edits(window, needle_norm, max_edits):
+                return True
+    return False

@@ -1,0 +1,52 @@
+"""Relation schemas."""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An ordered set of attribute names for a named relation.
+
+    Schemas are immutable; attribute positions are resolved once at
+    construction so row access during evaluation is an index lookup.
+    """
+
+    __slots__ = ("name", "attributes", "_positions")
+
+    def __init__(self, name: str, attributes: tuple[str, ...]) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"duplicate attribute in schema {name!r}: {attributes}")
+        if not attributes:
+            raise SchemaError(f"schema {name!r} must have at least one attribute")
+        self.name = name
+        self.attributes = tuple(attributes)
+        self._positions = {attr: idx for idx, attr in enumerate(self.attributes)}
+
+    def position(self, attribute: str) -> int:
+        """Index of ``attribute`` in a row; raises :class:`SchemaError` if absent."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"known: {', '.join(self.attributes)}"
+            ) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._positions
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name!r}, {self.attributes!r})"

@@ -1,0 +1,51 @@
+"""In-memory tables of immutable rows."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import SchemaError
+from .schema import Schema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A bag of rows conforming to a :class:`Schema`.
+
+    Rows are plain tuples in schema attribute order.  Node databases are
+    built once, scanned a handful of times, then purged, so the structure is
+    deliberately simple: an append-only list with full scans.
+    """
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple[object, ...]] = ()) -> None:
+        self.schema = schema
+        self._rows: list[tuple[object, ...]] = []
+        for row in rows:
+            self.insert(row)
+
+    def insert(self, row: tuple[object, ...]) -> None:
+        """Append ``row``; its arity must match the schema."""
+        if len(row) != len(self.schema.attributes):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema "
+                f"{self.schema.name!r} arity {len(self.schema.attributes)}"
+            )
+        self._rows.append(tuple(row))
+
+    def rows(self) -> Iterator[tuple[object, ...]]:
+        """Iterate rows in insertion order."""
+        return iter(self._rows)
+
+    def column(self, attribute: str) -> list[object]:
+        """All values of ``attribute`` in insertion order."""
+        pos = self.schema.position(attribute)
+        return [row[pos] for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, {len(self._rows)} rows)"

@@ -1,0 +1,129 @@
+"""Self-contained HTML reports of a query run.
+
+``render_run_report`` turns one finished run — the engine, its tracer, and
+the query handle — into a single dependency-free HTML page: the DISQL/
+formalism header, the Figure-8-style results tables, the traversal trace,
+and the traffic statistics.  The page uses inline CSS only, so it can be
+attached to tickets, diffed, or archived next to a
+:class:`~repro.journal.ProtocolJournal` dump.
+
+Example::
+
+    engine = WebDisEngine(web, trace=True)
+    handle = engine.run_query(disql)
+    Path("run.html").write_text(render_run_report(engine, handle))
+"""
+
+from __future__ import annotations
+
+from .core.client import QueryHandle
+from .core.engine import WebDisEngine
+from .disql.explain import explain_webquery
+
+__all__ = ["render_run_report"]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1, h2 { color: #1a3c6e; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #bbb; padding: 4px 10px; text-align: left;
+         font-size: 13px; }
+th { background: #eef2f8; }
+pre { background: #f6f6f6; padding: 1em; overflow-x: auto; font-size: 12px; }
+.answered { background: #e7f7e7; }
+.failed, .dead-end { background: #fdeaea; }
+.duplicate-dropped { background: #fdf6df; }
+.meta { color: #555; font-size: 13px; }
+""".strip()
+
+
+def _escape(text: object) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _table(headers: list[str], rows: list[list[object]], row_classes=None) -> str:
+    parts = ["<table>", "<tr>" + "".join(f"<th>{_escape(h)}</th>" for h in headers) + "</tr>"]
+    for i, row in enumerate(rows):
+        cls = f' class="{row_classes[i]}"' if row_classes and row_classes[i] else ""
+        parts.append(
+            f"<tr{cls}>" + "".join(f"<td>{_escape(cell)}</td>" for cell in row) + "</tr>"
+        )
+    parts.append("</table>")
+    return "\n".join(parts)
+
+
+def render_run_report(engine: WebDisEngine, handle: QueryHandle, title: str = "WEBDIS run report") -> str:
+    """One run as a standalone HTML page."""
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{_escape(title)}</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{_escape(title)}</h1>",
+        f"<p class='meta'>query {_escape(handle.qid)} — status "
+        f"<b>{_escape(handle.status.value)}</b>"
+        + (
+            f", completed at t={handle.completion_time:.4f}s"
+            if handle.completion_time is not None
+            else ""
+        )
+        + "</p>",
+        "<h2>Query</h2>",
+        f"<pre>{_escape(explain_webquery(handle.query, narrate=True))}</pre>",
+    ]
+
+    parts.append("<h2>Results</h2>")
+    labels = list(dict.fromkeys(label for label, __, ___ in handle.results))
+    if not labels:
+        parts.append("<p class='meta'>no results</p>")
+    for label in labels:
+        rows = handle.display_rows(label)
+        if not rows:
+            continue
+        parts.append(f"<h3>{_escape(label)}</h3>")
+        parts.append(
+            _table(list(rows[0].header), [list(row.values) for row in rows])
+        )
+
+    if engine.tracer.enabled and engine.tracer.events:
+        parts.append("<h2>Traversal</h2>")
+        trace_rows = []
+        classes = []
+        for event in engine.tracer.events:
+            trace_rows.append(
+                [f"{event.time:.4f}", str(event.state), event.role, event.action,
+                 event.node, event.detail]
+            )
+            classes.append(event.action if event.action in (
+                "answered", "failed", "dead-end", "duplicate-dropped") else "")
+        parts.append(
+            _table(["t (sim s)", "state", "role", "action", "node", "detail"],
+                   trace_rows, classes)
+        )
+
+    parts.append("<h2>Traffic</h2>")
+    summary = engine.stats.summary()
+    parts.append(
+        _table(["metric", "value"], [[key, summary[key]] for key in sorted(summary)])
+    )
+    by_kind = engine.stats.messages_by_kind
+    if by_kind:
+        parts.append("<h3>Messages by kind</h3>")
+        parts.append(
+            _table(
+                ["kind", "messages", "bytes"],
+                [
+                    [kind, by_kind[kind], engine.stats.bytes_by_kind[kind]]
+                    for kind in sorted(by_kind)
+                ],
+            )
+        )
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -1,0 +1,39 @@
+"""The simulated Web: sites, pages, and generators.
+
+The paper ran WEBDIS on the live IISc campus web.  We substitute an
+in-memory Web whose pages are real HTML (rendered from structural specs and
+re-parsed by the query-servers), organised into named sites — one WEBDIS
+query-server per site, exactly as deployed in the paper.
+
+Generators:
+
+* :mod:`repro.web.builders` — fluent construction of hand-crafted webs;
+* :mod:`repro.web.synthetic` — seeded random webs with tunable size, fanout
+  and keyword selectivity (benchmark workloads);
+* :mod:`repro.web.campus` — a replica of the paper's campus scenario
+  (example query 2, Figures 7 and 8);
+* :mod:`repro.web.figures` — the exact Figure 1 and Figure 5 topologies.
+"""
+
+from .builders import SiteBuilder, WebBuilder
+from .campus import build_campus_web
+from .export import load_web, save_web
+from .figures import build_figure1_web, build_figure5_web
+from .site import Page, Site
+from .synthetic import SyntheticWebConfig, build_synthetic_web
+from .web import Web
+
+__all__ = [
+    "Page",
+    "Site",
+    "SiteBuilder",
+    "SyntheticWebConfig",
+    "Web",
+    "WebBuilder",
+    "build_campus_web",
+    "build_figure1_web",
+    "build_figure5_web",
+    "build_synthetic_web",
+    "load_web",
+    "save_web",
+]

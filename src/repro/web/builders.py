@@ -1,0 +1,73 @@
+"""Fluent construction of hand-crafted webs.
+
+Example::
+
+    builder = WebBuilder()
+    (builder.site("csa.iisc.ernet.in")
+        .page("/", title="CSA Department", links=[("Labs", "/labs.html")])
+        .page("/labs.html", title="Laboratories", links=[...]))
+    web = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..html.generator import PageSpec
+from .site import Page, Site
+from .web import Web
+
+__all__ = ["WebBuilder", "SiteBuilder"]
+
+
+class SiteBuilder:
+    """Accumulates pages for one site; obtained via :meth:`WebBuilder.site`."""
+
+    def __init__(self, site: Site) -> None:
+        self._site = site
+
+    def page(
+        self,
+        path: str,
+        *,
+        title: str,
+        paragraphs: Sequence[str] = (),
+        links: Sequence[tuple[str, str]] = (),
+        emphasized: Sequence[tuple[str, str]] = (),
+        ruled: Sequence[str] = (),
+        padding: int = 0,
+    ) -> "SiteBuilder":
+        """Add a page described structurally (see :class:`PageSpec`)."""
+        spec = PageSpec(
+            title=title,
+            paragraphs=tuple(paragraphs),
+            links=tuple(links),
+            emphasized=tuple(emphasized),
+            ruled=tuple(ruled),
+            padding=padding,
+        )
+        self._site.add(Page(path, spec=spec))
+        return self
+
+    def raw_page(self, path: str, html: str) -> "SiteBuilder":
+        """Add a page with verbatim HTML (for parser edge-case scenarios)."""
+        self._site.add(Page(path, html=html))
+        return self
+
+    @property
+    def name(self) -> str:
+        return self._site.name
+
+
+class WebBuilder:
+    """Top-level builder producing a :class:`Web`."""
+
+    def __init__(self) -> None:
+        self._web = Web()
+
+    def site(self, name: str) -> SiteBuilder:
+        """Start (or continue) building the site called ``name``."""
+        return SiteBuilder(self._web.ensure_site(name))
+
+    def build(self) -> Web:
+        return self._web

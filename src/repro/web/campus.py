@@ -1,0 +1,203 @@
+"""A replica of the paper's IISc campus web (example query 2, Figures 7-8).
+
+The scenario: starting from the CSA department homepage, one local link
+reaches the Laboratories page (title contains "lab"); each lab homepage is
+one global link from there; the lab convener's name sits within one further
+local link, set off by a horizontal rule (``delimiter = "hr"``).
+
+The three expected answers are the rows of the paper's Figure 8:
+
+=============================================  ========================================  ================================
+d1.url                                         d1.title                                  r.text
+=============================================  ========================================  ================================
+dsl.serc.iisc.ernet.in/people                  Database Systems Lab People               CONVENER Jayant Haritsa
+www-compiler.csa.iisc.ernet.in/people          Students of the Compiler Lab at IISc      Convener Prof. Y.N. Srikant
+www2.csa.iisc.ernet.in/~gang/lab               HOMEPAGE: SYSTEM SOFTWARE LAB             Convener : Prof. D. K. Subramanian
+=============================================  ========================================  ================================
+
+(The figure truncates the third name; we complete it.)  Note the third
+convener is announced on the lab homepage itself — zero local links — which
+is why the paper's PRE is ``G·(L*1)`` and not ``G·L``.
+"""
+
+from __future__ import annotations
+
+from .builders import WebBuilder
+from .web import Web
+
+__all__ = [
+    "build_campus_web",
+    "CAMPUS_START_URL",
+    "CAMPUS_QUERY_DISQL",
+    "EXPECTED_CONVENER_ROWS",
+    "EXPECTED_D0_URL",
+]
+
+#: Where example query 2 starts (the CSA department homepage).
+CAMPUS_START_URL = "http://www.csa.iisc.ernet.in/"
+
+#: The paper's example query 2, verbatim modulo the www host alias.
+CAMPUS_QUERY_DISQL = """
+select d0.url, d1.url, d1.title, r.text
+from document d0 such that "http://www.csa.iisc.ernet.in/" L d0
+where d0.title contains "lab"
+     document d1 such that d0 G.(L*1) d1,
+     relinfon r such that r.delimiter = "hr"
+where r.text contains "convener"
+"""
+
+#: Figure 8's d0 column (the Laboratories page).
+EXPECTED_D0_URL = "http://www.csa.iisc.ernet.in/Labs"
+
+#: Figure 8's result rows as (d1.url, d1.title, r.text).
+EXPECTED_CONVENER_ROWS = (
+    (
+        "http://dsl.serc.iisc.ernet.in/people",
+        "Database Systems Lab People",
+        "CONVENER Jayant Haritsa",
+    ),
+    (
+        "http://www-compiler.csa.iisc.ernet.in/people",
+        "Students of the Compiler Lab at IISc",
+        "Convener Prof. Y.N. Srikant",
+    ),
+    (
+        "http://www2.csa.iisc.ernet.in/~gang/lab",
+        "HOMEPAGE: SYSTEM SOFTWARE LAB",
+        "Convener : Prof. D. K. Subramanian",
+    ),
+)
+
+
+def build_campus_web() -> Web:
+    """Construct the campus web replica."""
+    builder = WebBuilder()
+
+    (
+        builder.site("www.csa.iisc.ernet.in")
+        .page(
+            "/",
+            title="Department of Computer Science and Automation",
+            paragraphs=[
+                "Welcome to the Department of Computer Science and Automation, "
+                "Indian Institute of Science, Bangalore."
+            ],
+            links=[
+                ("Laboratories", "/Labs"),
+                ("People", "/People"),
+                ("Research", "/Research"),
+                ("Courses", "/Courses"),
+                ("Indian Institute of Science", "http://www.iisc.ernet.in/"),
+            ],
+        )
+        .page(
+            "/Labs",
+            title="Laboratories @ CSA IISc",
+            paragraphs=["The department hosts several research laboratories."],
+            links=[
+                ("Database Systems Lab", "http://dsl.serc.iisc.ernet.in/"),
+                ("Compiler Lab", "http://www-compiler.csa.iisc.ernet.in/"),
+                ("System Software Lab", "http://www2.csa.iisc.ernet.in/~gang/lab"),
+            ],
+        )
+        .page(
+            "/People",
+            title="Faculty and Staff",
+            paragraphs=["Directory of faculty, students and staff."],
+            links=[("Home", "/")],
+        )
+        .page(
+            "/Research",
+            title="Research Areas",
+            paragraphs=["Algorithms, databases, compilers, systems."],
+            links=[("Home", "/")],
+        )
+        .page(
+            "/Courses",
+            title="Course Listing",
+            paragraphs=["Graduate courses offered this term."],
+            links=[("Home", "/")],
+        )
+    )
+
+    (
+        builder.site("dsl.serc.iisc.ernet.in")
+        .page(
+            "/",
+            title="Database Systems Lab",
+            paragraphs=["The DSL studies database system internals and web querying."],
+            links=[
+                ("People", "/people"),
+                ("Publications", "/pubs"),
+                ("DIASPORA project", "/diaspora"),
+            ],
+        )
+        .page(
+            "/people",
+            title="Database Systems Lab People",
+            ruled=["CONVENER Jayant Haritsa"],
+            paragraphs=["Students: Nalin Gupta, Maya Ramanath."],
+            links=[("DSL home", "/")],
+        )
+        .page(
+            "/pubs",
+            title="DSL Publications",
+            paragraphs=["Technical reports and conference papers."],
+            links=[("DSL home", "/")],
+        )
+        .page(
+            "/diaspora",
+            title="DIASPORA: Distributed Web Querying",
+            paragraphs=["A fully distributed web-query processing system."],
+            links=[("DSL home", "/")],
+        )
+    )
+
+    (
+        builder.site("www-compiler.csa.iisc.ernet.in")
+        .page(
+            "/",
+            title="Compiler Laboratory",
+            paragraphs=["Research on compilation techniques."],
+            links=[("People", "/people"), ("Projects", "/projects")],
+        )
+        .page(
+            "/people",
+            title="Students of the Compiler Lab at IISc",
+            ruled=["Convener Prof. Y.N. Srikant"],
+            paragraphs=["Research students and project staff."],
+            links=[("Compiler Lab home", "/")],
+        )
+        .page(
+            "/projects",
+            title="Compiler Lab Projects",
+            paragraphs=["Ongoing compiler infrastructure projects."],
+            links=[("Compiler Lab home", "/")],
+        )
+    )
+
+    (
+        builder.site("www2.csa.iisc.ernet.in")
+        .page(
+            "/~gang/lab",
+            title="HOMEPAGE: SYSTEM SOFTWARE LAB",
+            ruled=["Convener : Prof. D. K. Subramanian"],
+            paragraphs=["Operating systems and system software research."],
+            links=[("Members", "/~gang/lab/members")],
+        )
+        .page(
+            "/~gang/lab/members",
+            title="System Software Lab Members",
+            paragraphs=["Graduate students of the lab."],
+            links=[("Lab home", "/~gang/lab")],
+        )
+    )
+
+    builder.site("www.iisc.ernet.in").page(
+        "/",
+        title="Indian Institute of Science",
+        paragraphs=["Institute homepage."],
+        links=[("CSA Department", "http://www.csa.iisc.ernet.in/")],
+    )
+
+    return builder.build()

@@ -1,0 +1,101 @@
+"""Filesystem export/import of simulated webs.
+
+A :class:`~repro.web.web.Web` round-trips to a plain directory tree —
+
+::
+
+    <root>/
+      <site-name>/
+        index.html          (the "/" page)
+        Labs.html ...       (other pages; '/' in paths becomes '__')
+
+— which makes it possible to (a) inspect generated webs with a browser,
+(b) hand-edit scenario pages, and (c) import small dumps of *real* HTML
+into the simulator.  A manifest file records the exact path mapping so the
+round-trip is loss-free even for paths the flattening would collide.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import WebDisError
+from .site import Page
+from .web import Web
+
+__all__ = ["save_web", "load_web"]
+
+_MANIFEST = "webdis-manifest.json"
+
+
+def _flatten(path: str) -> str:
+    """Filesystem-safe single-segment name for a page path."""
+    if path == "/":
+        return "index.html"
+    name = path.lstrip("/").replace("/", "__")
+    if not name.endswith((".html", ".htm")):
+        name += ".html"
+    return name
+
+
+def save_web(web: Web, root: str | Path) -> int:
+    """Write every page of ``web`` under ``root``; returns the page count.
+
+    Raises :class:`WebDisError` if the flattening would collide (two paths
+    mapping to one file) — rename the pages rather than lose one silently.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, dict[str, str]] = {}
+    count = 0
+    for site_name in web.site_names:
+        site = web.site(site_name)
+        site_dir = root / site_name
+        site_dir.mkdir(exist_ok=True)
+        mapping: dict[str, str] = {}
+        for path in sorted(site.pages):
+            flat = _flatten(path)
+            if flat in mapping.values():
+                raise WebDisError(
+                    f"page paths collide when flattened: {path!r} at {site_name}"
+                )
+            mapping[path] = flat
+            (site_dir / flat).write_text(site.pages[path].html, encoding="utf-8")
+            count += 1
+        manifest[site_name] = mapping
+    (root / _MANIFEST).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return count
+
+
+def load_web(root: str | Path) -> Web:
+    """Rebuild a :class:`Web` from a :func:`save_web` directory.
+
+    Without a manifest, the directory layout itself is used: each
+    subdirectory is a site, ``index.html`` is ``/``, and ``__`` separators
+    fold back into ``/`` — enough to import hand-assembled HTML dumps.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise WebDisError(f"no web directory at {root}")
+    manifest_path = root / _MANIFEST
+    web = Web()
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        for site_name, mapping in sorted(manifest.items()):
+            site = web.ensure_site(site_name)
+            for path, flat in sorted(mapping.items()):
+                html = (root / site_name / flat).read_text(encoding="utf-8")
+                site.add(Page(path, html=html))
+        return web
+    for site_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+        site = web.ensure_site(site_dir.name)
+        for file in sorted(site_dir.glob("*.htm*")):
+            if file.name == "index.html":
+                path = "/"
+            else:
+                path = "/" + file.name.replace("__", "/")
+            site.add(Page(path, html=file.read_text(encoding="utf-8")))
+    return web

@@ -1,0 +1,211 @@
+"""The exact web topologies behind the paper's Figures 1 and 5.
+
+The figures illustrate the traversal of the web-query
+
+    Q = S  G·(G|L)  q1  (G|L)  q2
+
+over small node sets.  The paper does not print the underlying link tables,
+so this module reconstructs topologies consistent with every stated fact:
+
+**Figure 1** — nodes {1,2,3} act as PureRouters, {4,5,6,7,8} as
+ServerRouters; node 4 acts *twice* (once for q1, once for q2 with no further
+forwarding); node 7 is a dead end because it fails q1.
+
+**Figure 5** — node 4 is visited five times (visits a-e), and visits c, d, e
+arrive in the *same* state of computation, so with the node-query log table
+exactly two of them are dropped as duplicates.
+
+``q1`` matches documents whose title contains ``"topic"``; ``q2`` matches
+documents containing a bold segment mentioning ``"detail"``.
+"""
+
+from __future__ import annotations
+
+from .builders import WebBuilder
+from .web import Web
+
+__all__ = [
+    "FIGURE_QUERY_DISQL",
+    "FIGURE1_START_URL",
+    "FIGURE5_START_URL",
+    "EXPECTED_FIG1_PURE_ROUTERS",
+    "EXPECTED_FIG1_SERVER_ROUTERS",
+    "EXPECTED_FIG1_DEAD_ENDS",
+    "EXPECTED_FIG1_DOUBLE_ACTOR",
+    "EXPECTED_FIG5_FOCUS_NODE",
+    "EXPECTED_FIG5_VISITS",
+    "EXPECTED_FIG5_DUPLICATE_DROPS",
+    "build_figure1_web",
+    "build_figure5_web",
+    "figure_query_disql",
+]
+
+FIGURE1_START_URL = "http://site-s.example/"
+FIGURE5_START_URL = "http://site-s.example/"
+
+#: DISQL text for ``Q = S G·(G|L) q1 (G|L) q2`` parameterized by start URL.
+FIGURE_QUERY_DISQL = """
+select d0.url, d1.url, r.text
+from document d0 such that "{start}" G.(G|L) d0
+where d0.title contains "topic"
+     document d1 such that d0 (G|L) d1,
+     relinfon r such that r.delimiter = "b"
+where r.text contains "detail"
+"""
+
+
+def figure_query_disql(start_url: str) -> str:
+    """The figure query with its start node filled in."""
+    return FIGURE_QUERY_DISQL.format(start=start_url)
+
+
+# --- Figure 1 -----------------------------------------------------------------
+
+#: Node name -> expected role(s), as stated under Figure 1.
+EXPECTED_FIG1_PURE_ROUTERS = ("node1", "node2", "node3")
+EXPECTED_FIG1_SERVER_ROUTERS = ("node4", "node5", "node6", "node7", "node8")
+EXPECTED_FIG1_DEAD_ENDS = ("node7",)
+EXPECTED_FIG1_DOUBLE_ACTOR = "node4"
+
+
+def build_figure1_web() -> Web:
+    """Reconstruct the Figure 1 topology.
+
+    Link plan (PRE stage in brackets)::
+
+        S -G-> 1, 2, 3                 [first G of p1]
+        1 -G-> 4 ; 2 -L-> 5 ; 3 -G-> 6 ; 3 -L-> 7    [(G|L) of p1]
+        4 -G-> 8 ; 5 -G-> 4            [(G|L) = p2]
+        7 -G-> 8                       (never followed: 7 fails q1)
+
+    Nodes 4, 5, 6 satisfy q1 (title contains "topic"); node 7 does not.
+    Nodes 4 and 8 satisfy q2 (bold segment mentioning "detail").
+    """
+    builder = WebBuilder()
+    builder.site("site-s.example").page(
+        "/",
+        title="Start node S",
+        links=[
+            ("one", "http://site-a.example/"),
+            ("two", "http://site-b.example/"),
+            ("three", "http://site-c.example/"),
+        ],
+    )
+    builder.site("site-a.example").page(
+        "/",
+        title="node1 index",
+        links=[("four", "http://site-d.example/")],
+    )
+    (
+        builder.site("site-b.example")
+        .page("/", title="node2 index", links=[("five", "/five.html")])
+        .page(
+            "/five.html",
+            title="node5 topic survey",
+            links=[("four", "http://site-d.example/")],
+        )
+    )
+    (
+        builder.site("site-c.example")
+        .page(
+            "/",
+            title="node3 index",
+            links=[("six", "http://site-e.example/"), ("seven", "/seven.html")],
+        )
+        .page(
+            "/seven.html",
+            title="node7 miscellany",  # fails q1: no "topic" in the title
+            links=[("eight", "http://site-f.example/")],
+        )
+    )
+    builder.site("site-d.example").page(
+        "/",
+        title="node4 topic overview",
+        emphasized=[("b", "detail digest for node4")],
+        links=[("eight", "http://site-f.example/")],
+    )
+    builder.site("site-e.example").page(
+        "/",
+        title="node6 topic notes",
+        # Leaf: satisfies q1 but has no (G|L) links to forward q2 along.
+    )
+    builder.site("site-f.example").page(
+        "/",
+        title="node8 archive",
+        emphasized=[("b", "detail archive for node8")],
+    )
+    return builder.build()
+
+
+#: Page URL -> figure node name, for trace rendering.
+FIG1_NODE_NAMES = {
+    "http://site-s.example/": "S",
+    "http://site-a.example/": "node1",
+    "http://site-b.example/": "node2",
+    "http://site-b.example/five.html": "node5",
+    "http://site-c.example/": "node3",
+    "http://site-c.example/seven.html": "node7",
+    "http://site-d.example/": "node4",
+    "http://site-e.example/": "node6",
+    "http://site-f.example/": "node8",
+}
+
+
+# --- Figure 5 -----------------------------------------------------------------
+
+EXPECTED_FIG5_FOCUS_NODE = "http://site-four.example/"
+#: Total arrivals at node 4 (visits a-e of the figure).
+EXPECTED_FIG5_VISITS = 5
+#: With the log table on, visits d and e are dropped as duplicates of c.
+EXPECTED_FIG5_DUPLICATE_DROPS = 2
+
+
+def build_figure5_web() -> Web:
+    """Reconstruct the Figure 5 topology (five visits to node 4).
+
+    Link plan (every link global; one site per node)::
+
+        S -G-> 4            visit a: state (2, G|L)   — PureRouter
+        S -G-> 1
+        1 -G-> 4            visit b: state (2, N)     — evaluates q1
+        1 -G-> X1, X2, X3   (each evaluates q1, succeeds)
+        X1 -G-> 4 ; X2 -G-> 4 ; X3 -G-> 4
+                            visits c, d, e: state (1, N) — same state!
+        4 -G-> 2            (q2 forwarded from visits a/b paths)
+
+    Node 4 and the X nodes satisfy q1; nodes 4 and 2 satisfy q2.
+    """
+    builder = WebBuilder()
+    builder.site("site-s.example").page(
+        "/",
+        title="Start node S",
+        links=[("four", "http://site-four.example/"), ("one", "http://site-one.example/")],
+    )
+    builder.site("site-one.example").page(
+        "/",
+        title="node1 index",
+        links=[
+            ("four", "http://site-four.example/"),
+            ("x1", "http://site-x1.example/"),
+            ("x2", "http://site-x2.example/"),
+            ("x3", "http://site-x3.example/"),
+        ],
+    )
+    builder.site("site-four.example").page(
+        "/",
+        title="node4 topic hub",
+        emphasized=[("b", "detail hub for node4")],
+        links=[("two", "http://site-two.example/")],
+    )
+    for name in ("x1", "x2", "x3"):
+        builder.site(f"site-{name}.example").page(
+            "/",
+            title=f"node {name} topic page",
+            links=[("four", "http://site-four.example/")],
+        )
+    builder.site("site-two.example").page(
+        "/",
+        title="node2 terminus",
+        emphasized=[("b", "detail terminus for node2")],
+    )
+    return builder.build()

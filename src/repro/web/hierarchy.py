@@ -1,0 +1,91 @@
+"""Hierarchical webs: organization trees of sites.
+
+Real campus webs (the paper's deployment environment) are roughly
+tree-shaped: an institute portal links to departments, departments to
+groups, groups to pages.  This generator builds that shape deterministically
+with controllable depth and fanout — the workload for the PRE-radius sweep
+(bench EXP-X7), where the paper's claim that StartNodes + bounded PREs
+"restrict the search space to a feasible level" becomes measurable.
+
+Every tree node is one *site*; each site has a homepage linking globally to
+its children's homepages and locally to ``leaf_pages`` content pages.  The
+content page of every site at depth ``d`` carries a marker segment
+``level-d`` so queries can tell how deep they reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .builders import WebBuilder
+from .web import Web
+
+__all__ = ["HierarchyConfig", "build_hierarchy_web", "hierarchy_root_url", "sites_at_depth"]
+
+
+@dataclass(frozen=True, slots=True)
+class HierarchyConfig:
+    """Shape of the organization tree."""
+
+    depth: int = 3
+    fanout: int = 3
+    leaf_pages: int = 2
+    padding_words: int = 60
+
+    def __post_init__(self) -> None:
+        if self.depth < 0 or self.fanout < 1 or self.leaf_pages < 1:
+            raise ValueError("need depth >= 0, fanout >= 1, leaf_pages >= 1")
+
+    def site_count(self) -> int:
+        """Total sites: ``sum(fanout^d for d in 0..depth)``."""
+        return sum(self.fanout**d for d in range(self.depth + 1))
+
+
+def _site_name(path: tuple[int, ...]) -> str:
+    if not path:
+        return "org.example"
+    return "org-" + "-".join(str(p) for p in path) + ".example"
+
+
+def hierarchy_root_url(config: HierarchyConfig | None = None) -> str:
+    return "http://org.example/"
+
+
+def sites_at_depth(config: HierarchyConfig, depth: int) -> int:
+    return config.fanout**depth if depth <= config.depth else 0
+
+
+def build_hierarchy_web(config: HierarchyConfig) -> Web:
+    """Build the tree web described by ``config``."""
+    builder = WebBuilder()
+    _build_subtree(builder, config, path=())
+    return builder.build()
+
+
+def _build_subtree(builder: WebBuilder, config: HierarchyConfig, path: tuple[int, ...]) -> None:
+    depth = len(path)
+    site = builder.site(_site_name(path))
+    links = []
+    if depth < config.depth:
+        for child in range(config.fanout):
+            links.append(
+                (f"unit {child}", f"http://{_site_name(path + (child,))}/")
+            )
+    for page in range(config.leaf_pages):
+        links.append((f"page {page}", f"/content{page}.html"))
+    site.page(
+        "/",
+        title=f"unit {'-'.join(map(str, path)) or 'root'} portal level-{depth}",
+        links=links,
+        padding=config.padding_words,
+    )
+    for page in range(config.leaf_pages):
+        site.page(
+            f"/content{page}.html",
+            title=f"content {page} of {_site_name(path)}",
+            emphasized=[("b", f"marker level-{depth} item {page}")],
+            padding=config.padding_words,
+        )
+    if depth < config.depth:
+        for child in range(config.fanout):
+            _build_subtree(builder, config, path + (child,))

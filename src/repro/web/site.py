@@ -1,0 +1,81 @@
+"""Pages and sites of the simulated Web."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WebDisError
+from ..html.generator import PageSpec, render_page
+from ..urlutils import Url
+
+__all__ = ["Page", "Site"]
+
+
+class Page:
+    """One web resource: a URL path plus its HTML content.
+
+    Content can be given directly (``html=``) or as a :class:`PageSpec`
+    (``spec=``), in which case it is rendered lazily and cached.  Rendered
+    pages flow through the real HTML parser at query time, so the full
+    document pipeline is exercised.
+    """
+
+    __slots__ = ("path", "_spec", "_html")
+
+    def __init__(self, path: str, *, spec: PageSpec | None = None, html: str | None = None) -> None:
+        if (spec is None) == (html is None):
+            raise WebDisError("Page needs exactly one of spec= or html=")
+        if not path.startswith("/"):
+            raise WebDisError(f"page path must be absolute, got {path!r}")
+        self.path = path
+        self._spec = spec
+        self._html = html
+
+    @property
+    def html(self) -> str:
+        if self._html is None:
+            assert self._spec is not None
+            self._html = render_page(self._spec)
+        return self._html
+
+    @property
+    def spec(self) -> PageSpec | None:
+        return self._spec
+
+    def __repr__(self) -> str:
+        return f"Page({self.path!r})"
+
+
+@dataclass
+class Site:
+    """A named web-server hosting a set of pages.
+
+    One WEBDIS query-server daemon runs per site (paper Section 2.4).
+    """
+
+    name: str
+    pages: dict[str, Page]
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise WebDisError("site name must be non-empty")
+        self.name = name.lower()
+        self.pages = {}
+
+    def add(self, page: Page) -> None:
+        if page.path in self.pages:
+            raise WebDisError(f"site {self.name} already has a page at {page.path}")
+        self.pages[page.path] = page
+
+    def page_at(self, path: str) -> Page | None:
+        return self.pages.get(path)
+
+    def url_of(self, path: str) -> Url:
+        """The absolute URL of the page at ``path`` on this site."""
+        return Url(self.name, path)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __repr__(self) -> str:
+        return f"Site({self.name!r}, {len(self.pages)} pages)"

@@ -1,0 +1,128 @@
+"""Seeded synthetic webs for benchmark workloads.
+
+The generator produces a multi-site web with controllable shape so the
+benches can sweep the axes the paper's claims depend on:
+
+* **size** — number of sites and pages per site (corpus bytes);
+* **connectivity** — local/global out-degree, which drives how many nodes a
+  PRE reaches and how much duplication the log table must absorb;
+* **selectivity** — the fraction of pages whose title carries the query
+  keyword (``"topic"``) and the fraction carrying a bold ``"detail"``
+  segment, which drives result volume and dead-end rates;
+* **document size** — filler padding, which separates query-shipping bytes
+  (independent of document size) from data-shipping bytes (proportional).
+
+Everything is driven by one :class:`random.Random` seed, so runs are
+reproducible and paired engine comparisons see the identical web.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .builders import WebBuilder
+from .web import Web
+
+__all__ = ["SyntheticWebConfig", "build_synthetic_web", "synthetic_start_url"]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticWebConfig:
+    """Parameters of a synthetic web."""
+
+    sites: int = 8
+    pages_per_site: int = 6
+    local_out_degree: int = 2
+    global_out_degree: int = 2
+    topic_fraction: float = 0.4
+    detail_fraction: float = 0.3
+    padding_words: int = 50
+    #: Fraction of hyperlinks pointing at nonexistent pages (floating links).
+    floating_fraction: float = 0.0
+    seed: int = 1999
+
+    def __post_init__(self) -> None:
+        if self.sites < 1 or self.pages_per_site < 1:
+            raise ValueError("need at least one site and one page per site")
+        for name in ("topic_fraction", "detail_fraction", "floating_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _site_name(index: int) -> str:
+    return f"site{index:03d}.example"
+
+
+def _page_path(index: int) -> str:
+    return "/" if index == 0 else f"/page{index}.html"
+
+
+def synthetic_start_url(config: SyntheticWebConfig) -> str:
+    """The canonical start node: the first site's homepage."""
+    return f"http://{_site_name(0)}/"
+
+
+def build_synthetic_web(config: SyntheticWebConfig) -> Web:
+    """Generate the web described by ``config`` (deterministic in the seed)."""
+    rng = random.Random(config.seed)
+    builder = WebBuilder()
+
+    for site_idx in range(config.sites):
+        site = builder.site(_site_name(site_idx))
+        for page_idx in range(config.pages_per_site):
+            has_topic = rng.random() < config.topic_fraction
+            has_detail = rng.random() < config.detail_fraction
+            title_tail = "topic digest" if has_topic else "general notes"
+            links = _links_for(rng, config, site_idx, page_idx)
+            emphasized = []
+            if has_detail:
+                emphasized.append(
+                    ("b", f"detail item {site_idx}-{page_idx} of the synthetic corpus")
+                )
+            site.page(
+                _page_path(page_idx),
+                title=f"{_site_name(site_idx)} page {page_idx} {title_tail}",
+                paragraphs=[
+                    f"Synthetic page {page_idx} hosted at {_site_name(site_idx)}.",
+                ],
+                emphasized=emphasized,
+                links=links,
+                padding=config.padding_words,
+            )
+    return builder.build()
+
+
+def _links_for(
+    rng: random.Random,
+    config: SyntheticWebConfig,
+    site_idx: int,
+    page_idx: int,
+) -> list[tuple[str, str]]:
+    links: list[tuple[str, str]] = []
+    # Local links: to other pages of the same site (never self).
+    local_candidates = [i for i in range(config.pages_per_site) if i != page_idx]
+    rng.shuffle(local_candidates)
+    for target in local_candidates[: config.local_out_degree]:
+        href = _page_path(target)
+        links.append((f"local {target}", _maybe_float(rng, config, href)))
+    # Global links: to pages of other sites (never the same site).
+    if config.sites > 1:
+        for __ in range(config.global_out_degree):
+            other = rng.randrange(config.sites - 1)
+            if other >= site_idx:
+                other += 1
+            target_page = rng.randrange(config.pages_per_site)
+            href = f"http://{_site_name(other)}{_page_path(target_page)}"
+            links.append((f"global {other}", _maybe_float(rng, config, href)))
+    return links
+
+
+def _maybe_float(rng: random.Random, config: SyntheticWebConfig, href: str) -> str:
+    """Occasionally rewrite ``href`` to a dangling target (floating link)."""
+    if config.floating_fraction and rng.random() < config.floating_fraction:
+        if href.startswith("http://"):
+            return href.rstrip("/") + "/missing.html"
+        return "/missing-" + href.lstrip("/")
+    return href

@@ -1,0 +1,65 @@
+"""Tests for run reports and paired comparisons."""
+
+from __future__ import annotations
+
+from repro import WebDisEngine
+from repro.analysis import RunReport, compare_runs, format_comparison
+from repro.baselines import DataShippingEngine
+from repro.web.campus import CAMPUS_QUERY_DISQL
+
+
+def _reports(campus_web):
+    qs = WebDisEngine(campus_web)
+    qs_handle = qs.run_query(CAMPUS_QUERY_DISQL)
+    ds = DataShippingEngine(campus_web)
+    ds_result = ds.run_query(CAMPUS_QUERY_DISQL)
+    return (
+        RunReport.from_run("query-shipping", qs, qs_handle),
+        RunReport.from_run("data-shipping", ds, ds_result),
+    )
+
+
+class TestRunReport:
+    def test_core_metrics_present(self, campus_web):
+        report, __ = _reports(campus_web)
+        for key in ("messages", "bytes", "result_rows", "response_time", "peak_site_cpu"):
+            assert key in report.metrics
+
+    def test_works_for_baseline(self, campus_web):
+        __, report = _reports(campus_web)
+        assert report.metrics["documents_shipped"] > 0
+
+    def test_render(self, campus_web):
+        report, __ = _reports(campus_web)
+        text = report.render()
+        assert text.startswith("run: query-shipping")
+        assert "bytes" in text
+
+
+class TestComparison:
+    def test_rows_paired_and_sorted(self, campus_web):
+        a, b = _reports(campus_web)
+        rows = compare_runs(a, b)
+        keys = [key for key, *__ in rows]
+        assert keys == sorted(keys)
+        assert all(len(row) == 4 for row in rows)
+
+    def test_ratio_math(self, campus_web):
+        a, b = _reports(campus_web)
+        rows = {key: (left, right, ratio) for key, left, right, ratio in compare_runs(a, b)}
+        left, right, ratio = rows["bytes"]
+        assert ratio == right / left
+        assert ratio > 1  # data shipping costs more bytes
+
+    def test_zero_denominator(self, campus_web):
+        a, b = _reports(campus_web)
+        # Query shipping moved 0 documents: the ratio is undefined.
+        rows = {key: ratio for key, __, ___, ratio in compare_runs(a, b)}
+        assert rows["documents_shipped"] is None
+
+    def test_format_table(self, campus_web):
+        a, b = _reports(campus_web)
+        table = format_comparison(a, b)
+        assert "query-shipping" in table and "data-shipping" in table
+        assert "data-shipping/query-shipping" in table
+        assert "x" in table  # at least one ratio column entry

@@ -1,0 +1,156 @@
+"""Tests for the application layer: site map, link check, gatherer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_site_map, find_floating_links, gather_segments
+from repro.web import SyntheticWebConfig, WebBuilder, build_synthetic_web
+from repro.web.synthetic import synthetic_start_url
+
+
+def _domain_web(with_dangling: bool = False):
+    builder = WebBuilder()
+    site = builder.site("docs.example")
+    site.page(
+        "/",
+        title="Docs home",
+        links=[("Guide", "/guide.html"), ("API", "/api.html")],
+    )
+    site.page(
+        "/guide.html",
+        title="Guide",
+        links=[("Home", "/"), ("External", "http://other.example/")]
+        + ([("Broken", "/gone.html")] if with_dangling else []),
+    )
+    site.page("/api.html", title="API", links=[("Guide", "/guide.html")])
+    builder.site("other.example").page("/", title="Other")
+    return builder.build()
+
+
+class TestSiteMap:
+    def test_collects_local_edges(self):
+        site_map = build_site_map(_domain_web(), "http://docs.example/", depth=4)
+        bases = {base for base, __, ___ in site_map.edges}
+        assert "http://docs.example/" in bases
+        assert all(ltype == "L" for __, ___, ltype in site_map.edges)
+
+    def test_include_global_records_exits(self):
+        site_map = build_site_map(
+            _domain_web(), "http://docs.example/", depth=4, include_global=True
+        )
+        assert any(ltype == "G" for __, ___, ltype in site_map.edges)
+
+    def test_pages_cover_domain(self):
+        site_map = build_site_map(_domain_web(), "http://docs.example/", depth=4)
+        assert "http://docs.example/guide.html" in site_map.pages
+
+    def test_no_duplicate_edges(self):
+        site_map = build_site_map(_domain_web(), "http://docs.example/", depth=6)
+        assert len(site_map.edges) == len(set(site_map.edges))
+
+    def test_render(self):
+        site_map = build_site_map(_domain_web(), "http://docs.example/", depth=4)
+        text = site_map.render()
+        assert "--L-->" in text
+
+    def test_economics_recorded(self):
+        site_map = build_site_map(_domain_web(), "http://docs.example/", depth=4)
+        assert site_map.bytes_on_wire > 0
+        assert site_map.response_time is not None
+
+    def test_depth_zero_maps_only_root(self):
+        site_map = build_site_map(_domain_web(), "http://docs.example/", depth=0)
+        assert {base for base, __, ___ in site_map.edges} == {"http://docs.example/"}
+
+
+class TestLinkCheck:
+    def test_clean_domain(self):
+        report = find_floating_links(_domain_web(), "http://docs.example/", depth=4)
+        assert report.ok
+        assert report.links_checked > 0
+
+    def test_detects_dangling(self):
+        report = find_floating_links(
+            _domain_web(with_dangling=True), "http://docs.example/", depth=4
+        )
+        assert not report.ok
+        assert [(f.base, f.href) for f in report.floating] == [
+            ("http://docs.example/guide.html", "http://docs.example/gone.html")
+        ]
+
+    def test_render_mentions_dangling(self):
+        report = find_floating_links(
+            _domain_web(with_dangling=True), "http://docs.example/", depth=4
+        )
+        assert "dangling" in report.render()
+
+    def test_synthetic_floating_fraction(self):
+        config = SyntheticWebConfig(
+            sites=4, pages_per_site=4, floating_fraction=0.3, seed=13
+        )
+        web = build_synthetic_web(config)
+        report = find_floating_links(
+            web, synthetic_start_url(config), depth=5, include_global=True
+        )
+        assert report.floating  # some dangling links were planted
+
+    def test_zero_floating_fraction_clean(self):
+        config = SyntheticWebConfig(sites=4, pages_per_site=4, seed=13)
+        web = build_synthetic_web(config)
+        report = find_floating_links(
+            web, synthetic_start_url(config), depth=5, include_global=True
+        )
+        assert report.ok
+
+
+class TestGather:
+    def _web(self):
+        builder = WebBuilder()
+        for name in ("alpha", "beta"):
+            site = builder.site(f"{name}.example")
+            site.page(
+                "/",
+                title=f"{name} home",
+                emphasized=[("b", f"announcement from {name}")],
+                links=[("news", "/news.html")],
+            )
+            site.page(
+                "/news.html",
+                title=f"{name} news",
+                emphasized=[("b", f"announcement deep in {name}")],
+            )
+        return builder.build()
+
+    def test_gathers_from_multiple_starts(self):
+        result = gather_segments(
+            self._web(),
+            ["http://alpha.example/", "http://beta.example/"],
+            "announcement",
+            radius=2,
+        )
+        sites = set(result.by_site())
+        assert sites == {"alpha.example", "beta.example"}
+        assert len(result.segments) == 4
+
+    def test_keyword_filters(self):
+        result = gather_segments(
+            self._web(), ["http://alpha.example/"], "nonexistent", radius=2
+        )
+        assert result.segments == []
+
+    def test_requires_start_urls(self):
+        with pytest.raises(ValueError):
+            gather_segments(self._web(), [], "x")
+
+    def test_render(self):
+        result = gather_segments(
+            self._web(), ["http://alpha.example/"], "announcement", radius=1
+        )
+        assert "announcement" in result.render()
+
+    def test_economics(self):
+        result = gather_segments(
+            self._web(), ["http://alpha.example/"], "announcement", radius=2
+        )
+        assert result.messages > 0 and result.bytes_on_wire > 0

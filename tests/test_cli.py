@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestQueryCommand:
+    def test_campus_default_query(self, capsys):
+        code = main(["query", "--web", "campus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CONVENER Jayant Haritsa" in out
+        assert "status: complete" in out
+
+    def test_inline_disql(self, capsys):
+        code = main(
+            [
+                "query",
+                "--web",
+                "campus",
+                "--disql",
+                'select d.url from document d such that'
+                ' "http://www.iisc.ernet.in/" N d',
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "http://www.iisc.ernet.in/" in out
+
+    def test_query_from_file(self, tmp_path, capsys):
+        path = tmp_path / "q.disql"
+        path.write_text(
+            'select d.title from document d such that "http://www.iisc.ernet.in/" N d'
+        )
+        code = main(["query", "--file", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Indian Institute of Science" in out
+
+    def test_trace_flag(self, capsys):
+        code = main(["query", "--web", "campus", "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ServerRouter" in out
+
+    def test_stats_flag(self, capsys):
+        code = main(["query", "--web", "campus", "--stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "documents_shipped" in out
+
+    def test_synthetic_requires_disql(self, capsys):
+        code = main(["query", "--web", "synthetic"])
+        assert code == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_bad_disql_reports_error(self, capsys):
+        code = main(["query", "--disql", "select nonsense"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_synthetic_web_flags(self, capsys):
+        code = main(
+            [
+                "query", "--web", "synthetic", "--sites", "3", "--pages", "2",
+                "--seed", "5",
+                "--disql",
+                'select d.url from document d such that'
+                ' "http://site000.example/" N|L*1 d',
+            ]
+        )
+        assert code == 0
+        assert "site000.example" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_sitemap(self, capsys):
+        code = main(["sitemap", "--web", "campus", "--global-links"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "--G-->" in out or "--L-->" in out
+
+    def test_linkcheck_clean(self, capsys):
+        code = main(["linkcheck", "--web", "campus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 floating" in out
+
+    def test_linkcheck_dirty_exit_code(self, capsys):
+        code = main(
+            ["linkcheck", "--web", "synthetic", "--floating", "0.3", "--seed", "13"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "dangling" in out
+
+    def test_demo(self, capsys):
+        code = main(["demo"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "example query 2" in out
+        assert "CONVENER" in out
+
+    def test_figure_webs_selectable(self, capsys):
+        code = main(
+            [
+                "query", "--web", "figure1",
+                "--disql",
+                'select d.url from document d such that'
+                ' "http://site-s.example/" N d',
+            ]
+        )
+        assert code == 0
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestArtifactOutputs:
+    def test_html_report_written(self, tmp_path, capsys):
+        out = tmp_path / "run.html"
+        code = main(["query", "--web", "campus", "--html", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "CONVENER" in text
+
+    def test_dot_written(self, tmp_path, capsys):
+        out = tmp_path / "run.dot"
+        code = main(["query", "--web", "campus", "--dot", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("digraph webdis {")

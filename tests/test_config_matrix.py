@@ -1,0 +1,58 @@
+"""Invariant sweep: Figure 8 must survive every engine-configuration combo.
+
+The paper's optimizations and our extensions are all supposed to change
+*cost*, never *answers*.  This matrix runs the sample query under all
+combinations of the behavioural toggles and asserts the exact Figure-8
+result set and exact completion each time.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import EngineConfig, QueryStatus, WebDisEngine
+from repro.web.campus import CAMPUS_QUERY_DISQL, EXPECTED_CONVENER_ROWS
+
+_FLAG_AXES = {
+    "log_table_enabled": (True, False),
+    "batch_per_site": (True, False),
+    "combine_results_and_cht": (True, False),
+    "direct_result_return": (True, False),
+}
+
+_COMBOS = [
+    dict(zip(_FLAG_AXES, values))
+    for values in itertools.product(*_FLAG_AXES.values())
+]
+
+
+@pytest.mark.parametrize(
+    "combo", _COMBOS, ids=lambda c: ",".join(k for k, v in c.items() if not v) or "all-on"
+)
+def test_figure8_invariant_under_flags(campus_web, combo):
+    engine = WebDisEngine(campus_web, config=EngineConfig(**combo))
+    handle = engine.run_query(CAMPUS_QUERY_DISQL)
+    assert handle.status is QueryStatus.COMPLETE
+    assert {r.values for r in handle.unique_rows("q2")} == set(EXPECTED_CONVENER_ROWS)
+    handle.cht.check_consistency()
+    assert handle.cht.imbalance() == 0
+
+
+_EXTENSION_AXES = [
+    EngineConfig(log_subsumption="language"),
+    EngineConfig(server_threads=4),
+    EngineConfig(db_cache_size=16),
+    EngineConfig(log_subsumption="language", server_threads=4, db_cache_size=16),
+    EngineConfig(log_max_age=0.001, log_purge_interval=0.001),
+    EngineConfig(strict_dead_end=False, server_threads=2, batch_per_site=False),
+]
+
+
+@pytest.mark.parametrize("config", _EXTENSION_AXES, ids=range(len(_EXTENSION_AXES)))
+def test_figure8_invariant_under_extensions(campus_web, config):
+    engine = WebDisEngine(campus_web, config=config)
+    handle = engine.run_query(CAMPUS_QUERY_DISQL)
+    assert handle.status is QueryStatus.COMPLETE
+    assert {r.values for r in handle.unique_rows("q2")} == set(EXPECTED_CONVENER_ROWS)

@@ -1,0 +1,187 @@
+"""Unit tests for per-node ServerRouter/PureRouter processing (Figure 4)."""
+
+from __future__ import annotations
+
+from repro.core.config import EngineConfig
+from repro.core.processing import process_node
+from repro.core.trace import PURE_ROUTER, SERVER_ROUTER
+from repro.core.webquery import QueryId, WebQuery, WebQueryStep
+from repro.html.generator import PageSpec, render_page
+from repro.model.database import build_node_database
+from repro.pre import parse_pre
+from repro.relational.expr import Attr, Contains, Literal
+from repro.relational.query import NodeQuery, TableDecl
+from repro.urlutils import Url, parse_url
+
+QID = QueryId("u", "user.example", 5001, 1)
+CONFIG = EngineConfig()
+STRICT = EngineConfig(strict_dead_end=True)
+
+URL = parse_url("http://a.example/page")
+
+
+def _db(title: str, links=(), emphasized=()):
+    spec = PageSpec(title=title, links=tuple(links), emphasized=tuple(emphasized))
+    return build_node_database(URL, render_page(spec))
+
+
+def _title_query(label: str, needle: str) -> NodeQuery:
+    return NodeQuery(
+        (Attr("d", "url"),),
+        (TableDecl("document", "d"),),
+        Contains(Attr("d", "title"), Literal(needle)),
+        label,
+    )
+
+
+def _query(*steps) -> WebQuery:
+    return WebQuery(QID, (Url("start.example", "/"),), tuple(steps))
+
+
+TOPIC_Q = _title_query("q1", "topic")
+DETAIL_Q = _title_query("q2", "detail")
+
+
+class TestPureRouter:
+    def test_non_nullable_pre_routes_only(self):
+        query = _query(WebQueryStep(parse_pre("G.L"), TOPIC_Q))
+        db = _db("topic page", links=[("x", "http://b.example/")])
+        outcome = process_node(URL, db, query, 0, parse_pre("G.L"), CONFIG)
+        assert outcome.role == PURE_ROUTER
+        assert outcome.evaluations == []
+        assert len(outcome.forwards) == 1
+        forward = outcome.forwards[0]
+        assert str(forward.target) == "http://b.example/"
+        assert forward.rem == parse_pre("L")
+
+    def test_no_matching_links_is_dead_end(self):
+        query = _query(WebQueryStep(parse_pre("G"), TOPIC_Q))
+        db = _db("t", links=[("x", "/local.html")])  # only local links
+        outcome = process_node(URL, db, query, 0, parse_pre("G"), CONFIG)
+        assert outcome.dead_end
+
+    def test_forwards_deduplicated(self):
+        query = _query(WebQueryStep(parse_pre("G"), TOPIC_Q))
+        db = _db("t", links=[("x", "http://b.example/"), ("y", "http://b.example/")])
+        outcome = process_node(URL, db, query, 0, parse_pre("G"), CONFIG)
+        assert len(outcome.forwards) == 1
+
+    def test_fragment_stripped_from_target(self):
+        query = _query(WebQueryStep(parse_pre("G"), TOPIC_Q))
+        db = _db("t", links=[("x", "http://b.example/p#sec")])
+        outcome = process_node(URL, db, query, 0, parse_pre("G"), CONFIG)
+        assert outcome.forwards[0].target == Url("b.example", "/p")
+
+
+class TestServerRouter:
+    def test_nullable_pre_evaluates(self):
+        query = _query(WebQueryStep(parse_pre("N"), TOPIC_Q))
+        db = _db("a topic page")
+        outcome = process_node(URL, db, query, 0, parse_pre("N"), CONFIG)
+        assert outcome.role == SERVER_ROUTER
+        assert outcome.answered
+        assert [label for label, __ in outcome.results] == ["q1"]
+
+    def test_success_forwards_next_stage(self):
+        query = _query(
+            WebQueryStep(parse_pre("N"), TOPIC_Q),
+            WebQueryStep(parse_pre("G"), DETAIL_Q),
+        )
+        db = _db("topic here", links=[("x", "http://b.example/")])
+        outcome = process_node(URL, db, query, 0, parse_pre("N"), CONFIG)
+        (forward,) = outcome.forwards
+        assert forward.step_index == 1
+        assert forward.rem == parse_pre("N")
+
+    def test_failure_blocks_next_stage(self):
+        query = _query(
+            WebQueryStep(parse_pre("N"), TOPIC_Q),
+            WebQueryStep(parse_pre("G"), DETAIL_Q),
+        )
+        db = _db("no match", links=[("x", "http://b.example/")])
+        outcome = process_node(URL, db, query, 0, parse_pre("N"), CONFIG)
+        assert outcome.failed
+        assert outcome.forwards == []
+        assert outcome.dead_end
+
+    def test_failure_keeps_current_pre_continuations_lenient(self):
+        # rem = L*1: nullable (evaluate q1 here) but also continuable via L.
+        query = _query(WebQueryStep(parse_pre("L*1"), TOPIC_Q))
+        db = _db("no match", links=[("x", "/deeper.html")])
+        outcome = process_node(URL, db, query, 0, parse_pre("L*1"), CONFIG)
+        assert outcome.failed
+        (forward,) = outcome.forwards
+        assert forward.step_index == 0  # still hunting for q1 matches
+
+    def test_failure_kills_continuations_strict(self):
+        query = _query(WebQueryStep(parse_pre("L*1"), TOPIC_Q))
+        db = _db("no match", links=[("x", "/deeper.html")])
+        outcome = process_node(URL, db, query, 0, parse_pre("L*1"), STRICT)
+        assert outcome.forwards == []
+
+    def test_success_also_continues_current_pre(self):
+        # Both q1-forwarding (deeper L) and q2-forwarding must be emitted.
+        query = _query(
+            WebQueryStep(parse_pre("L*1"), TOPIC_Q),
+            WebQueryStep(parse_pre("G"), DETAIL_Q),
+        )
+        db = _db("topic", links=[("a", "/deep.html"), ("b", "http://b.example/")])
+        outcome = process_node(URL, db, query, 0, parse_pre("L*1"), CONFIG)
+        steps = sorted((f.step_index, str(f.target)) for f in outcome.forwards)
+        assert steps == [
+            (0, "http://a.example/deep.html"),
+            (1, "http://b.example/"),
+        ]
+
+    def test_chained_evaluation_same_node(self):
+        # p2 nullable at the same node: both q1 and q2 run here ("acts twice").
+        query = _query(
+            WebQueryStep(parse_pre("N"), TOPIC_Q),
+            WebQueryStep(parse_pre("N|G"), _title_query("q2", "topic")),
+        )
+        db = _db("topic page")
+        outcome = process_node(URL, db, query, 0, parse_pre("N"), CONFIG)
+        assert [k for k, __ in outcome.evaluations] == [0, 1]
+        assert {label for label, __ in outcome.results} == {"q1", "q2"}
+
+    def test_last_query_success_no_next_stage(self):
+        query = _query(WebQueryStep(parse_pre("N"), TOPIC_Q))
+        db = _db("topic", links=[("x", "http://b.example/")])
+        outcome = process_node(URL, db, query, 0, parse_pre("N"), CONFIG)
+        assert outcome.forwards == []  # rem is N; nothing left to do
+
+    def test_tuples_scanned_positive_when_evaluating(self):
+        query = _query(WebQueryStep(parse_pre("N"), TOPIC_Q))
+        outcome = process_node(URL, _db("topic"), query, 0, parse_pre("N"), CONFIG)
+        assert outcome.tuples_scanned > 0
+
+
+class TestAlternationAndRepetition:
+    def test_alternation_forwards_both_types(self):
+        query = _query(WebQueryStep(parse_pre("G|L"), TOPIC_Q))
+        db = _db("t", links=[("g", "http://b.example/"), ("l", "/x.html")])
+        outcome = process_node(URL, db, query, 0, parse_pre("G|L"), CONFIG)
+        assert len(outcome.forwards) == 2
+        assert all(f.rem == parse_pre("N") for f in outcome.forwards)
+
+    def test_bounded_repetition_counts_down(self):
+        query = _query(WebQueryStep(parse_pre("L*3"), TOPIC_Q))
+        db = _db("topic", links=[("l", "/next.html")])
+        outcome = process_node(URL, db, query, 0, parse_pre("L*3"), CONFIG)
+        (forward,) = outcome.forwards
+        assert forward.rem == parse_pre("L*2")
+
+    def test_unbounded_repetition_stable_state(self):
+        query = _query(WebQueryStep(parse_pre("L*"), TOPIC_Q))
+        db = _db("topic", links=[("l", "/next.html")])
+        outcome = process_node(URL, db, query, 0, parse_pre("L*"), CONFIG)
+        (forward,) = outcome.forwards
+        assert forward.rem == parse_pre("L*")
+
+    def test_interior_links_forward_to_self(self):
+        query = _query(WebQueryStep(parse_pre("I.L"), TOPIC_Q))
+        db = _db("t", links=[("top", "#top"), ("l", "/x.html")])
+        outcome = process_node(URL, db, query, 0, parse_pre("I.L"), CONFIG)
+        (forward,) = outcome.forwards
+        assert forward.target == URL.without_fragment()
+        assert forward.rem == parse_pre("L")

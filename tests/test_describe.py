@@ -1,0 +1,76 @@
+"""Plain-English PRE descriptions and the CLI explain command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.pre import parse_pre
+from repro.pre.describe import describe_pre
+
+
+class TestDescribePre:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("N", "the document itself"),
+            ("G", "a global link"),
+            ("L", "a local link"),
+            ("I", "an interior link".replace("an ", "a ")),  # uniform article
+            ("G.L", "a global link, then a local link"),
+            ("G|L", "either a global link or a local link"),
+            ("L*", "any number of local links"),
+            ("L*1", "up to 1 local link"),
+            ("L*4", "up to 4 local links"),
+            ("G.(L*1)", "a global link, then up to 1 local link"),
+        ],
+    )
+    def test_descriptions(self, text, expected):
+        assert describe_pre(parse_pre(text)) == expected
+
+    def test_paper_query_reads_naturally(self):
+        pre = parse_pre("N|G.(L*4)")
+        description = describe_pre(pre)
+        assert "document itself" in description
+        assert "global link" in description
+        assert "up to 4 local links" in description
+
+    def test_three_way_alternation(self):
+        assert describe_pre(parse_pre("I|L|G")).startswith("one of:")
+
+    def test_repeat_of_group(self):
+        description = describe_pre(parse_pre("(G|L)*2"))
+        assert description.startswith("up to 2 repetitions of (")
+
+
+class TestCliExplain:
+    def test_explain_inline(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--disql",
+                'select d.url from document d such that "http://a.example/" G.(L*1) d',
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("Q = http://a.example/")
+        assert "traverse a global link, then up to 1 local link" in out
+
+    def test_explain_from_file(self, tmp_path, capsys):
+        path = tmp_path / "q.disql"
+        path.write_text(
+            'select d.url from document d such that "http://a.example/" L* d'
+        )
+        code = main(["explain", "--file", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "any number of local links" in out
+
+    def test_explain_invalid_query(self, capsys):
+        code = main(["explain", "--disql", "select nonsense"])
+        assert code == 2
+
+    def test_explain_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["explain"])

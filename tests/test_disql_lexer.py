@@ -1,0 +1,77 @@
+"""Tests for the DISQL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disql.lexer import TokenKind, tokenize_disql
+from repro.errors import DisqlSyntaxError
+
+
+def kinds(text: str):
+    return [t.kind for t in tokenize_disql(text)]
+
+
+def texts(text: str):
+    return [t.text for t in tokenize_disql(text)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_idents_and_ops(self):
+        assert texts("select a.base") == ["select", "a", ".", "base"]
+
+    def test_string(self):
+        (token, __) = tokenize_disql('"hello"')
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_string_with_escapes(self):
+        (token, __) = tokenize_disql(r'"a\"b\\c"')
+        assert token.value == 'a"b\\c'
+
+    def test_number(self):
+        (token, __) = tokenize_disql("42")
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == 42
+
+    def test_two_char_operators(self):
+        assert texts("a.x != 1 and a.y <= 2") == [
+            "a", ".", "x", "!=", "1", "and", "a", ".", "y", "<=", "2",
+        ]
+
+    def test_middle_dot_operator(self):
+        assert "·" in texts("G·L")
+
+    def test_eof_always_last(self):
+        assert kinds("x")[-1] is TokenKind.EOF
+        assert kinds("")[-1] is TokenKind.EOF
+
+    def test_keyword_detection_case_insensitive(self):
+        (token, __) = tokenize_disql("SELECT")
+        assert token.is_keyword("select")
+
+    def test_offsets_slice_source(self):
+        text = 'from document d such that "u" L d'
+        tokens = tokenize_disql(text)
+        for token in tokens[:-1]:
+            assert text[token.start : token.end] == token.text
+
+    def test_line_and_column(self):
+        tokens = tokenize_disql("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestLexErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(DisqlSyntaxError):
+            tokenize_disql('"open')
+
+    def test_string_not_closed_before_newline(self):
+        with pytest.raises(DisqlSyntaxError):
+            tokenize_disql('"a\nb"x@')
+
+    def test_bad_character(self):
+        with pytest.raises(DisqlSyntaxError) as info:
+            tokenize_disql("a @ b")
+        assert info.value.line == 1

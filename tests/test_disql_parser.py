@@ -1,0 +1,174 @@
+"""Tests for the DISQL parser against the paper's example queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disql import parse_disql
+from repro.disql.ast import AliasSource, StartSource
+from repro.errors import DisqlSyntaxError
+from repro.pre import parse_pre
+from repro.relational.expr import Attr, Compare, Contains, Literal
+
+EXAMPLE_1 = """
+select a.base, a.href
+from document d such that "http://dsl.serc.iisc.ernet.in" L* d,
+     anchor a
+where a.ltype = "G"
+"""
+
+EXAMPLE_2 = """
+select d0.url, d1.url, r.text
+from document d0 such that "http://csa.iisc.ernet.in" L d0
+where d0.title contains "lab"
+     document d1 such that d0 G.(L*1) d1,
+     relinfon r such that r.delimiter = "hr"
+where (r.text contains "convener")
+"""
+
+
+class TestExampleQuery1:
+    def test_select_list(self):
+        query = parse_disql(EXAMPLE_1)
+        assert query.select == (Attr("a", "base"), Attr("a", "href"))
+
+    def test_single_subquery(self):
+        assert len(parse_disql(EXAMPLE_1).subqueries) == 1
+
+    def test_declarations(self):
+        (sub,) = parse_disql(EXAMPLE_1).subqueries
+        assert [(d.relation, d.alias) for d in sub.decls] == [
+            ("document", "d"),
+            ("anchor", "a"),
+        ]
+
+    def test_path_spec(self):
+        (sub,) = parse_disql(EXAMPLE_1).subqueries
+        path = sub.decls[0].path
+        assert path is not None
+        assert path.source == StartSource(("http://dsl.serc.iisc.ernet.in",))
+        assert path.pre == parse_pre("L*")
+        assert path.dest_alias == "d"
+
+    def test_where(self):
+        (sub,) = parse_disql(EXAMPLE_1).subqueries
+        assert sub.where == Compare("=", Attr("a", "ltype"), Literal("G"))
+
+
+class TestExampleQuery2:
+    def test_two_subqueries(self):
+        assert len(parse_disql(EXAMPLE_2).subqueries) == 2
+
+    def test_first_subquery(self):
+        first = parse_disql(EXAMPLE_2).subqueries[0]
+        assert [d.alias for d in first.decls] == ["d0"]
+        assert first.where == Contains(Attr("d0", "title"), Literal("lab"))
+
+    def test_second_subquery_chained(self):
+        second = parse_disql(EXAMPLE_2).subqueries[1]
+        path = second.decls[0].path
+        assert path is not None
+        assert path.source == AliasSource("d0")
+        assert path.pre == parse_pre("G.(L*1)")
+
+    def test_relinfon_condition(self):
+        second = parse_disql(EXAMPLE_2).subqueries[1]
+        relinfon = second.decls[1]
+        assert relinfon.relation == "relinfon"
+        assert relinfon.condition == Compare(
+            "=", Attr("r", "delimiter"), Literal("hr")
+        )
+
+    def test_second_where_parenthesized(self):
+        second = parse_disql(EXAMPLE_2).subqueries[1]
+        assert second.where == Contains(Attr("r", "text"), Literal("convener"))
+
+
+class TestGroupingRules:
+    def test_multiple_start_urls(self):
+        query = parse_disql(
+            'select d.url from document d such that "http://a.example" | "http://b.example" L d'
+        )
+        path = query.subqueries[0].decls[0].path
+        assert path is not None
+        assert path.source == StartSource(("http://a.example", "http://b.example"))
+
+    def test_decl_after_where_starts_new_subquery(self):
+        query = parse_disql(
+            'select d.url, a.href\n'
+            'from document d such that "http://x.example" L d\n'
+            'where d.title contains "x"\n'
+            "     anchor a"
+        )
+        # anchor lands in a second sub-query (which translate() will reject
+        # for lacking a path — but grouping itself is the parser's job).
+        assert len(query.subqueries) == 2
+
+    def test_path_decl_starts_new_subquery_without_where(self):
+        query = parse_disql(
+            "select d0.url, d1.url\n"
+            'from document d0 such that "http://x.example" L d0,\n'
+            "     document d1 such that d0 G d1"
+        )
+        assert len(query.subqueries) == 2
+
+    def test_multiple_wheres_conjoined(self):
+        query = parse_disql(
+            'select d.url from document d such that "http://x.example" L d\n'
+            'where d.title contains "a"\nwhere d.title contains "b"'
+        )
+        (sub,) = query.subqueries
+        assert "and" in str(sub.where)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "select",
+            "select d.url",
+            "select d.url from",
+            "select d.url from bogus b",
+            'select d.url from document d such that "u" L x',  # wrong dest alias
+            "select d.url from document d such that",
+            'select d.url from document d such that "u" L d where',
+            "select d from document d",  # select must be alias.attr
+            'select d.url from where d.title contains "x"',
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(DisqlSyntaxError):
+            parse_disql(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(DisqlSyntaxError) as info:
+            parse_disql("select d.url\nfrom bogus b")
+        assert info.value.line == 2
+
+
+class TestExpressionParsing:
+    def _where(self, clause: str):
+        text = f'select d.url from document d such that "http://u.example" L d where {clause}'
+        return parse_disql(text).subqueries[0].where
+
+    def test_and_or_precedence(self):
+        expr = self._where('d.title contains "a" or d.title contains "b" and d.length > 5')
+        # 'and' binds tighter: Or(contains a, And(contains b, >)).
+        assert str(expr).startswith("(d.title contains")
+
+    def test_not(self):
+        expr = self._where('not d.title contains "a"')
+        assert str(expr).startswith("(not")
+
+    def test_numeric_literal(self):
+        expr = self._where("d.length >= 100")
+        assert expr == Compare(">=", Attr("d", "length"), Literal(100))
+
+    def test_attr_to_attr_comparison(self):
+        expr = self._where("d.url = d.text")
+        assert expr == Compare("=", Attr("d", "url"), Attr("d", "text"))
+
+    def test_nested_parens(self):
+        expr = self._where('((d.title contains "x"))')
+        assert expr == Contains(Attr("d", "title"), Literal("x"))

@@ -1,0 +1,110 @@
+"""Property: randomly generated DISQL queries round-trip format -> parse.
+
+Builds arbitrary (valid) DISQL ASTs, renders them with the formatter and
+re-parses; the result must be an equal AST.  This hunts grammar/formatter
+mismatches that example-based tests miss.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.disql import format_disql, parse_disql, translate
+from repro.disql.ast import AliasSource, Decl, DisqlQuery, PathSpec, StartSource, SubQuery
+from repro.pre import parse_pre
+from repro.relational.expr import Attr, Compare, Contains, Literal
+
+_PRE_TEXTS = ["L", "G", "L*2", "G.(L*1)", "N|G", "(L|G)*2", "L*", "I"]
+_DOC_ATTRS = ["url", "title", "text"]
+_NEEDLES = ["lab", "convener", "topic x", 'quo"ted']
+
+
+@st.composite
+def _conditions(draw, alias: str, relation: str):
+    attr_name = draw(st.sampled_from(_DOC_ATTRS if relation == "document" else ["text", "delimiter"]))
+    attr = Attr(alias, attr_name)
+    kind = draw(st.sampled_from(["contains", "fuzzy", "eq"]))
+    needle = Literal(draw(st.sampled_from(_NEEDLES)))
+    if kind == "contains":
+        return Contains(attr, needle)
+    if kind == "fuzzy":
+        return Contains(attr, needle, draw(st.integers(1, 3)))
+    return Compare("=", attr, needle)
+
+
+@st.composite
+def _queries(draw) -> DisqlQuery:
+    n_steps = draw(st.integers(1, 3))
+    subqueries = []
+    all_aliases: list[tuple[str, str]] = []  # (alias, relation)
+    previous_doc = None
+    for step in range(n_steps):
+        doc_alias = f"d{step}"
+        pre = parse_pre(draw(st.sampled_from(_PRE_TEXTS)))
+        if step == 0:
+            urls = draw(
+                st.lists(
+                    st.sampled_from(
+                        ["http://a.example/", "http://b.example/x.html"]
+                    ),
+                    min_size=1,
+                    max_size=2,
+                    unique=True,
+                )
+            )
+            source = StartSource(tuple(urls))
+        else:
+            source = AliasSource(previous_doc)
+        decls = [
+            Decl("document", doc_alias, path=PathSpec(source, pre, str(pre), doc_alias))
+        ]
+        all_aliases.append((doc_alias, "document"))
+        if draw(st.booleans()):
+            extra_alias = f"r{step}"
+            relation = draw(st.sampled_from(["anchor", "relinfon"]))
+            condition = None
+            if relation == "relinfon" and draw(st.booleans()):
+                condition = Compare("=", Attr(extra_alias, "delimiter"), Literal("hr"))
+            decls.append(Decl(relation, extra_alias, condition=condition))
+            all_aliases.append((extra_alias, relation))
+        where = None
+        if draw(st.booleans()):
+            where = draw(_conditions(doc_alias, "document"))
+        subqueries.append(SubQuery(tuple(decls), where))
+        previous_doc = doc_alias
+
+    select_all = draw(st.booleans())
+    if select_all:
+        select = ()
+    else:
+        chosen = draw(
+            st.lists(st.sampled_from(all_aliases), min_size=1, max_size=3)
+        )
+        select = tuple(Attr(alias, "url" if rel != "relinfon" else "text")
+                       for alias, rel in chosen)
+        # dedupe while preserving order (formatter renders a plain list)
+        select = tuple(dict.fromkeys(select))
+    distinct = draw(st.booleans())
+    order_by = ()
+    if not select_all and draw(st.booleans()):
+        attr = draw(st.sampled_from(select)) if select else Attr("d0", "url")
+        order_by = ((attr, draw(st.booleans())),)
+    limit = draw(st.one_of(st.none(), st.integers(1, 9)))
+    return DisqlQuery(select, tuple(subqueries), distinct, order_by, limit, select_all)
+
+
+@given(_queries())
+@settings(max_examples=200, deadline=None)
+def test_format_parse_round_trip(query):
+    rendered = format_disql(query)
+    assert parse_disql(rendered) == query
+
+
+@given(_queries())
+@settings(max_examples=100, deadline=None)
+def test_generated_queries_translate(query):
+    """Every generated query must also lower to a valid WebQuery."""
+    webquery = translate(query)
+    assert webquery.num_steps == len(query.subqueries)
+    for step in webquery.steps:
+        assert step.query.select  # select splitting never leaves a step empty

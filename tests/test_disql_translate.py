@@ -1,0 +1,151 @@
+"""Tests for DISQL -> web-query translation (select splitting, chaining)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disql import compile_disql, format_disql, parse_disql, translate
+from repro.errors import DisqlSemanticsError
+from repro.pre import parse_pre
+from repro.relational.expr import Attr
+
+from tests.test_disql_parser import EXAMPLE_1, EXAMPLE_2
+
+
+class TestExample1Translation:
+    def test_single_step(self):
+        query = compile_disql(EXAMPLE_1)
+        assert query.num_steps == 1
+
+    def test_start_urls(self):
+        query = compile_disql(EXAMPLE_1)
+        assert [str(u) for u in query.start_urls] == ["http://dsl.serc.iisc.ernet.in/"]
+
+    def test_pre(self):
+        query = compile_disql(EXAMPLE_1)
+        assert query.steps[0].pre == parse_pre("L*")
+
+    def test_node_query_contents(self):
+        node_query = compile_disql(EXAMPLE_1).steps[0].query
+        assert node_query.select == (Attr("a", "base"), Attr("a", "href"))
+        assert [t.relation for t in node_query.tables] == ["document", "anchor"]
+        assert "a.ltype" in str(node_query.where)
+
+
+class TestExample2Translation:
+    def test_two_steps(self):
+        assert compile_disql(EXAMPLE_2).num_steps == 2
+
+    def test_formalism_matches_paper(self):
+        # Q = http://csa.iisc.ernet.in  L  q1  G.(L*1)  q2
+        query = compile_disql(EXAMPLE_2)
+        assert query.steps[0].pre == parse_pre("L")
+        assert query.steps[1].pre == parse_pre("G.(L*1)")
+
+    def test_select_split_per_step(self):
+        query = compile_disql(EXAMPLE_2)
+        assert query.steps[0].query.select == (Attr("d0", "url"),)
+        assert query.steps[1].query.select == (Attr("d1", "url"), Attr("r", "text"))
+
+    def test_such_that_condition_folded_into_where(self):
+        q2 = compile_disql(EXAMPLE_2).steps[1].query
+        text = str(q2.where)
+        assert "r.delimiter" in text and "convener" in text
+
+    def test_labels(self):
+        query = compile_disql(EXAMPLE_2)
+        assert [s.query.label for s in query.steps] == ["q1", "q2"]
+
+    def test_select_header_preserves_user_order(self):
+        query = compile_disql(EXAMPLE_2)
+        assert query.select_header == ("d0.url", "d1.url", "r.text")
+
+
+class TestSemanticErrors:
+    def test_subquery_without_path(self):
+        text = (
+            "select d.url, a.href\n"
+            'from document d such that "http://x.example" L d\n'
+            'where d.title contains "x"\n'
+            "     anchor a"
+        )
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(text)
+
+    def test_broken_chain(self):
+        text = (
+            "select d0.url, d1.url\n"
+            'from document d0 such that "http://x.example" L d0,\n'
+            "     document d1 such that nosuch G d1"
+        )
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(text)
+
+    def test_start_urls_only_in_first_step(self):
+        text = (
+            "select d0.url, d1.url\n"
+            'from document d0 such that "http://x.example" L d0,\n'
+            '     document d1 such that "http://y.example" G d1'
+        )
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(text)
+
+    def test_alias_source_in_first_step(self):
+        text = "select d.url from document d such that z L d"
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(text)
+
+    def test_duplicate_alias_across_steps(self):
+        text = (
+            "select d.url\n"
+            'from document d such that "http://x.example" L d,\n'
+            "     document d such that d G d"
+        )
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(text)
+
+    def test_where_crossing_subquery_boundary(self):
+        text = (
+            "select d0.url, d1.url\n"
+            'from document d0 such that "http://x.example" L d0,\n'
+            "     document d1 such that d0 G d1\n"
+            'where d0.title contains "x"'
+        )
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(text)
+
+    def test_select_of_undeclared_alias(self):
+        text = 'select z.url from document d such that "http://x.example" L d'
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(text)
+
+    def test_path_on_anchor_rejected(self):
+        text = 'select a.href from anchor a such that "http://x.example" L a'
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(text)
+
+
+class TestDefaultSelect:
+    def test_step_with_no_selected_attrs_projects_url(self):
+        # The user only selects from step 2; step 1 still needs a success test.
+        text = (
+            "select d1.url\n"
+            'from document d0 such that "http://x.example" L d0\n'
+            'where d0.title contains "lab"\n'
+            "     document d1 such that d0 G d1"
+        )
+        query = compile_disql(text)
+        assert query.steps[0].query.select == (Attr("d0", "url"),)
+
+
+class TestFormatterRoundTrip:
+    @pytest.mark.parametrize("text", [EXAMPLE_1, EXAMPLE_2])
+    def test_round_trip(self, text):
+        parsed = parse_disql(text)
+        rendered = format_disql(parsed)
+        assert parse_disql(rendered) == parsed
+
+    def test_render_contains_clauses(self):
+        rendered = format_disql(parse_disql(EXAMPLE_2))
+        assert rendered.startswith("select d0.url, d1.url, r.text")
+        assert "such that" in rendered and "where" in rendered

@@ -1,0 +1,53 @@
+"""Tests for the paper-formalism explain output."""
+
+from __future__ import annotations
+
+from repro.disql import compile_disql, explain_webquery, format_node_query
+from tests.test_disql_parser import EXAMPLE_2
+
+
+class TestExplain:
+    def test_headline_matches_paper(self):
+        text = explain_webquery(compile_disql(EXAMPLE_2))
+        first = text.splitlines()[0]
+        # Paper: Q = http://csa.iisc.ernet.in  L  q1  G.(L*1)  q2
+        assert first == "Q = http://csa.iisc.ernet.in/  L  q1  G.L*1  q2"
+
+    def test_lists_each_node_query(self):
+        text = explain_webquery(compile_disql(EXAMPLE_2))
+        assert "where q1 is" in text
+        assert "where q2 is" in text
+        assert 'd0.title contains "lab"' in text
+
+    def test_multiple_start_nodes(self):
+        query = compile_disql(
+            'select d.url from document d such that'
+            ' "http://a.example/" | "http://b.example/" G d'
+        )
+        headline = explain_webquery(query).splitlines()[0]
+        assert "http://a.example/ | http://b.example/" in headline
+
+    def test_node_query_without_where(self):
+        query = compile_disql(
+            'select a.href from document d such that "http://a.example/" L d, anchor a'
+        )
+        rendered = format_node_query(query.steps[0].query)
+        assert "where" not in rendered
+        assert "document d,\n     anchor a" in rendered
+
+    def test_sitewide_shown(self):
+        query = compile_disql(
+            "select d.url, e.url\n"
+            'from document d such that "http://a.example/" L d,\n'
+            "     document e such that sitewide\n"
+            'where e.title contains "contact"'
+        )
+        rendered = format_node_query(query.steps[0].query)
+        assert "document e such that sitewide" in rendered
+
+    def test_fuzzy_contains_rendered(self):
+        query = compile_disql(
+            'select d.url from document d such that "http://a.example/" L d\n'
+            'where d.title contains~2 "convener"'
+        )
+        assert "contains~2" in explain_webquery(query)

@@ -1,0 +1,181 @@
+"""Tests for approximate queries (contains~k, §7.1 future work)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import QueryStatus, WebDisEngine
+from repro.disql import parse_disql
+from repro.relational.expr import Attr, Contains, Literal, evaluate
+from repro.relational.fuzzy import fuzzy_contains, within_edits
+from repro.web.builders import WebBuilder
+from repro.wire import expr_from_wire, expr_to_wire
+
+
+class TestWithinEdits:
+    @pytest.mark.parametrize(
+        "a,b,k,expected",
+        [
+            ("convener", "convener", 0, True),
+            ("convenor", "convener", 1, True),   # substitute
+            ("convener", "conveneer", 1, True),  # insert
+            ("convener", "convner", 1, True),    # delete
+            ("convenor", "convener", 0, False),
+            ("kitten", "sitting", 3, True),
+            ("kitten", "sitting", 2, False),
+            ("", "", 0, True),
+            ("", "abc", 3, True),
+            ("", "abc", 2, False),
+        ],
+    )
+    def test_cases(self, a, b, k, expected):
+        assert within_edits(a, b, k) is expected
+
+    def test_negative_k(self):
+        assert not within_edits("a", "a", -1)
+
+    def test_symmetric(self):
+        assert within_edits("haritsa", "harista", 2)
+        assert within_edits("harista", "haritsa", 2)
+
+
+class TestFuzzyContains:
+    def test_exact_window(self):
+        assert fuzzy_contains("the lab convener is here", "convener", 0)
+
+    def test_typo_in_document(self):
+        assert fuzzy_contains("the lab convenor is here", "convener", 1)
+
+    def test_typo_in_query(self):
+        assert fuzzy_contains("the lab convener is here", "convenor", 1)
+
+    def test_not_matched_beyond_budget(self):
+        assert not fuzzy_contains("the lab coordinator is here", "convener", 2)
+
+    def test_multiword_needle(self):
+        assert fuzzy_contains("prof jayant haritsa leads", "jayant harista", 2)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert fuzzy_contains("CONVENER   Jayant", "convener jayant", 1)
+
+    def test_empty_needle_matches(self):
+        assert fuzzy_contains("anything", "", 1)
+
+    def test_empty_haystack(self):
+        assert not fuzzy_contains("", "convener", 1)
+        assert fuzzy_contains("", "ab", 2)
+
+    def test_zero_edits_is_substring(self):
+        assert fuzzy_contains("xconvenerx", "convener", 0)
+
+
+class TestExpressionIntegration:
+    def test_evaluate_fuzzy(self):
+        expr = Contains(Attr("r", "text"), Literal("convener"), 1)
+        assert evaluate(expr, {"r": {"text": "CONVENOR Prof X"}}) is True
+        assert evaluate(expr, {"r": {"text": "chair Prof X"}}) is False
+
+    def test_negative_bound_rejected(self):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            Contains(Literal("a"), Literal("b"), -1)
+
+    def test_str_rendering(self):
+        expr = Contains(Attr("r", "text"), Literal("x"), 2)
+        assert "contains~2" in str(expr)
+
+    def test_wire_round_trip(self):
+        expr = Contains(Attr("r", "text"), Literal("x"), 2)
+        assert expr_from_wire(expr_to_wire(expr)) == expr
+
+    def test_wire_default_zero(self):
+        expr = Contains(Attr("r", "text"), Literal("x"))
+        decoded = expr_from_wire(expr_to_wire(expr))
+        assert decoded.max_edits == 0
+
+
+class TestDisqlSyntax:
+    def test_parse_fuzzy_contains(self):
+        query = parse_disql(
+            'select d.url from document d such that "http://x.example/" L d\n'
+            'where d.title contains~1 "convener"'
+        )
+        where = query.subqueries[0].where
+        assert isinstance(where, Contains) and where.max_edits == 1
+
+    def test_plain_contains_unchanged(self):
+        query = parse_disql(
+            'select d.url from document d such that "http://x.example/" L d\n'
+            'where d.title contains "x"'
+        )
+        assert query.subqueries[0].where.max_edits == 0
+
+    def test_missing_bound_rejected(self):
+        from repro.errors import DisqlSyntaxError
+
+        with pytest.raises(DisqlSyntaxError):
+            parse_disql(
+                'select d.url from document d such that "http://x.example/" L d\n'
+                'where d.title contains~ "x"'
+            )
+
+    def test_formatter_round_trip(self):
+        from repro.disql import format_disql
+
+        query = parse_disql(
+            'select d.url from document d such that "http://x.example/" L d\n'
+            'where d.title contains~2 "convener"'
+        )
+        assert parse_disql(format_disql(query)) == query
+
+
+class TestEndToEndApproximate:
+    def _web(self):
+        builder = WebBuilder()
+        builder.site("a.example").page(
+            "/",
+            title="people",
+            ruled=["CONVENOR Prof. Misspelled"],  # note the O
+            links=[("b", "http://b.example/")],
+        )
+        builder.site("b.example").page(
+            "/", title="people", ruled=["CONVENER Prof. Exact"]
+        )
+        return builder.build()
+
+    def _query(self, op: str) -> str:
+        return (
+            "select d.url, r.text\n"
+            'from document d such that "http://a.example/" N|G d,\n'
+            '     relinfon r such that r.delimiter = "hr"\n'
+            f'where r.text {op} "convener"'
+        )
+
+    def test_exact_misses_typo(self):
+        engine = WebDisEngine(self._web())
+        handle = engine.run_query(self._query("contains"))
+        assert handle.status is QueryStatus.COMPLETE
+        assert len(handle.unique_rows()) == 1
+
+    def test_fuzzy_finds_typo(self):
+        engine = WebDisEngine(self._web())
+        handle = engine.run_query(self._query("contains~1"))
+        assert handle.status is QueryStatus.COMPLETE
+        assert len(handle.unique_rows()) == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=12), st.text(max_size=12), st.integers(0, 3))
+def test_within_edits_triangle_consistency(a, b, k):
+    """If a matches within k, it must match within any k' >= k."""
+    if within_edits(a, b, k):
+        assert within_edits(a, b, k + 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet="ab ", max_size=20), st.text(alphabet="ab", min_size=1, max_size=6))
+def test_fuzzy_generalizes_exact(haystack, needle):
+    if needle.lower() in haystack.lower():
+        assert fuzzy_contains(haystack, needle, 1)

@@ -1,0 +1,78 @@
+"""Tests for the hierarchical web generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryStatus, WebDisEngine
+from repro.urlutils import parse_url
+from repro.web.hierarchy import (
+    HierarchyConfig,
+    build_hierarchy_web,
+    hierarchy_root_url,
+    sites_at_depth,
+)
+
+
+class TestShape:
+    def test_site_count_formula(self):
+        config = HierarchyConfig(depth=2, fanout=3, leaf_pages=1)
+        web = build_hierarchy_web(config)
+        assert len(web.site_names) == config.site_count() == 1 + 3 + 9
+
+    def test_pages_per_site(self):
+        config = HierarchyConfig(depth=1, fanout=2, leaf_pages=3)
+        web = build_hierarchy_web(config)
+        for site_name in web.site_names:
+            assert len(web.site(site_name)) == 1 + 3  # homepage + content
+
+    def test_root_exists(self):
+        web = build_hierarchy_web(HierarchyConfig(depth=1))
+        assert web.resolves(parse_url(hierarchy_root_url()))
+
+    def test_children_reachable_via_global_links(self):
+        config = HierarchyConfig(depth=1, fanout=2, leaf_pages=1)
+        web = build_hierarchy_web(config)
+        links = web.out_links(parse_url(hierarchy_root_url()))
+        global_targets = {str(u) for u, t in links if t == "G"}
+        assert global_targets == {
+            "http://org-0.example/",
+            "http://org-1.example/",
+        }
+
+    def test_leaves_have_no_global_links(self):
+        config = HierarchyConfig(depth=1, fanout=2, leaf_pages=1)
+        web = build_hierarchy_web(config)
+        leaf_links = web.out_links(parse_url("http://org-0.example/"))
+        assert all(t != "G" for __, t in leaf_links)
+
+    def test_sites_at_depth(self):
+        config = HierarchyConfig(depth=3, fanout=3)
+        assert sites_at_depth(config, 0) == 1
+        assert sites_at_depth(config, 3) == 27
+        assert sites_at_depth(config, 4) == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(fanout=0)
+
+    def test_deterministic(self):
+        config = HierarchyConfig(depth=2, fanout=2)
+        a = build_hierarchy_web(config)
+        b = build_hierarchy_web(config)
+        assert a.total_bytes() == b.total_bytes()
+
+
+class TestQueries:
+    def test_level_markers_reachable(self):
+        config = HierarchyConfig(depth=2, fanout=2, leaf_pages=2)
+        web = build_hierarchy_web(config)
+        engine = WebDisEngine(web)
+        handle = engine.run_query(
+            'select d.url, r.text\n'
+            f'from document d such that "{hierarchy_root_url()}" (G*2).(L*1) d,\n'
+            '     relinfon r such that r.delimiter = "b"\n'
+            'where r.text contains "marker level-2"'
+        )
+        assert handle.status is QueryStatus.COMPLETE
+        assert len(handle.unique_rows()) == 4 * 2  # 4 depth-2 sites x 2 pages

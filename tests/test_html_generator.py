@@ -1,0 +1,63 @@
+"""Tests for synthetic page rendering — rendered pages must round-trip
+through the real parser with the intended structure."""
+
+from __future__ import annotations
+
+from repro.html.generator import PageSpec, render_page
+from repro.html.parser import parse_html
+
+
+class TestRenderParse:
+    def test_title_round_trip(self):
+        doc = parse_html(render_page(PageSpec(title="Hello World")))
+        assert doc.title == "Hello World"
+
+    def test_paragraphs_visible(self):
+        doc = parse_html(render_page(PageSpec(title="t", paragraphs=["alpha beta"])))
+        assert "alpha beta" in doc.text
+
+    def test_links_round_trip(self):
+        spec = PageSpec(title="t", links=[("Home", "/"), ("Other", "http://b.example/x")])
+        doc = parse_html(render_page(spec))
+        assert [(a.label, a.href) for a in doc.anchors] == [
+            ("Home", "/"),
+            ("Other", "http://b.example/x"),
+        ]
+
+    def test_emphasized_becomes_relinfon(self):
+        doc = parse_html(render_page(PageSpec(title="t", emphasized=[("b", "notice")])))
+        assert ("b", "notice") in [(r.delimiter, r.text) for r in doc.relinfons]
+
+    def test_ruled_becomes_hr_relinfon(self):
+        doc = parse_html(render_page(PageSpec(title="t", ruled=["CONVENER X"])))
+        hr = [r.text for r in doc.relinfons if r.delimiter == "hr"]
+        assert hr == ["CONVENER X"]
+
+    def test_multiple_ruled_segments_separate(self):
+        doc = parse_html(render_page(PageSpec(title="t", ruled=["one", "two"])))
+        assert [r.text for r in doc.relinfons if r.delimiter == "hr"] == ["one", "two"]
+
+    def test_escaping_special_characters(self):
+        doc = parse_html(render_page(PageSpec(title="a < b & c")))
+        assert doc.title == "a < b & c"
+
+    def test_escaping_in_href(self):
+        spec = PageSpec(title="t", links=[("x", 'a"b.html')])
+        doc = parse_html(render_page(spec))
+        assert doc.anchors[0].href == 'a"b.html'
+
+    def test_padding_grows_document(self):
+        small = render_page(PageSpec(title="t"))
+        big = render_page(PageSpec(title="t", padding=200))
+        assert len(big) > len(small) + 800
+
+    def test_word_estimate_counts_components(self):
+        spec = PageSpec(
+            title="two words",
+            paragraphs=["three word para"],
+            links=[("one", "/x")],
+            emphasized=[("b", "bold bit")],
+            ruled=["ruled text"],
+            padding=5,
+        )
+        assert spec.word_estimate() == 2 + 3 + 1 + 2 + 2 + 5

@@ -1,0 +1,116 @@
+"""Tests for HTML document analysis (title, text, anchors, rel-infons)."""
+
+from __future__ import annotations
+
+from repro.html.parser import parse_html
+
+
+class TestTitleAndText:
+    def test_title_extracted(self):
+        doc = parse_html("<html><head><title>My Page</title></head><body>x</body></html>")
+        assert doc.title == "My Page"
+
+    def test_title_not_in_text(self):
+        doc = parse_html("<title>Secret</title><body>visible</body>")
+        assert "Secret" not in doc.text
+        assert doc.text == "visible"
+
+    def test_missing_title_is_empty(self):
+        assert parse_html("<body>hi</body>").title == ""
+
+    def test_text_whitespace_normalized(self):
+        doc = parse_html("<body>a\n   b\t c</body>")
+        assert doc.text == "a b c"
+
+    def test_script_and_style_invisible(self):
+        doc = parse_html("<script>var x;</script><style>.a{}</style>ok")
+        assert doc.text == "ok"
+
+    def test_entities_decoded_in_text(self):
+        assert parse_html("<body>&lt;tag&gt;</body>").text == "<tag>"
+
+
+class TestAnchors:
+    def test_single_anchor(self):
+        doc = parse_html('<a href="x.html">Click</a>')
+        assert doc.anchors == (type(doc.anchors[0])("Click", "x.html"),)
+
+    def test_label_whitespace_normalized(self):
+        doc = parse_html('<a href="x">  multi\n word  </a>')
+        assert doc.anchors[0].label == "multi word"
+
+    def test_anchor_order_preserved(self):
+        doc = parse_html('<a href="1">a</a><a href="2">b</a>')
+        assert [a.href for a in doc.anchors] == ["1", "2"]
+
+    def test_anchor_without_href_skipped(self):
+        assert parse_html('<a name="top">x</a>').anchors == ()
+
+    def test_anchor_label_in_document_text(self):
+        doc = parse_html('before <a href="x">link</a> after')
+        assert doc.text == "before link after"
+
+    def test_nested_markup_in_label(self):
+        doc = parse_html('<a href="x"><b>bold</b> link</a>')
+        assert doc.anchors[0].label == "bold link"
+
+
+class TestRelInfons:
+    def test_container_segment(self):
+        doc = parse_html("<b>Important</b>")
+        assert ("b", "Important") in [(r.delimiter, r.text) for r in doc.relinfons]
+
+    def test_hr_takes_preceding_block(self):
+        doc = parse_html("<p>intro</p>CONVENER Jayant Haritsa<hr>")
+        hr = [r for r in doc.relinfons if r.delimiter == "hr"]
+        assert hr and hr[0].text == "CONVENER Jayant Haritsa"
+
+    def test_hr_block_reset_by_paragraph(self):
+        doc = parse_html("<p>old text</p><p>fresh</p>name<hr>")
+        hr = [r for r in doc.relinfons if r.delimiter == "hr"]
+        # The <p> boundaries cut "old text"/"fresh" out of the hr block.
+        assert hr[0].text == "name"
+
+    def test_consecutive_hrs_second_empty_skipped(self):
+        doc = parse_html("text<hr><hr>")
+        assert len([r for r in doc.relinfons if r.delimiter == "hr"]) == 1
+
+    def test_heading_segment(self):
+        doc = parse_html("<h1>Banner</h1>")
+        assert ("h1", "Banner") in [(r.delimiter, r.text) for r in doc.relinfons]
+
+    def test_structural_tags_excluded(self):
+        doc = parse_html("<html><body><b>x</b></body></html>")
+        delimiters = {r.delimiter for r in doc.relinfons}
+        assert "html" not in delimiters and "body" not in delimiters
+
+    def test_empty_container_skipped(self):
+        assert all(r.text for r in parse_html("<b></b>done").relinfons)
+
+    def test_nested_containers_both_reported(self):
+        doc = parse_html("<i>a <b>deep</b> z</i>")
+        pairs = [(r.delimiter, r.text) for r in doc.relinfons]
+        assert ("b", "deep") in pairs
+        assert ("i", "a deep z") in pairs
+
+    def test_unbalanced_end_tag_ignored(self):
+        doc = parse_html("</b>text")
+        assert doc.text == "text"
+
+    def test_document_order(self):
+        doc = parse_html("<b>one</b><b>two</b>")
+        b_texts = [r.text for r in doc.relinfons if r.delimiter == "b"]
+        assert b_texts == ["one", "two"]
+
+
+class TestBaseHref:
+    def test_base_href_captured(self):
+        doc = parse_html('<head><base href="http://cdn.example/dir/"></head>')
+        assert doc.base_href == "http://cdn.example/dir/"
+
+    def test_first_base_wins(self):
+        doc = parse_html('<base href="/a"><base href="/b">')
+        assert doc.base_href == "/a"
+
+    def test_no_base_is_none(self):
+        assert parse_html("<body>x</body>").base_href is None

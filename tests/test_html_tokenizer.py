@@ -1,0 +1,118 @@
+"""Tests for the HTML tokenizer."""
+
+from __future__ import annotations
+
+from repro.html.tokenizer import Comment, EndTag, StartTag, Text, decode_entities, tokenize
+
+
+def toks(html: str):
+    return list(tokenize(html))
+
+
+class TestBasicTokens:
+    def test_start_tag(self):
+        assert toks("<p>") == [StartTag("p")]
+
+    def test_end_tag(self):
+        assert toks("</p>") == [EndTag("p")]
+
+    def test_text(self):
+        assert toks("hello") == [Text("hello")]
+
+    def test_mixed(self):
+        assert toks("<b>hi</b>") == [StartTag("b"), Text("hi"), EndTag("b")]
+
+    def test_tag_names_lowercased(self):
+        assert toks("<B></B>") == [StartTag("b"), EndTag("b")]
+
+    def test_self_closing(self):
+        (tag,) = toks("<hr/>")
+        assert isinstance(tag, StartTag) and tag.self_closing
+
+    def test_self_closing_with_space(self):
+        (tag,) = toks("<hr />")
+        assert isinstance(tag, StartTag) and tag.name == "hr" and tag.self_closing
+
+    def test_comment(self):
+        assert toks("<!-- note -->") == [Comment("note")]
+
+    def test_doctype_as_comment(self):
+        (token,) = toks("<!DOCTYPE html>")
+        assert isinstance(token, Comment)
+
+    def test_unterminated_comment_becomes_text(self):
+        (token,) = toks("<!-- open")
+        assert isinstance(token, Text)
+
+
+class TestAttributes:
+    def test_double_quoted(self):
+        (tag,) = toks('<a href="x.html">')
+        assert tag.attrs == {"href": "x.html"}
+
+    def test_single_quoted(self):
+        (tag,) = toks("<a href='x.html'>")
+        assert tag.attrs == {"href": "x.html"}
+
+    def test_unquoted(self):
+        (tag,) = toks("<a href=x.html>")
+        assert tag.attrs == {"href": "x.html"}
+
+    def test_multiple(self):
+        (tag,) = toks('<a href="x" name="y">')
+        assert tag.attrs == {"href": "x", "name": "y"}
+
+    def test_bare_attribute(self):
+        (tag,) = toks("<input disabled>")
+        assert tag.attrs == {"disabled": ""}
+
+    def test_attr_names_lowercased(self):
+        (tag,) = toks('<a HREF="x">')
+        assert "href" in tag.attrs
+
+    def test_entity_in_attr_value(self):
+        (tag,) = toks('<a href="x?a=1&amp;b=2">')
+        assert tag.attrs["href"] == "x?a=1&b=2"
+
+    def test_unterminated_quote_consumes_rest(self):
+        (tag,) = toks('<a href="broken>')
+        # Degrades without raising; the attr captures what it saw.
+        assert isinstance(tag, (StartTag, Text))
+
+
+class TestMalformedInput:
+    def test_bare_less_than(self):
+        assert toks("a < b") == [Text("a "), Text("<"), Text(" b")]
+
+    def test_unclosed_tag_at_eof(self):
+        tokens = toks("text <a href")
+        assert tokens[0] == Text("text ")
+
+    def test_empty_tag(self):
+        assert Text("<") in toks("<>")
+
+    def test_numeric_tag_is_text(self):
+        assert toks("<1>")[0] == Text("<")
+
+    def test_empty_input(self):
+        assert toks("") == []
+
+
+class TestEntities:
+    def test_named(self):
+        assert decode_entities("a &amp; b") == "a & b"
+
+    def test_lt_gt(self):
+        assert decode_entities("&lt;x&gt;") == "<x>"
+
+    def test_numeric(self):
+        assert decode_entities("&#65;") == "A"
+
+    def test_unknown_left_alone(self):
+        assert decode_entities("&bogus;") == "&bogus;"
+
+    def test_unterminated_left_alone(self):
+        assert decode_entities("a & b") == "a & b"
+
+    def test_in_text_token(self):
+        assert toks("a &amp; b") == [Text("a & b")]

@@ -1,0 +1,125 @@
+"""DISQL index(...) StartNode sources and the LIMIT display directive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryStatus, WebDisEngine
+from repro.disql import compile_disql, format_disql, parse_disql
+from repro.disql.ast import IndexSource
+from repro.errors import DisqlSemanticsError, DisqlSyntaxError
+from repro.index import build_index_for_web
+from repro.web import build_campus_web
+
+INDEX_QUERY = (
+    "select d.url, r.text\n"
+    'from document d such that index("laboratories CSA", 1) G.(L*1) d,\n'
+    '     relinfon r such that r.delimiter = "hr"\n'
+    'where r.text contains "convener"'
+)
+
+
+class TestIndexSource:
+    def test_parsed(self):
+        query = parse_disql(INDEX_QUERY)
+        source = query.subqueries[0].decls[0].path.source
+        assert source == IndexSource("laboratories CSA", 1)
+
+    def test_default_k(self):
+        query = parse_disql(
+            'select d.url from document d such that index("labs") L d'
+        )
+        assert query.subqueries[0].decls[0].path.source.k == 3
+
+    def test_translate_resolves(self, campus_web):
+        index = build_index_for_web(campus_web)
+        webquery = compile_disql(INDEX_QUERY, search_index=index)
+        assert [str(u) for u in webquery.start_urls] == [
+            "http://www.csa.iisc.ernet.in/Labs"
+        ]
+
+    def test_translate_without_index_rejected(self):
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(INDEX_QUERY)
+
+    def test_no_hits_rejected(self, campus_web):
+        index = build_index_for_web(campus_web)
+        with pytest.raises(DisqlSemanticsError):
+            compile_disql(
+                'select d.url from document d such that index("xyzzy") L d',
+                search_index=index,
+            )
+
+    def test_end_to_end(self, campus_web):
+        index = build_index_for_web(campus_web)
+        engine = WebDisEngine(campus_web)
+        handle = engine.submit_disql(INDEX_QUERY, search_index=index)
+        engine.run()
+        assert handle.status is QueryStatus.COMPLETE
+        assert len(handle.unique_rows()) == 3  # the three conveners
+
+    def test_formatter_round_trip(self):
+        parsed = parse_disql(INDEX_QUERY)
+        assert parse_disql(format_disql(parsed)) == parsed
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DisqlSyntaxError):
+            parse_disql('select d.url from document d such that index(labs) L d')
+        with pytest.raises(DisqlSyntaxError):
+            parse_disql('select d.url from document d such that index("labs", 0) L d')
+
+
+LIMIT_QUERY = (
+    "select{distinct} d.url\n"
+    'from document d such that "http://www.csa.iisc.ernet.in/" L*2 d\n'
+    "{tail}"
+)
+
+
+class TestLimit:
+    def test_parsed_standalone(self):
+        query = parse_disql(LIMIT_QUERY.format(distinct="", tail="limit 2"))
+        assert query.limit == 2
+
+    def test_parsed_after_order(self):
+        query = parse_disql(
+            LIMIT_QUERY.format(distinct="", tail="order by d.url limit 2")
+        )
+        assert query.limit == 2 and query.order_by
+
+    def test_zero_rejected(self):
+        with pytest.raises(DisqlSyntaxError):
+            parse_disql(LIMIT_QUERY.format(distinct="", tail="limit 0"))
+
+    def test_must_be_last(self):
+        with pytest.raises(DisqlSyntaxError):
+            parse_disql(
+                'select d.url from document d such that "http://x.example/" L d\n'
+                "limit 2\nanchor a"
+            )
+
+    def test_display_rows_capped(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        handle = engine.run_query(
+            LIMIT_QUERY.format(distinct=" distinct", tail="order by d.url limit 2")
+        )
+        assert len(handle.display_rows("q1")) == 2
+        assert len(handle.rows("q1")) > 2
+
+    def test_formatter_round_trip(self):
+        text = LIMIT_QUERY.format(distinct=" distinct", tail="order by d.url desc limit 3")
+        parsed = parse_disql(text)
+        assert parse_disql(format_disql(parsed)) == parsed
+
+    def test_wire_round_trip(self, campus_web):
+        from repro.core.webquery import QueryClone
+        from repro.urlutils import parse_url
+        from repro.wire import decode_message, encode_message
+
+        webquery = compile_disql(LIMIT_QUERY.format(distinct="", tail="limit 2"))
+        clone = QueryClone(
+            webquery, 0, webquery.steps[0].pre,
+            (parse_url("http://www.csa.iisc.ernet.in/"),),
+        )
+        decoded = decode_message(encode_message(clone))
+        assert decoded.query.display_limit == 2

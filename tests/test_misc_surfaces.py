@@ -1,0 +1,141 @@
+"""Coverage of the smaller public surfaces: traces, handles, engine helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryStatus, WebDisEngine
+from repro.core.state import QueryState
+from repro.core.trace import Tracer
+from repro.pre import parse_pre
+from repro.web.campus import CAMPUS_QUERY_DISQL
+
+
+class TestTracer:
+    def _tracer(self) -> Tracer:
+        tracer = Tracer()
+        state = QueryState(1, parse_pre("G"))
+        tracer.record(0.5, "http://a.example/", "a.example", state, "PureRouter", "routed")
+        tracer.record(
+            1.0, "http://b.example/", "b.example", state, "ServerRouter",
+            "answered", detail="q1",
+        )
+        return tracer
+
+    def test_render_contains_events(self):
+        text = self._tracer().render()
+        assert "routed" in text and "answered" in text and "[q1]" in text
+
+    def test_event_str(self):
+        event = self._tracer().events[1]
+        assert "answered" in str(event) and "q1" in str(event)
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0, "n", "s", QueryState(1, parse_pre("G")), "r", "a")
+        assert tracer.events == []
+
+    def test_actions_counter(self):
+        assert self._tracer().actions() == {"routed": 1, "answered": 1}
+
+    def test_visits_in_time_order(self):
+        tracer = self._tracer()
+        visits = tracer.visits_to("http://a.example/")
+        assert len(visits) == 1 and visits[0].time == 0.5
+
+
+class TestQueryHandleSurfaces:
+    @pytest.fixture()
+    def handle(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        return engine.run_query(CAMPUS_QUERY_DISQL)
+
+    def test_rows_by_label(self, handle):
+        assert len(handle.rows("q1")) >= 1
+        assert handle.rows("q99") == []
+
+    def test_rows_all(self, handle):
+        assert len(handle.rows()) == len(handle.rows("q1")) + len(handle.rows("q2"))
+
+    def test_display_table_headers(self, handle):
+        table = handle.display_table()
+        assert "d1.url" in table and "r.text" in table
+
+    def test_qid_str(self, handle):
+        rendered = str(handle.qid)
+        assert rendered.startswith("maya@user.example:")
+
+    def test_messages_received_counted(self, handle):
+        assert handle.messages_received > 0
+
+    def test_empty_results_display(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        handle = engine.run_query(
+            'select d.url from document d such that'
+            ' "http://www.csa.iisc.ernet.in/" L d\n'
+            'where d.title contains "zzzz"'
+        )
+        assert handle.status is QueryStatus.COMPLETE
+        assert "Results of the query" in handle.display_table()
+
+
+class TestEngineSurfaces:
+    def test_server_for(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        server = engine.server_for("DSL.SERC.IISC.ERNET.IN")
+        assert server.site == "dsl.serc.iisc.ernet.in"
+
+    def test_total_log_entries(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        assert engine.total_log_entries() == 0
+        engine.run_query(CAMPUS_QUERY_DISQL)
+        assert engine.total_log_entries() > 0
+
+    def test_queue_depth_zero_at_quiescence(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        engine.run_query(CAMPUS_QUERY_DISQL)
+        assert all(s.queue_depth == 0 for s in engine.servers.values())
+
+    def test_participating_sites_subset(self, campus_web):
+        engine = WebDisEngine(
+            campus_web, participating_sites=["www.csa.iisc.ernet.in"]
+        )
+        assert set(engine.servers) == {"www.csa.iisc.ernet.in"}
+
+    def test_run_until(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        engine.run(until=0.01)
+        assert handle.status is QueryStatus.RUNNING
+        engine.run()
+        assert handle.status is QueryStatus.COMPLETE
+
+    def test_custom_user_and_site(self, campus_web):
+        engine = WebDisEngine(campus_web, user_site="client.example", user="nalin")
+        handle = engine.run_query(CAMPUS_QUERY_DISQL)
+        assert handle.qid.user == "nalin"
+        assert handle.qid.host == "client.example"
+
+
+class TestDotExport:
+    def test_dot_structure(self, campus_web):
+        engine = WebDisEngine(campus_web, trace=True)
+        engine.run_query(CAMPUS_QUERY_DISQL)
+        dot = engine.tracer.to_dot("sample query")
+        assert dot.startswith("digraph webdis {")
+        assert dot.rstrip().endswith("}")
+        assert '"http://www.csa.iisc.ernet.in/Labs"' in dot
+        assert "->" in dot
+
+    def test_answered_nodes_shaded(self, campus_web):
+        engine = WebDisEngine(campus_web, trace=True)
+        engine.run_query(CAMPUS_QUERY_DISQL)
+        dot = engine.tracer.to_dot()
+        labs_line = next(
+            line for line in dot.splitlines()
+            if line.strip().startswith('"http://www.csa.iisc.ernet.in/Labs" [')
+        )
+        assert "palegreen" in labs_line
+
+    def test_empty_trace(self):
+        assert "digraph" in Tracer().to_dot()

@@ -1,0 +1,167 @@
+"""Tests for virtual-relation construction (the Database Constructor)."""
+
+from __future__ import annotations
+
+from repro.html.generator import PageSpec, render_page
+from repro.model import LinkType
+from repro.model.database import DatabaseConstructor, build_node_database
+from repro.urlutils import Url, parse_url
+
+URL = parse_url("http://a.example/dir/page.html")
+
+
+def _db(spec: PageSpec, url: Url = URL):
+    return build_node_database(url, render_page(spec))
+
+
+class TestDocumentRelation:
+    def test_single_row(self):
+        db = _db(PageSpec(title="T"))
+        assert len(db.document) == 1
+
+    def test_url_and_title(self):
+        row = next(_db(PageSpec(title="My Title")).document.rows())
+        assert row[0] == str(URL)
+        assert row[1] == "My Title"
+
+    def test_length_is_html_size(self):
+        html = render_page(PageSpec(title="T"))
+        db = build_node_database(URL, html)
+        assert next(db.document.rows())[3] == len(html)
+
+
+class TestAnchorRelation:
+    def test_link_types_classified(self):
+        spec = PageSpec(
+            title="t",
+            links=[
+                ("global", "http://b.example/"),
+                ("local", "/other.html"),
+                ("relative-local", "sibling.html"),
+                ("interior", "#top"),
+            ],
+        )
+        db = _db(spec)
+        types = [row[3] for row in db.anchor.rows()]
+        assert types == ["G", "L", "L", "I"]
+
+    def test_base_column_is_document_url(self):
+        db = _db(PageSpec(title="t", links=[("x", "/y")]))
+        assert next(db.anchor.rows())[1] == str(URL)
+
+    def test_relative_href_resolved(self):
+        db = _db(PageSpec(title="t", links=[("x", "sibling.html")]))
+        assert next(db.anchor.rows())[2] == "http://a.example/dir/sibling.html"
+
+    def test_outgoing_links_filter(self):
+        spec = PageSpec(title="t", links=[("g", "http://b.example/"), ("l", "/x")])
+        db = _db(spec)
+        assert len(db.outgoing_links(LinkType.GLOBAL)) == 1
+        assert len(db.outgoing_links(LinkType.LOCAL)) == 1
+        assert db.outgoing_links(LinkType.INTERIOR) == []
+
+    def test_unresolvable_href_skipped(self):
+        html = '<html><body><a href="">empty</a><a href="/ok">ok</a></body></html>'
+        db = build_node_database(URL, html)
+        assert len(db.anchor) == 1
+
+
+class TestRelInfonRelation:
+    def test_infon_rows(self):
+        db = _db(PageSpec(title="t", emphasized=[("b", "hello world")]))
+        rows = [r for r in db.relinfon.rows() if r[0] == "b"]
+        assert rows and rows[0][2] == "hello world"
+
+    def test_infon_length(self):
+        db = _db(PageSpec(title="t", emphasized=[("b", "abc")]))
+        row = [r for r in db.relinfon.rows() if r[0] == "b"][0]
+        assert row[3] == 3
+
+    def test_infon_url_matches_document(self):
+        db = _db(PageSpec(title="t", ruled=["X"]))
+        assert all(r[1] == str(URL) for r in db.relinfon.rows())
+
+
+class TestConstructorCache:
+    def test_no_cache_rebuilds(self):
+        constructor = DatabaseConstructor(cache_size=0)
+        html = render_page(PageSpec(title="t"))
+        constructor.construct(URL, html)
+        constructor.construct(URL, html)
+        assert constructor.builds == 2
+        assert constructor.cache_hits == 0
+
+    def test_cache_hit(self):
+        constructor = DatabaseConstructor(cache_size=4)
+        html = render_page(PageSpec(title="t"))
+        first = constructor.construct(URL, html)
+        second = constructor.construct(URL, html)
+        assert first is second
+        assert constructor.builds == 1
+        assert constructor.cache_hits == 1
+
+    def test_cache_eviction_lru(self):
+        constructor = DatabaseConstructor(cache_size=1)
+        html = render_page(PageSpec(title="t"))
+        other = parse_url("http://a.example/other")
+        constructor.construct(URL, html)
+        constructor.construct(other, html)
+        constructor.construct(URL, html)  # evicted, rebuilt
+        assert constructor.builds == 3
+
+    def test_fragment_ignored_in_cache_key(self):
+        constructor = DatabaseConstructor(cache_size=4)
+        html = render_page(PageSpec(title="t"))
+        a = constructor.construct(URL, html)
+        b = constructor.construct(URL.with_fragment("x"), html)
+        assert a is b
+
+    def test_purge(self):
+        constructor = DatabaseConstructor(cache_size=4)
+        html = render_page(PageSpec(title="t"))
+        constructor.construct(URL, html)
+        constructor.purge()
+        constructor.construct(URL, html)
+        assert constructor.builds == 2
+
+    def test_tuple_count(self):
+        db = _db(PageSpec(title="t", links=[("x", "/y")], emphasized=[("b", "z")]))
+        assert db.tuple_count() == len(db.document) + len(db.anchor) + len(db.relinfon)
+
+
+class TestBaseHrefResolution:
+    def test_relative_links_resolve_against_base(self):
+        html = (
+            '<html><head><base href="http://cdn.example/assets/"></head>'
+            '<body><a href="style.css">s</a></body></html>'
+        )
+        db = build_node_database(URL, html)
+        assert next(db.anchor.rows())[2] == "http://cdn.example/assets/style.css"
+
+    def test_ltype_still_relative_to_document(self):
+        # The destination lands on another host: that's a GLOBAL link even
+        # though the href was written relative (to the <base>).
+        html = (
+            '<html><head><base href="http://cdn.example/"></head>'
+            '<body><a href="x.html">x</a></body></html>'
+        )
+        db = build_node_database(URL, html)
+        assert next(db.anchor.rows())[3] == "G"
+
+    def test_base_on_same_host_keeps_local(self):
+        html = (
+            '<html><head><base href="/deep/dir/"></head>'
+            '<body><a href="x.html">x</a></body></html>'
+        )
+        db = build_node_database(URL, html)
+        row = next(db.anchor.rows())
+        assert row[2] == "http://a.example/deep/dir/x.html"
+        assert row[3] == "L"
+
+    def test_unparseable_base_ignored(self):
+        html = (
+            '<html><head><base href=""></head>'
+            '<body><a href="x.html">x</a></body></html>'
+        )
+        db = build_node_database(URL, html)
+        assert next(db.anchor.rows())[2] == "http://a.example/dir/x.html"

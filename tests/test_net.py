@@ -1,0 +1,214 @@
+"""Tests for the discrete-event clock and the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import NetworkError, SimulationError
+from repro.net import Network, NetworkConfig, SimClock, TrafficStats
+
+
+@dataclass(frozen=True)
+class _Blob:
+    size: int
+    kind: str = "blob"
+
+    def size_bytes(self) -> int:
+        return self.size
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(2.0, lambda: order.append("b"))
+        clock.schedule(1.0, lambda: order.append("a"))
+        clock.run()
+        assert order == ["a", "b"]
+
+    def test_ties_fifo(self):
+        clock = SimClock()
+        order = []
+        for name in "abc":
+            clock.schedule(1.0, lambda n=name: order.append(n))
+        clock.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(1.5, lambda: seen.append(clock.now))
+        clock.run()
+        assert seen == [1.5]
+        assert clock.now == 1.5
+
+    def test_nested_scheduling(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(1.0, lambda: clock.schedule(1.0, lambda: seen.append(clock.now)))
+        clock.run()
+        assert seen == [2.0]
+
+    def test_until_stops_early(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(1.0, lambda: seen.append(1))
+        clock.schedule(5.0, lambda: seen.append(5))
+        clock.run(until=2.0)
+        assert seen == [1]
+        assert clock.now == 2.0
+        clock.run()
+        assert seen == [1, 5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().schedule(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        clock = SimClock()
+
+        def loop():
+            clock.schedule(0.001, loop)
+
+        clock.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            clock.run(max_events=100)
+
+    def test_schedule_at_absolute(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule_at(3.0, lambda: seen.append(clock.now))
+        clock.run()
+        assert seen == [3.0]
+
+
+def _net():
+    clock = SimClock()
+    network = Network(clock, TrafficStats())
+    network.register_site("a.example")
+    network.register_site("b.example")
+    return clock, network
+
+
+class TestNetwork:
+    def test_send_delivers_after_latency(self):
+        clock, network = _net()
+        received = []
+        network.listen("b.example", 80, lambda src, p: received.append((src, p, clock.now)))
+        ok = network.send("a.example", "b.example", 80, _Blob(1000))
+        assert ok
+        assert received == []  # not yet delivered
+        clock.run()
+        src, payload, when = received[0]
+        assert src == "a.example"
+        expected = network.config.latency_base + (1000 + 64) / network.config.bandwidth
+        assert when == pytest.approx(expected)
+
+    def test_bigger_messages_take_longer(self):
+        clock, network = _net()
+        times = {}
+        network.listen("b.example", 80, lambda src, p: times.setdefault(p.size, clock.now))
+        network.send("a.example", "b.example", 80, _Blob(100))
+        network.send("a.example", "b.example", 80, _Blob(100_000))
+        clock.run()
+        assert times[100_000] > times[100]
+
+    def test_refused_when_no_listener(self):
+        __, network = _net()
+        assert network.send("a.example", "b.example", 81, _Blob(1)) is False
+        assert network.stats.refused_sends == 1
+
+    def test_send_to_unregistered_destination_refused(self):
+        # Unknown hosts behave like DNS failures, not programming errors.
+        __, network = _net()
+        assert network.send("a.example", "zzz.example", 80, _Blob(1)) is False
+        assert network.stats.refused_sends == 1
+
+    def test_send_from_unregistered_source_raises(self):
+        __, network = _net()
+        with pytest.raises(SimulationError):
+            network.send("zzz.example", "a.example", 80, _Blob(1))
+
+    def test_listen_before_register_raises(self):
+        __, network = _net()
+        with pytest.raises(SimulationError):
+            network.listen("zzz.example", 80, lambda s, p: None)
+
+    def test_double_bind_raises(self):
+        __, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        with pytest.raises(NetworkError):
+            network.listen("b.example", 80, lambda s, p: None)
+
+    def test_close_then_refused(self):
+        clock, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        network.close("b.example", 80)
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is False
+
+    def test_close_is_idempotent(self):
+        __, network = _net()
+        network.close("b.example", 80)  # no listener: no error
+
+    def test_in_flight_message_dropped_when_listener_closes(self):
+        clock, network = _net()
+        received = []
+        network.listen("b.example", 80, lambda s, p: received.append(p))
+        assert network.send("a.example", "b.example", 80, _Blob(1))
+        network.close("b.example", 80)
+        clock.run()
+        assert received == []
+
+    def test_fail_next_is_one_shot(self):
+        clock, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        network.fail_next("a.example", "b.example")
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is False
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is True
+        assert network.stats.failed_sends == 1
+
+    def test_failure_predicate(self):
+        clock, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        network.set_failure_predicate(lambda src, dst, now: dst == "b.example")
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is False
+        network.set_failure_predicate(None)
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is True
+
+    def test_stats_accounting(self):
+        clock, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        network.send("a.example", "b.example", 80, _Blob(100))
+        stats = network.stats
+        assert stats.messages_sent == 1
+        assert stats.bytes_sent == 100 + 64
+        assert stats.messages_by_kind["blob"] == 1
+        assert stats.messages_by_site["a.example"] == 1
+
+    def test_intra_site_latency(self):
+        clock, network = _net()
+        times = []
+        network.listen("a.example", 80, lambda s, p: times.append(clock.now))
+        network.send("a.example", "a.example", 80, _Blob(10_000))
+        clock.run()
+        assert times[0] == pytest.approx(network.config.intra_site_latency)
+
+
+class TestTrafficStats:
+    def test_max_site_load(self):
+        stats = TrafficStats()
+        stats.record_processing("a", 2.0)
+        stats.record_processing("b", 5.0)
+        assert stats.max_site_load() == ("b", 5.0)
+
+    def test_max_site_load_empty(self):
+        assert TrafficStats().max_site_load() == ("", 0.0)
+
+    def test_summary_keys(self):
+        summary = TrafficStats().summary()
+        assert {"messages", "bytes", "documents_shipped", "duplicates_dropped"} <= set(summary)

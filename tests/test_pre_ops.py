@@ -1,0 +1,255 @@
+"""Tests for PRE operations: derivatives, nullability, subsumption, rewrite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.relations import LinkType
+from repro.pre import (
+    LogComparison,
+    accepts,
+    advance,
+    compare_for_log,
+    decompose_repeat_head,
+    enumerate_paths,
+    first_symbols,
+    nullable,
+    parse_pre,
+    pre_size,
+    rewrite_superset,
+)
+from repro.pre.ast import EMPTY, NEVER, Never
+
+L = LinkType.LOCAL
+G = LinkType.GLOBAL
+I = LinkType.INTERIOR
+
+
+def paths(text: str, max_len: int = 4) -> set[str]:
+    return {
+        "".join(s.value for s in p) for p in enumerate_paths(parse_pre(text), max_len)
+    }
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("N", True),
+            ("G", False),
+            ("L*4", True),
+            ("L*", True),
+            ("G.L", False),
+            ("N|G", True),
+            ("G.(L*1)", False),
+            ("(L*2).(G*3)", True),
+        ],
+    )
+    def test_nullable(self, text, expected):
+        assert nullable(parse_pre(text)) is expected
+
+    def test_never_not_nullable(self):
+        assert not nullable(NEVER)
+
+
+class TestFirstSymbols:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("G", {G}),
+            ("N", set()),
+            ("G|L", {G, L}),
+            ("L*2.G", {L, G}),  # L*2 is nullable, so G is reachable first
+            ("G.L", {G}),
+            ("N|G.(L*4)", {G}),
+        ],
+    )
+    def test_first(self, text, expected):
+        assert set(first_symbols(parse_pre(text))) == expected
+
+
+class TestAdvance:
+    def test_atom_consumed(self):
+        assert advance(parse_pre("G"), G) == EMPTY
+
+    def test_atom_mismatch_is_never(self):
+        assert isinstance(advance(parse_pre("G"), L), Never)
+
+    def test_concat_steps_head(self):
+        assert advance(parse_pre("G.L"), G) == parse_pre("L")
+
+    def test_bounded_repeat_steps_down(self):
+        assert advance(parse_pre("L*4"), L) == parse_pre("L*3")
+
+    def test_repeat_to_empty(self):
+        assert advance(parse_pre("L*1"), L) == EMPTY
+
+    def test_unbounded_repeat_stable(self):
+        assert advance(parse_pre("L*"), L) == parse_pre("L*")
+
+    def test_alt_advances_both(self):
+        pre = parse_pre("G.L|G.G")
+        assert advance(pre, G) == parse_pre("L|G")
+
+    def test_nullable_head_skipped(self):
+        # L*2.G can start with G because L*2 is nullable.
+        assert advance(parse_pre("L*2.G"), G) == EMPTY
+
+    def test_paper_g_l1(self):
+        pre = parse_pre("G.(L*1)")
+        after_g = advance(pre, G)
+        assert after_g == parse_pre("L*1")
+        assert nullable(after_g)
+        assert advance(after_g, L) == EMPTY
+
+    def test_interior_symbol(self):
+        assert advance(parse_pre("I.G"), I) == parse_pre("G")
+
+
+class TestAccepts:
+    @pytest.mark.parametrize(
+        "text,path,expected",
+        [
+            ("N|G.(L*4)", "", True),
+            ("N|G.(L*4)", "G", True),
+            ("N|G.(L*4)", "GLLLL", True),
+            ("N|G.(L*4)", "GLLLLL", False),
+            ("N|G.(L*4)", "L", False),
+            ("G.(G|L)", "GG", True),
+            ("G.(G|L)", "GL", True),
+            ("G.(G|L)", "G", False),
+            ("L*", "LLLLLLLL", True),
+        ],
+    )
+    def test_accepts(self, text, path, expected):
+        symbols = [LinkType.from_symbol(c) for c in path]
+        assert accepts(parse_pre(text), symbols) is expected
+
+
+class TestEnumeratePaths:
+    def test_bounded_set(self):
+        assert paths("G.(G|L)") == {"GG", "GL"}
+
+    def test_zero_length_included(self):
+        assert "" in paths("N|G")
+
+    def test_star_bounded_by_max_len(self):
+        assert paths("L*", max_len=3) == {"", "L", "LL", "LLL"}
+
+    def test_repeat_counts(self):
+        assert paths("L*2") == {"", "L", "LL"}
+
+
+class TestDecompose:
+    def test_repeat_only(self):
+        head = decompose_repeat_head(parse_pre("L*3"))
+        assert head is not None
+        assert head.bound == 3 and head.tail == EMPTY
+
+    def test_repeat_with_tail(self):
+        head = decompose_repeat_head(parse_pre("L*3.G"))
+        assert head is not None
+        assert head.tail == parse_pre("G")
+
+    def test_unbounded(self):
+        head = decompose_repeat_head(parse_pre("L*"))
+        assert head is not None and head.bound is None
+
+    def test_non_repeat_shapes(self):
+        assert decompose_repeat_head(parse_pre("G.L")) is None
+        assert decompose_repeat_head(parse_pre("G")) is None
+        assert decompose_repeat_head(EMPTY) is None
+
+
+class TestLogComparison:
+    def test_exact_duplicate(self):
+        pre = parse_pre("G.L")
+        assert compare_for_log(pre, pre) is LogComparison.DUPLICATE
+
+    def test_smaller_bound_subsumed(self):
+        # Paper: rem L*1.G arriving after L*2.G logged -> drop.
+        assert (
+            compare_for_log(parse_pre("L*1.G"), parse_pre("L*2.G"))
+            is LogComparison.DUPLICATE
+        )
+
+    def test_equal_bound_subsumed(self):
+        assert (
+            compare_for_log(parse_pre("L*2.G"), parse_pre("L*2.G"))
+            is LogComparison.DUPLICATE
+        )
+
+    def test_larger_bound_superset(self):
+        # Paper: rem L*4.G arriving after L*2.G logged -> rewrite.
+        assert (
+            compare_for_log(parse_pre("L*4.G"), parse_pre("L*2.G"))
+            is LogComparison.SUPERSET
+        )
+
+    def test_unbounded_supersedes_bounded(self):
+        assert (
+            compare_for_log(parse_pre("L*"), parse_pre("L*3"))
+            is LogComparison.SUPERSET
+        )
+
+    def test_bounded_subsumed_by_unbounded(self):
+        assert (
+            compare_for_log(parse_pre("L*3"), parse_pre("L*"))
+            is LogComparison.DUPLICATE
+        )
+
+    def test_different_body_unrelated(self):
+        assert (
+            compare_for_log(parse_pre("G*2.L"), parse_pre("L*2.L"))
+            is LogComparison.UNRELATED
+        )
+
+    def test_different_tail_unrelated(self):
+        assert (
+            compare_for_log(parse_pre("L*2.G"), parse_pre("L*2.I"))
+            is LogComparison.UNRELATED
+        )
+
+    def test_non_repeat_unrelated(self):
+        assert (
+            compare_for_log(parse_pre("G.L"), parse_pre("G.G"))
+            is LogComparison.UNRELATED
+        )
+
+
+class TestRewrite:
+    def test_paper_rewrite(self):
+        rewritten = rewrite_superset(parse_pre("L*4.G"))
+        assert str(rewritten) == "L.L*3.G"
+
+    def test_rewrite_not_nullable(self):
+        # Forcing the node to act as a PureRouter.
+        assert not nullable(rewrite_superset(parse_pre("L*4")))
+
+    def test_rewrite_unbounded(self):
+        assert str(rewrite_superset(parse_pre("L*"))) == "L.L*"
+
+    def test_rewrite_language_smaller_by_epsilon_only(self):
+        original = parse_pre("L*3")
+        rewritten = rewrite_superset(original)
+        original_paths = enumerate_paths(original, 4)
+        rewritten_paths = enumerate_paths(rewritten, 4)
+        assert rewritten_paths == original_paths - {()}
+
+    def test_rewrite_requires_shape(self):
+        with pytest.raises(ValueError):
+            rewrite_superset(parse_pre("G.L"))
+
+    def test_rewritten_advance_recovers_shape(self):
+        # After one L, the rewritten clone looks like L*3.G again, so the
+        # *next* site's log table can compare it (multi-rewrite behaviour).
+        rewritten = rewrite_superset(parse_pre("L*4.G"))
+        assert advance(rewritten, L) == parse_pre("L*3.G")
+
+
+class TestPreSize:
+    def test_atom(self):
+        assert pre_size(parse_pre("G")) == 1
+
+    def test_grows_with_structure(self):
+        assert pre_size(parse_pre("N|G.(L*4)")) > pre_size(parse_pre("G.L"))

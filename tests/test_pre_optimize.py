@@ -1,0 +1,69 @@
+"""Tests for language-preserving PRE simplification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pre import parse_pre, pre_size
+from repro.pre.automaton import language_equivalent
+from repro.pre.optimize import optimize_pre
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("N|L*", "L*"),            # ε subsumed by the star
+            ("G|(G|L)", "G|L"),        # branch subsumed by sibling
+            ("L*1|L*3", "L*3"),        # narrower bound subsumed
+            ("(L*2)*3", "L*6"),        # nested bounds multiply
+            ("(L*)*4", "L*"),          # unbounded absorbs
+            ("(L*2)*", "L*"),
+            ("(N|L)*3", "L*3"),        # ε-stripping inside repetition
+            ("G.(N|L*)", "G.L*"),
+            ("L|L", "L"),
+            ("G", "G"),                # fixpoint on already-simple PREs
+            ("N", "N"),
+        ],
+    )
+    def test_simplifications(self, source, expected):
+        assert optimize_pre(parse_pre(source)) == parse_pre(expected)
+
+    def test_unrelated_branches_kept(self):
+        pre = parse_pre("G.L|L.G")
+        assert optimize_pre(pre) == pre
+
+    def test_size_never_grows(self):
+        for text in ("N|G.(L*4)", "G|(G|L)", "(L*2)*3", "G.(G|L)", "L*"):
+            pre = parse_pre(text)
+            assert pre_size(optimize_pre(pre)) <= pre_size(pre)
+
+    def test_reverse_subsumption_order(self):
+        # The wider branch arrives second: it must replace the narrower one.
+        assert optimize_pre(parse_pre("L*1|L*")) == parse_pre("L*")
+
+
+_pres = st.sampled_from(
+    [
+        parse_pre(t)
+        for t in (
+            "N", "G", "L", "I", "G|L", "N|G", "G.L", "L*2", "L*", "G.(L*1)",
+            "N|G.L*2", "(G|L)*2", "L.L", "(L*2)*2", "(N|L)*3", "G|(G|L)",
+            "L*1|L*4", "(L*)*2", "I.(N|G)", "(G.L)|(G.L)",
+        )
+    ]
+)
+
+
+@given(_pres)
+@settings(max_examples=100, deadline=None)
+def test_optimization_preserves_language(pre):
+    assert language_equivalent(optimize_pre(pre), pre)
+
+
+@given(_pres)
+@settings(max_examples=100, deadline=None)
+def test_optimization_idempotent(pre):
+    once = optimize_pre(pre)
+    assert optimize_pre(once) == once

@@ -1,0 +1,126 @@
+"""Tests for PRE concrete syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PreSemanticsError, PreSyntaxError
+from repro.model.relations import LinkType
+from repro.pre import Alt, Atom, Concat, Empty, Repeat, parse_pre
+from repro.pre.ast import EMPTY, alt, concat, repeat
+
+L = Atom(LinkType.LOCAL)
+G = Atom(LinkType.GLOBAL)
+I = Atom(LinkType.INTERIOR)
+
+
+class TestAtoms:
+    @pytest.mark.parametrize("symbol,expected", [("L", L), ("G", G), ("I", I)])
+    def test_single_symbol(self, symbol, expected):
+        assert parse_pre(symbol) == expected
+
+    def test_case_insensitive(self):
+        assert parse_pre("l") == L
+
+    def test_null_is_empty(self):
+        assert parse_pre("N") == EMPTY
+
+    def test_null_atom_rejected_in_ast(self):
+        with pytest.raises(PreSemanticsError):
+            Atom(LinkType.NULL)
+
+
+class TestOperators:
+    def test_concat_dot(self):
+        assert parse_pre("G.L") == Concat((G, L))
+
+    def test_concat_middle_dot(self):
+        assert parse_pre("G·L") == Concat((G, L))
+
+    def test_concat_juxtaposition(self):
+        assert parse_pre("GL") == Concat((G, L))
+
+    def test_alternation(self):
+        assert parse_pre("G|L") == Alt((G, L))
+
+    def test_alternation_dedupes(self):
+        assert parse_pre("G|G") == G
+
+    def test_bounded_repeat(self):
+        assert parse_pre("L*4") == Repeat(L, 4)
+
+    def test_unbounded_repeat(self):
+        assert parse_pre("L*") == Repeat(L, None)
+
+    def test_repeat_binds_tighter_than_concat(self):
+        assert parse_pre("G.L*2") == Concat((G, Repeat(L, 2)))
+
+    def test_concat_binds_tighter_than_alt(self):
+        assert parse_pre("N|G.L") == Alt((EMPTY, Concat((G, L))))
+
+    def test_parentheses(self):
+        assert parse_pre("G.(G|L)") == Concat((G, Alt((G, L))))
+
+    def test_paper_example(self):
+        pre = parse_pre("N | G.(L*4)")
+        assert pre == Alt((EMPTY, Concat((G, Repeat(L, 4)))))
+
+    def test_whitespace_insensitive(self):
+        assert parse_pre(" G . ( G | L ) ") == parse_pre("G.(G|L)")
+
+    def test_repeat_of_group(self):
+        assert parse_pre("(G|L)*3") == Repeat(Alt((G, L)), 3)
+
+    def test_nested_parens(self):
+        assert parse_pre("((G))") == G
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text", ["", "  ", "X", "G.", "|G", "(G", "G)", "*", "L*0"]
+    )
+    def test_malformed(self, text):
+        with pytest.raises(PreSyntaxError):
+            parse_pre(text)
+
+    def test_double_star_is_nested_repeat(self):
+        # (G*)* is legal and denotes the same language as G*.
+        assert parse_pre("G**") == Repeat(Repeat(G, None), None)
+
+    def test_trailing_junk(self):
+        with pytest.raises(PreSyntaxError):
+            parse_pre("G L ;")
+
+
+class TestSmartConstructors:
+    def test_concat_unit(self):
+        assert concat([EMPTY, G, EMPTY]) == G
+
+    def test_concat_flattens(self):
+        assert concat([Concat((G, L)), G]) == Concat((G, L, G))
+
+    def test_concat_empty_sequence(self):
+        assert concat([]) == EMPTY
+
+    def test_alt_single(self):
+        assert alt([G]) == G
+
+    def test_repeat_zero_is_empty(self):
+        assert repeat(G, 0) == EMPTY
+
+    def test_repeat_of_empty_is_empty(self):
+        assert repeat(EMPTY, 5) == EMPTY
+
+    def test_rewrite_shape_not_collapsed(self):
+        # A·A*(m-1) must stay distinct from A*m (Section 3.1.1 requirement).
+        rewritten = concat([L, repeat(L, 1)])
+        assert rewritten != repeat(L, 2)
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "text", ["G", "N", "G.L", "G|L", "L*4", "L*", "G.(G|L)", "N|G.L*4", "(G|L)*2"]
+    )
+    def test_str_round_trips(self, text):
+        pre = parse_pre(text)
+        assert parse_pre(str(pre)) == pre

@@ -1,0 +1,129 @@
+"""Property-based tests for the PRE algebra (hypothesis).
+
+The derivative construction must agree with the denotational path language:
+``accepts(p, s + rest) == accepts(advance(p, s), rest)``, nullability is
+acceptance of the empty path, and the log-table subsumption decisions must
+be sound with respect to actual path-set containment.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.relations import LinkType
+from repro.pre import (
+    LogComparison,
+    accepts,
+    advance,
+    compare_for_log,
+    enumerate_paths,
+    first_symbols,
+    nullable,
+    parse_pre,
+    rewrite_superset,
+)
+from repro.pre.ast import Atom, Never, Pre, alt, concat, repeat
+
+SYMBOLS = (LinkType.INTERIOR, LinkType.LOCAL, LinkType.GLOBAL)
+
+
+def _atoms() -> st.SearchStrategy[Pre]:
+    from repro.pre.ast import EMPTY
+
+    return st.sampled_from([Atom(s) for s in SYMBOLS] + [EMPTY])
+
+
+def _pres(max_depth: int = 3) -> st.SearchStrategy[Pre]:
+    return st.recursive(
+        _atoms(),
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(concat),
+            st.lists(children, min_size=2, max_size=3).map(alt),
+            st.tuples(children, st.one_of(st.integers(1, 4), st.none())).map(
+                lambda pair: repeat(*pair)
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+pres = _pres()
+symbol_lists = st.lists(st.sampled_from(SYMBOLS), max_size=5)
+
+
+@given(pres, st.sampled_from(SYMBOLS), symbol_lists)
+@settings(max_examples=200, deadline=None)
+def test_derivative_agrees_with_acceptance(pre, symbol, rest):
+    assert accepts(pre, [symbol] + rest) == accepts(advance(pre, symbol), rest)
+
+
+@given(pres)
+@settings(max_examples=200, deadline=None)
+def test_nullable_is_empty_path_acceptance(pre):
+    assert nullable(pre) == accepts(pre, [])
+
+
+@given(pres, st.sampled_from(SYMBOLS))
+@settings(max_examples=200, deadline=None)
+def test_first_symbols_sound_and_complete(pre, symbol):
+    derivative = advance(pre, symbol)
+    if symbol in first_symbols(pre):
+        assert not isinstance(derivative, Never)
+    else:
+        assert isinstance(derivative, Never)
+
+
+@given(pres)
+@settings(max_examples=100, deadline=None)
+def test_enumerated_paths_all_accepted(pre):
+    for path in enumerate_paths(pre, 3):
+        assert accepts(pre, path)
+
+
+@given(pres, symbol_lists)
+@settings(max_examples=200, deadline=None)
+def test_accepted_paths_are_enumerated(pre, path):
+    if len(path) <= 3 and accepts(pre, path):
+        assert tuple(path) in enumerate_paths(pre, 3)
+
+
+@given(st.sampled_from(SYMBOLS), st.integers(1, 4), st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_subsumption_matches_containment(symbol, m, n):
+    """``A*m·G`` vs ``A*n·G`` must be judged exactly by path containment."""
+    body = symbol.value
+    incoming = parse_pre(f"{body}*{m}.G")
+    logged = parse_pre(f"{body}*{n}.G")
+    verdict = compare_for_log(incoming, logged)
+    incoming_paths = enumerate_paths(incoming, 5)
+    logged_paths = enumerate_paths(logged, 5)
+    if verdict is LogComparison.DUPLICATE:
+        assert incoming_paths <= logged_paths
+    elif verdict is LogComparison.SUPERSET:
+        assert incoming_paths > logged_paths
+
+
+@given(st.sampled_from(SYMBOLS), st.one_of(st.integers(2, 5), st.none()))
+@settings(max_examples=60, deadline=None)
+def test_rewrite_removes_exactly_zero_iteration_paths(symbol, bound):
+    """``A·A*(m-1)·B`` drops exactly the zero-iteration paths, i.e. L(B).
+
+    Those are the paths the previous (logged) visit already covered, so the
+    rewritten clone explores only genuinely new ground.
+    """
+    suffix = f"*{bound}" if bound is not None else "*"
+    original = parse_pre(f"{symbol.value}{suffix}.G")
+    rewritten = rewrite_superset(original)
+    depth = 4
+    original_paths = enumerate_paths(original, depth)
+    rewritten_paths = enumerate_paths(rewritten, depth)
+    assert rewritten_paths < original_paths
+    assert original_paths - rewritten_paths == enumerate_paths(parse_pre("G"), depth)
+
+
+@given(pres)
+@settings(max_examples=100, deadline=None)
+def test_str_parse_round_trip(pre):
+    """Rendered PREs re-parse to the same language (up to short paths)."""
+    reparsed = parse_pre(str(pre))
+    assert enumerate_paths(reparsed, 3) == enumerate_paths(pre, 3)

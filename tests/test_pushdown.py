@@ -1,0 +1,133 @@
+"""Predicate pushdown: property-checked against the naive evaluator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.html.generator import PageSpec, render_page
+from repro.model.database import build_node_database
+from repro.relational.expr import And, Attr, Compare, Contains, Literal, Not, Or
+from repro.relational.query import (
+    NodeQuery,
+    TableDecl,
+    evaluate_node_query,
+    evaluate_node_query_naive,
+)
+from repro.urlutils import parse_url
+
+URL = parse_url("http://a.example/page.html")
+
+
+def _database():
+    spec = PageSpec(
+        title="alpha topic page",
+        paragraphs=["some text body"],
+        links=[
+            ("one", "http://b.example/"),
+            ("two", "/local.html"),
+            ("three", "#frag"),
+        ],
+        emphasized=[("b", "bold detail"), ("i", "italic note")],
+        ruled=["CONVENER someone"],
+    )
+    return build_node_database(URL, render_page(spec))
+
+
+DATABASE = _database()
+
+_ATTRS = [
+    Attr("d", "title"),
+    Attr("d", "url"),
+    Attr("a", "ltype"),
+    Attr("a", "href"),
+    Attr("r", "delimiter"),
+    Attr("r", "text"),
+]
+# All-string operands: predicate pushdown may legitimately reorder which
+# conjunct raises first on type-broken comparisons, so the equivalence
+# property quantifies over type-safe expressions only.
+_LITERALS = [Literal(v) for v in ("G", "L", "b", "topic", "detail", "x")]
+
+
+def _operands():
+    return st.sampled_from(_ATTRS + _LITERALS)
+
+
+def _comparisons():
+    ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+    compares = st.builds(Compare, ops, _operands(), _operands())
+    contains = st.builds(
+        Contains,
+        st.sampled_from(_ATTRS),
+        st.sampled_from([Literal("topic"), Literal("G"), Literal("b"), Literal("zzz")]),
+    )
+    return st.one_of(compares, contains)
+
+
+_exprs = st.recursive(
+    _comparisons(),
+    lambda children: st.one_of(
+        st.builds(And, children, children),
+        st.builds(Or, children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=6,
+)
+
+
+def _query(where):
+    return NodeQuery(
+        select=(Attr("d", "url"), Attr("a", "href"), Attr("r", "delimiter")),
+        tables=(
+            TableDecl("document", "d"),
+            TableDecl("anchor", "a"),
+            TableDecl("relinfon", "r"),
+        ),
+        where=where,
+    )
+
+
+def _safe_eval(evaluator, query):
+    """Comparisons over mixed types can legitimately raise; both evaluators
+    must then raise identically."""
+    from repro.errors import EvaluationError
+
+    try:
+        return [r.values for r in evaluator(query, DATABASE)]
+    except EvaluationError:
+        return "error"
+
+
+@given(_exprs)
+@settings(max_examples=300, deadline=None)
+def test_pushdown_matches_naive(where):
+    query = _query(where)
+    assert _safe_eval(evaluate_node_query, query) == _safe_eval(
+        evaluate_node_query_naive, query
+    )
+
+
+class TestPushdownBehaviour:
+    def test_constant_false_prunes_everything(self):
+        query = _query(Literal(False))
+        assert evaluate_node_query(query, DATABASE) == []
+
+    def test_single_alias_conjunct_prunes_early(self):
+        # d-only predicate false: no anchor/relinfon rows ever scanned.
+        query = _query(Contains(Attr("d", "title"), Literal("nonexistent")))
+        assert evaluate_node_query(query, DATABASE) == []
+
+    def test_cross_alias_conjunct_at_right_depth(self):
+        where = And(
+            Compare("=", Attr("a", "ltype"), Literal("G")),
+            Compare("=", Attr("r", "delimiter"), Literal("b")),
+        )
+        rows = evaluate_node_query(_query(where), DATABASE)
+        assert rows
+        assert all(r.values[2] == "b" for r in rows)
+
+    def test_row_order_preserved(self):
+        query = _query(Literal(True))
+        a = [r.values for r in evaluate_node_query(query, DATABASE)]
+        b = [r.values for r in evaluate_node_query_naive(query, DATABASE)]
+        assert a == b  # identical order, not just identical sets

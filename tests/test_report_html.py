@@ -1,0 +1,60 @@
+"""Tests for the standalone HTML run report."""
+
+from __future__ import annotations
+
+from repro import WebDisEngine
+from repro.html.parser import parse_html
+from repro.report_html import render_run_report
+from repro.web.campus import CAMPUS_QUERY_DISQL
+
+
+def _report(campus_web, trace=True):
+    engine = WebDisEngine(campus_web, trace=trace)
+    handle = engine.run_query(CAMPUS_QUERY_DISQL)
+    return render_run_report(engine, handle, title="campus run")
+
+
+class TestRenderRunReport:
+    def test_is_complete_html_document(self, campus_web):
+        html = _report(campus_web)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+
+    def test_contains_results(self, campus_web):
+        html = _report(campus_web)
+        assert "CONVENER Jayant Haritsa" in html
+        assert "q2" in html
+
+    def test_contains_formalism(self, campus_web):
+        html = _report(campus_web)
+        assert "Q = http://www.csa.iisc.ernet.in/" in html
+
+    def test_contains_trace_when_enabled(self, campus_web):
+        html = _report(campus_web, trace=True)
+        assert "Traversal" in html
+        assert "duplicate-dropped" in html or "answered" in html
+
+    def test_no_trace_section_when_disabled(self, campus_web):
+        html = _report(campus_web, trace=False)
+        assert "<h2>Traversal</h2>" not in html
+
+    def test_traffic_summary_present(self, campus_web):
+        html = _report(campus_web)
+        assert "documents_shipped" in html
+        assert "Messages by kind" in html
+
+    def test_parses_with_own_parser(self, campus_web):
+        # Eat our own dogfood: the report must survive the library's parser.
+        doc = parse_html(_report(campus_web))
+        assert doc.title == "campus run"
+        assert "CONVENER Jayant Haritsa" in doc.text
+
+    def test_escaping(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        handle = engine.run_query(
+            'select d.text from document d such that'
+            ' "http://www.iisc.ernet.in/" N d'
+        )
+        html = render_run_report(engine, handle, title="<script>alert(1)</script>")
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html

@@ -1,0 +1,97 @@
+"""Result streaming hooks and end-to-end determinism."""
+
+from __future__ import annotations
+
+from repro import QueryStatus, WebDisEngine
+from repro.web import SyntheticWebConfig, build_campus_web, build_synthetic_web
+from repro.web.campus import CAMPUS_QUERY_DISQL
+from repro.web.synthetic import synthetic_start_url
+
+
+class TestStreamingHooks:
+    def test_on_result_fires_per_row(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        seen: list[tuple[str, float]] = []
+        handle = engine.submit_disql(
+            CAMPUS_QUERY_DISQL,
+            on_result=lambda label, row, t: seen.append((label, t)),
+        )
+        engine.run()
+        assert len(seen) == len(handle.results)
+        assert seen  # rows actually streamed
+
+    def test_rows_stream_before_completion(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        times: list[float] = []
+        handle = engine.submit_disql(
+            CAMPUS_QUERY_DISQL, on_result=lambda label, row, t: times.append(t)
+        )
+        engine.run()
+        assert min(times) < handle.completion_time
+
+    def test_on_complete_fires_once_at_completion(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        events: list[str] = []
+        handle = engine.submit_disql(
+            CAMPUS_QUERY_DISQL,
+            on_complete=lambda h: events.append(h.status.value),
+        )
+        engine.run()
+        assert events == ["complete"]
+        assert handle.status is QueryStatus.COMPLETE
+
+    def test_no_complete_callback_on_cancel(self, campus_web):
+        from repro import NetworkConfig
+
+        engine = WebDisEngine(campus_web, net_config=NetworkConfig(latency_base=0.5))
+        events: list[str] = []
+        handle = engine.submit_disql(
+            CAMPUS_QUERY_DISQL, on_complete=lambda h: events.append("done")
+        )
+        engine.cancel(handle, at=0.1)
+        engine.run()
+        assert events == []
+
+
+CONFIG = SyntheticWebConfig(sites=6, pages_per_site=5, seed=202)
+QUERY = (
+    'select d.url from document d such that "{start}" (L|G)*3 d\n'
+    'where d.title contains "topic"'
+)
+
+
+def _run():
+    engine = WebDisEngine(build_synthetic_web(CONFIG))
+    handle = engine.run_query(QUERY.format(start=synthetic_start_url(CONFIG)))
+    return engine, handle
+
+
+class TestDeterminism:
+    """Identical runs must be bit-identical: same results, stats, timings."""
+
+    def test_results_identical(self):
+        __, h1 = _run()
+        __, h2 = _run()
+        assert [(l, r.values) for l, r, __ in h1.results] == [
+            (l, r.values) for l, r, __ in h2.results
+        ]
+
+    def test_timings_identical(self):
+        __, h1 = _run()
+        __, h2 = _run()
+        assert h1.completion_time == h2.completion_time
+        assert h1.first_result_time == h2.first_result_time
+
+    def test_stats_identical(self):
+        e1, __ = _run()
+        e2, __ = _run()
+        assert e1.stats.summary() == e2.stats.summary()
+        assert e1.stats.messages_by_site == e2.stats.messages_by_site
+
+    def test_trace_identical(self):
+        def traced():
+            engine = WebDisEngine(build_synthetic_web(CONFIG), trace=True)
+            engine.run_query(QUERY.format(start=synthetic_start_url(CONFIG)))
+            return [str(e) for e in engine.tracer.events]
+
+        assert traced() == traced()

@@ -1,0 +1,67 @@
+"""The client-side stall watchdog (failure detector, not completion)."""
+
+from __future__ import annotations
+
+from repro import QueryStatus, WebDisEngine
+from repro.web.campus import CAMPUS_QUERY_DISQL
+
+
+class TestWatchdog:
+    def test_healthy_query_never_stalls(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        engine.client.watch(handle, quiet_timeout=0.15)
+        engine.run()
+        assert handle.status is QueryStatus.COMPLETE
+        assert not handle.stalled
+
+    def test_stall_detected_after_lost_report(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        # Lose one site's report: its CHT entries stay outstanding forever.
+        engine.network.fail_next("dsl.serc.iisc.ernet.in", "user.example")
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        stalls: list[float] = []
+        engine.client.watch(
+            handle, quiet_timeout=2.0, on_stall=lambda h: stalls.append(h.stall_detected_at)
+        )
+        engine.run()
+        assert handle.status is QueryStatus.RUNNING  # never falsely complete
+        assert handle.stalled
+        assert stalls and stalls[0] >= 2.0
+
+    def test_progress_rearms_timer(self, campus_web):
+        from repro import NetworkConfig
+
+        engine = WebDisEngine(campus_web, net_config=NetworkConfig(latency_base=0.02))
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        # Reports keep arriving faster than the timeout until completion.
+        engine.client.watch(handle, quiet_timeout=0.15)
+        engine.run()
+        assert handle.status is QueryStatus.COMPLETE
+        assert not handle.stalled
+
+    def test_cancel_disarms(self, campus_web):
+        from repro import NetworkConfig
+
+        engine = WebDisEngine(campus_web, net_config=NetworkConfig(latency_base=0.5))
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        engine.client.watch(handle, quiet_timeout=1.0)
+        engine.cancel(handle, at=0.1)
+        engine.run()
+        assert handle.status is QueryStatus.CANCELLED
+        assert not handle.stalled
+
+    def test_stalled_query_can_be_cancelled_and_retried(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        engine.network.fail_next("dsl.serc.iisc.ernet.in", "user.example")
+        first = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        engine.client.watch(
+            first, quiet_timeout=2.0,
+            on_stall=lambda h: engine.client.cancel(h),
+        )
+        engine.run()
+        assert first.status is QueryStatus.CANCELLED
+        retry = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        engine.run()
+        assert retry.status is QueryStatus.COMPLETE
+        assert len(retry.unique_rows("q2")) == 3

@@ -1,0 +1,78 @@
+"""Filesystem round-trip of simulated webs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryStatus, WebDisEngine
+from repro.errors import WebDisError
+from repro.urlutils import parse_url
+from repro.web import build_campus_web, load_web, save_web
+from repro.web.builders import WebBuilder
+from repro.web.campus import CAMPUS_QUERY_DISQL, EXPECTED_CONVENER_ROWS
+
+
+class TestSaveLoad:
+    def test_round_trip_counts(self, campus_web, tmp_path):
+        written = save_web(campus_web, tmp_path / "campus")
+        loaded = load_web(tmp_path / "campus")
+        assert written == campus_web.page_count()
+        assert loaded.page_count() == campus_web.page_count()
+        assert loaded.site_names == campus_web.site_names
+
+    def test_round_trip_bytes_identical(self, campus_web, tmp_path):
+        save_web(campus_web, tmp_path / "campus")
+        loaded = load_web(tmp_path / "campus")
+        for url in campus_web.urls():
+            assert loaded.html_for(url) == campus_web.html_for(url)
+
+    def test_loaded_web_answers_queries(self, campus_web, tmp_path):
+        save_web(campus_web, tmp_path / "campus")
+        engine = WebDisEngine(load_web(tmp_path / "campus"))
+        handle = engine.run_query(CAMPUS_QUERY_DISQL)
+        assert handle.status is QueryStatus.COMPLETE
+        assert {r.values for r in handle.unique_rows("q2")} == set(EXPECTED_CONVENER_ROWS)
+
+    def test_root_page_is_index_html(self, campus_web, tmp_path):
+        save_web(campus_web, tmp_path / "campus")
+        assert (tmp_path / "campus" / "www.csa.iisc.ernet.in" / "index.html").exists()
+
+    def test_nested_paths_flattened(self, tmp_path):
+        builder = WebBuilder()
+        builder.site("a.example").page("/deep/dir/page.html", title="deep")
+        save_web(builder.build(), tmp_path / "w")
+        assert (tmp_path / "w" / "a.example" / "deep__dir__page.html").exists()
+
+    def test_collision_rejected(self, tmp_path):
+        builder = WebBuilder()
+        site = builder.site("a.example")
+        site.page("/a__b.html", title="one")
+        site.page("/a/b.html", title="two")
+        with pytest.raises(WebDisError):
+            save_web(builder.build(), tmp_path / "w")
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(WebDisError):
+            load_web(tmp_path / "nothing-here")
+
+
+class TestManifestlessImport:
+    def test_import_hand_made_dump(self, tmp_path):
+        site_dir = tmp_path / "dump" / "handmade.example"
+        site_dir.mkdir(parents=True)
+        (site_dir / "index.html").write_text(
+            '<html><head><title>Hand made</title></head>'
+            '<body><a href="/sub/page.html">go</a></body></html>'
+        )
+        (site_dir / "sub__page.html").write_text(
+            "<html><head><title>Sub page</title></head><body>hi</body></html>"
+        )
+        web = load_web(tmp_path / "dump")
+        assert web.resolves(parse_url("http://handmade.example/"))
+        assert web.resolves(parse_url("http://handmade.example/sub/page.html"))
+        engine = WebDisEngine(web)
+        handle = engine.run_query(
+            'select d.title from document d such that "http://handmade.example/" N|L d'
+        )
+        titles = {r.values[0] for r in handle.unique_rows()}
+        assert titles == {"Hand made", "Sub page"}

@@ -1,0 +1,189 @@
+"""Tests for the web substrate: sites, builders, generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WebDisError
+from repro.html.generator import PageSpec
+from repro.urlutils import parse_url
+from repro.web import (
+    SyntheticWebConfig,
+    Web,
+    WebBuilder,
+    build_campus_web,
+    build_figure1_web,
+    build_figure5_web,
+    build_synthetic_web,
+)
+from repro.web.site import Page, Site
+from repro.web.synthetic import synthetic_start_url
+
+
+class TestPageAndSite:
+    def test_page_requires_exactly_one_source(self):
+        with pytest.raises(WebDisError):
+            Page("/x")
+        with pytest.raises(WebDisError):
+            Page("/x", spec=PageSpec(title="t"), html="<html></html>")
+
+    def test_page_path_must_be_absolute(self):
+        with pytest.raises(WebDisError):
+            Page("x.html", html="<html></html>")
+
+    def test_lazy_render_cached(self):
+        page = Page("/x", spec=PageSpec(title="T"))
+        assert page.html is page.html
+
+    def test_site_duplicate_path_rejected(self):
+        site = Site("a.example")
+        site.add(Page("/x", html="<p>1</p>"))
+        with pytest.raises(WebDisError):
+            site.add(Page("/x", html="<p>2</p>"))
+
+    def test_site_name_lowercased(self):
+        assert Site("A.Example").name == "a.example"
+
+    def test_url_of(self):
+        assert str(Site("a.example").url_of("/x")) == "http://a.example/x"
+
+
+class TestWeb:
+    def _web(self):
+        builder = WebBuilder()
+        builder.site("a.example").page("/", title="root", links=[("x", "/x.html")])
+        builder.site("a.example").page("/x.html", title="x")
+        builder.site("b.example").page("/", title="b root")
+        return builder.build()
+
+    def test_html_for(self):
+        web = self._web()
+        assert web.html_for(parse_url("http://a.example/")) is not None
+
+    def test_html_for_missing_page(self):
+        assert self._web().html_for(parse_url("http://a.example/zzz")) is None
+
+    def test_html_for_missing_site(self):
+        assert self._web().html_for(parse_url("http://zzz.example/")) is None
+
+    def test_fragment_ignored(self):
+        web = self._web()
+        assert web.html_for(parse_url("http://a.example/#frag")) is not None
+
+    def test_duplicate_site_rejected(self):
+        web = Web()
+        web.add_site(Site("a.example"))
+        with pytest.raises(WebDisError):
+            web.add_site(Site("a.example"))
+
+    def test_ensure_site_idempotent(self):
+        web = Web()
+        assert web.ensure_site("x.example") is web.ensure_site("x.example")
+
+    def test_urls_sorted_deterministic(self):
+        urls = [str(u) for u in self._web().urls()]
+        assert urls == sorted(urls)
+
+    def test_page_count_and_bytes(self):
+        web = self._web()
+        assert web.page_count() == 3
+        assert web.total_bytes() > 0
+
+    def test_out_links_classified(self):
+        web = self._web()
+        links = web.out_links(parse_url("http://a.example/"))
+        assert [(str(u), t) for u, t in links] == [("http://a.example/x.html", "L")]
+
+    def test_to_networkx(self):
+        graph = self._web().to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.has_edge("http://a.example/", "http://a.example/x.html")
+
+
+class TestSyntheticWeb:
+    def test_deterministic_in_seed(self):
+        config = SyntheticWebConfig(sites=3, pages_per_site=3, seed=5)
+        a = build_synthetic_web(config)
+        b = build_synthetic_web(config)
+        assert [str(u) for u in a.urls()] == [str(u) for u in b.urls()]
+        assert a.total_bytes() == b.total_bytes()
+
+    def test_different_seeds_differ(self):
+        a = build_synthetic_web(SyntheticWebConfig(sites=3, pages_per_site=4, seed=1))
+        b = build_synthetic_web(SyntheticWebConfig(sites=3, pages_per_site=4, seed=2))
+        assert a.total_bytes() != b.total_bytes()
+
+    def test_size_parameters(self):
+        web = build_synthetic_web(SyntheticWebConfig(sites=4, pages_per_site=5))
+        assert len(web.site_names) == 4
+        assert web.page_count() == 20
+
+    def test_padding_grows_corpus(self):
+        small = build_synthetic_web(SyntheticWebConfig(padding_words=10, seed=3))
+        big = build_synthetic_web(SyntheticWebConfig(padding_words=500, seed=3))
+        assert big.total_bytes() > small.total_bytes() * 2
+
+    def test_no_self_global_links(self):
+        config = SyntheticWebConfig(sites=3, pages_per_site=2, seed=9)
+        web = build_synthetic_web(config)
+        for url in web.urls():
+            for href, ltype in web.out_links(url):
+                if ltype == "G":
+                    assert href.host != url.host
+
+    def test_floating_fraction_creates_dangling(self):
+        config = SyntheticWebConfig(sites=3, pages_per_site=3, floating_fraction=0.5, seed=11)
+        web = build_synthetic_web(config)
+        dangling = sum(
+            1
+            for url in web.urls()
+            for href, __ in web.out_links(url)
+            if not web.resolves(href.without_fragment())
+        )
+        assert dangling > 0
+
+    def test_zero_floating_all_resolve(self):
+        config = SyntheticWebConfig(sites=3, pages_per_site=3, seed=11)
+        web = build_synthetic_web(config)
+        for url in web.urls():
+            for href, __ in web.out_links(url):
+                assert web.resolves(href.without_fragment())
+
+    def test_start_url(self):
+        assert synthetic_start_url(SyntheticWebConfig()) == "http://site000.example/"
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticWebConfig(sites=0)
+        with pytest.raises(ValueError):
+            SyntheticWebConfig(topic_fraction=1.5)
+
+
+class TestFixtureWebs:
+    def test_campus_shape(self):
+        web = build_campus_web()
+        assert len(web.site_names) == 5
+        assert web.resolves(parse_url("http://www.csa.iisc.ernet.in/Labs"))
+        assert web.resolves(parse_url("http://dsl.serc.iisc.ernet.in/people"))
+
+    def test_campus_labs_page_title_contains_lab(self):
+        from repro.html.parser import parse_html
+
+        web = build_campus_web()
+        html = web.html_for(parse_url("http://www.csa.iisc.ernet.in/Labs"))
+        assert "lab" in parse_html(html).title.lower()
+
+    def test_figure1_nine_nodes(self):
+        assert build_figure1_web().page_count() == 9
+
+    def test_figure5_shape(self):
+        web = build_figure5_web()
+        assert web.resolves(parse_url("http://site-four.example/"))
+        # Exactly four pages link to node 4 (visits a + b + c,d,e sources).
+        pointers = sum(
+            1
+            for url in web.urls()
+            for href, __ in web.out_links(url)
+            if href.host == "site-four.example"
+        )
+        assert pointers == 5

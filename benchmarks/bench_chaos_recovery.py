@@ -1,0 +1,191 @@
+"""EXP-X8 (extension) — completion under injected transport faults.
+
+Paper Section 7.1 leaves "graceful recovery from node failures" open.  The
+reliability layer (DESIGN.md §4.6) answers part of it: transient connect
+faults are retried with seeded exponential backoff, while REFUSED connects
+— the passive-termination signal (§2.8) — are never retried.  This bench
+sweeps the fault rate with retries off and on and measures:
+
+* **completed / exact** — queries reaching COMPLETE with a balanced CHT
+  (the protocol's exactness guarantee under fire);
+* **answers** — result rows that survived, out of the fault-free count;
+* retry-layer counters (``retried_sends`` / ``retries_exhausted``).
+
+A second table shows crash/recovery: a query-server crashing mid-query and
+restarting, bridged by sender-side retries, with the no-restart case
+falling back to CHT retraction.  A third check pins the acceptance
+invariant: a cancelled query produces REFUSED dispatches and *zero*
+retries.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EngineConfig,
+    FaultPlan,
+    NetworkConfig,
+    QueryStatus,
+    RetryPolicy,
+    WebDisEngine,
+)
+from repro.web.builders import WebBuilder
+
+from harness import format_table, report
+
+LEAVES = 8
+RUNS_PER_CELL = 5
+FAULT_RATES = (0.0, 0.05, 0.10, 0.20)
+RETRIES = RetryPolicy(max_attempts=8, base_delay=0.05, multiplier=2.0, jitter=0.5)
+
+
+def _build_web():
+    builder = WebBuilder()
+    builder.site("root.example").page(
+        "/",
+        title="root directory",
+        links=[(f"leaf {i}", f"http://leaf{i}.example/") for i in range(LEAVES)],
+    )
+    for i in range(LEAVES):
+        builder.site(f"leaf{i}.example").page(
+            "/", title=f"leaf {i}", emphasized=[("b", f"answer {i}")]
+        )
+    return builder.build()
+
+
+QUERY = (
+    'select d.url, r.text\n'
+    'from document d such that "http://root.example/" G d,\n'
+    '     relinfon r such that r.delimiter = "b"\n'
+    'where r.text contains "answer"'
+)
+
+
+def _run_once(fault_rate: float, retries: bool, seed: int):
+    config = EngineConfig(retry_policy=RETRIES if retries else None)
+    engine = WebDisEngine(_build_web(), config=config)
+    if fault_rate > 0.0:
+        engine.apply_faults(FaultPlan(seed=seed).drop(fault_rate))
+    handle = engine.submit_disql(QUERY)
+    engine.run()
+    return engine, handle
+
+
+def _sweep_cell(fault_rate: float, retries: bool):
+    completed = exact = answers = retried = exhausted = faults = 0
+    for seed in range(RUNS_PER_CELL):
+        engine, handle = _run_once(fault_rate, retries, seed)
+        if handle.status is QueryStatus.COMPLETE:
+            completed += 1
+            if handle.cht.imbalance() == 0:
+                exact += 1
+        answers += len(handle.unique_rows())
+        retried += engine.stats.retried_sends
+        exhausted += engine.stats.retries_exhausted
+        faults += engine.stats.failed_sends
+    return completed, exact, answers, retried, exhausted, faults
+
+
+def bench_chaos_recovery(benchmark):
+    rows = []
+    for fault_rate in FAULT_RATES:
+        for retries in (False, True):
+            completed, exact, answers, retried, exhausted, faults = _sweep_cell(
+                fault_rate, retries
+            )
+            rows.append(
+                (
+                    f"{fault_rate:.0%}",
+                    "on" if retries else "off",
+                    f"{completed}/{RUNS_PER_CELL}",
+                    f"{exact}/{RUNS_PER_CELL}",
+                    f"{answers}/{RUNS_PER_CELL * LEAVES}",
+                    faults,
+                    retried,
+                    exhausted,
+                )
+            )
+            # Exactness is unconditional: a query that completes, completes
+            # with a balanced CHT — faults lose answers, never correctness.
+            assert exact == completed
+            if fault_rate == 0.0:
+                assert completed == RUNS_PER_CELL
+                assert retried == 0
+            if fault_rate == 0.10 and retries:
+                # Acceptance: at 10% transient faults every run reaches exact
+                # completion with the full answer set — no stalled handles.
+                assert completed == RUNS_PER_CELL
+                assert answers == RUNS_PER_CELL * LEAVES
+                assert exhausted == 0
+
+    body = format_table(
+        (
+            "fault rate", "retries", "completed", "exact CHT",
+            "answers", "faults hit", "retried", "exhausted",
+        ),
+        rows,
+    )
+
+    # -- crash / recovery -----------------------------------------------------
+    crash_rows = []
+    for label, restart_at, retries in (
+        ("crash, restart at t=4", 4.0, True),
+        ("crash, no restart", None, True),
+        ("crash, no restart, no retries", None, False),
+    ):
+        config = EngineConfig(
+            retry_policy=RetryPolicy(max_attempts=6, base_delay=0.5, jitter=0.0)
+            if retries
+            else None
+        )
+        # Slow the network down so the crash lands mid-query: root receives
+        # at ~t=1 and forwards right after; the crash at t=0.5 precedes it.
+        engine = WebDisEngine(
+            _build_web(), config=config, net_config=NetworkConfig(latency_base=1.0)
+        )
+        plan = FaultPlan().crash("leaf3.example", at=0.5, restart_at=restart_at)
+        engine.apply_faults(plan)
+        handle = engine.submit_disql(QUERY)
+        engine.run()
+        # No hung queries, whatever the outcome: every outstanding CHT entry
+        # is resolved by retry, re-forward, or retraction.
+        assert handle.status is QueryStatus.COMPLETE
+        assert handle.cht.imbalance() == 0
+        crash_rows.append(
+            (
+                label,
+                handle.status.value,
+                len(handle.unique_rows()),
+                engine.stats.retried_sends,
+                engine.stats.retries_exhausted,
+            )
+        )
+    assert crash_rows[0][2] == LEAVES  # restart + retries: full answer set
+    assert crash_rows[1][2] == LEAVES - 1  # retraction: only the dead leaf lost
+    body += "\n\n" + format_table(
+        ("crash scenario", "status", "answers", "retried", "exhausted"),
+        crash_rows,
+    )
+
+    # -- termination invariant -------------------------------------------------
+    config = EngineConfig(retry_policy=RETRIES)
+    engine = WebDisEngine(
+        _build_web(), config=config, net_config=NetworkConfig(latency_base=0.5)
+    )
+    handle = engine.submit_disql(QUERY)
+    engine.cancel(handle, at=0.6)  # root holds the clone; no reply yet
+    engine.run()
+    assert handle.status is QueryStatus.CANCELLED
+    # Acceptance: REFUSED (the cancellation signal) never consumes a retry.
+    assert engine.stats.refused_sends >= 1
+    assert engine.stats.retried_sends == 0
+    body += (
+        f"\n\ncancelled query: {engine.stats.refused_sends} refused dispatch(es),"
+        f" {engine.stats.retried_sends} retries (REFUSED is final by design)"
+        "\n\nextension shape: retries turn transient connect faults from lost"
+        " answers into latency; completion detection stays exact at every"
+        " fault rate; crash recovery is bridged by retries (with restart) or"
+        " resolved by retraction (without)"
+    )
+    report("EXP-X8", "chaos: completion and exactness vs. transport fault rate", body)
+
+    benchmark(lambda: _run_once(0.10, True, 0)[1].completion_time)

@@ -27,7 +27,9 @@ from .core.engine import WebDisEngine
 from .core.webquery import QueryClone, QueryId, WebQuery, WebQueryStep
 from .disql import compile_disql, format_disql, parse_disql
 from .errors import WebDisError
-from .net.network import NetworkConfig
+from .net.faults import FaultPlan
+from .net.network import NetworkConfig, SendOutcome
+from .net.reliable import RetryPolicy
 from .pre import parse_pre
 from .web import Web, WebBuilder, build_campus_web, build_synthetic_web
 
@@ -35,11 +37,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "EngineConfig",
+    "FaultPlan",
     "NetworkConfig",
     "QueryClone",
     "QueryHandle",
     "QueryId",
     "QueryStatus",
+    "RetryPolicy",
+    "SendOutcome",
     "Web",
     "WebBuilder",
     "WebDisEngine",

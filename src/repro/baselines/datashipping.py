@@ -32,7 +32,8 @@ from ..core.trace import Tracer
 from ..core.webquery import WebQuery
 from ..disql.translate import compile_disql
 from ..model.database import DatabaseConstructor, build_documents_table
-from ..net.network import Network, NetworkConfig
+from ..net.network import Network, NetworkConfig, SendOutcome
+from ..net.reliable import ReliableChannel
 from ..net.simclock import SimClock
 from ..net.stats import TrafficStats
 from ..pre.ast import Pre
@@ -118,6 +119,10 @@ class DataShippingEngine:
         install_doc_servers(web, self.network, self.clock, self.stats)
         self.network.listen(user_site, _RESULT_PORT, self._on_response)
 
+        self.channel = ReliableChannel(
+            self.network, self.clock, self.config.retry_policy,
+            name=f"datashipping:{user_site}",
+        )
         self.constructor = DatabaseConstructor(self.config.db_cache_size)
         self.log_table = NodeQueryLogTable(self.config.log_subsumption)
         self._site_documents: dict[str, object] = {}
@@ -161,9 +166,18 @@ class DataShippingEngine:
                 continue
             request_id = next(self._request_ids)
             request = FetchRequest(work.url, self.user_site, _RESULT_PORT, request_id)
-            if self.network.send(self.user_site, work.url.host, DOC_PORT, request):
-                self._in_flight[request_id] = work
-            # Unreachable site: skip silently, like a failed HTTP connect.
+            # Count the fetch in flight across any retries — otherwise a
+            # pending retry would be invisible to _maybe_finish and the run
+            # could be declared complete with work still outstanding.
+            self._in_flight[request_id] = work
+
+            def after_send(outcome: SendOutcome, rid: int = request_id) -> None:
+                if not outcome.delivered:
+                    # Unreachable site: skip, like a failed HTTP connect.
+                    self._in_flight.pop(rid, None)
+                    self._maybe_finish()
+
+            self.channel.send(self.user_site, work.url.host, DOC_PORT, request, after_send)
         self._maybe_finish()
 
     def _should_process(self, work: _Work) -> bool:

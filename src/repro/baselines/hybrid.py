@@ -34,7 +34,8 @@ from ..core.processing import process_node
 from ..core.trace import Tracer
 from ..core.webquery import QueryClone, QueryId
 from ..model.database import DatabaseConstructor, build_documents_table
-from ..net.network import HELPER_PORT, QUERY_PORT, Network, NetworkConfig
+from ..net.network import HELPER_PORT, QUERY_PORT, Network, NetworkConfig, SendOutcome
+from ..net.reliable import ReliableChannel
 from ..net.simclock import SimClock
 from ..net.stats import TrafficStats
 from ..urlutils import Url
@@ -74,6 +75,9 @@ class CentralProcessor:
         self.stats = stats
         self.tracer = tracer
         self.participating = participating
+        self.channel = ReliableChannel(
+            network, clock, config.retry_policy, name=f"central:{user_site}"
+        )
         self.constructor = DatabaseConstructor(config.db_cache_size)
         self.log_table = NodeQueryLogTable(config.log_subsumption)
         self._queue: deque[QueryClone] = deque()
@@ -215,17 +219,26 @@ class CentralProcessor:
 
     def _complete(self, clone: QueryClone, reports, clones) -> None:
         qid = clone.query.qid
-        try:
-            ok = True
-            if reports:
-                ok = self.network.send(
-                    self.site, qid.host, qid.port, ResultMessage(qid, tuple(reports))
-                )
-            if not ok:
+
+        def after_dispatch(outcome: SendOutcome) -> None:
+            # REFUSED = passive termination; an exhausted transient outcome
+            # means the user-site is unreachable.  Either way the central
+            # helper stops working on this query.
+            if not outcome.delivered:
                 self._purged.add(qid)
                 return
             for fclone in clones:
                 self._forward(fclone)
+
+        try:
+            if reports:
+                self.channel.send(
+                    self.site, qid.host, qid.port,
+                    ResultMessage(qid, tuple(reports)), after_dispatch,
+                )
+            else:
+                for fclone in clones:
+                    self._forward(fclone)
         finally:
             self._busy = False
             self._current = None
@@ -234,18 +247,30 @@ class CentralProcessor:
     def _forward(self, fclone: QueryClone) -> None:
         qid = fclone.query.qid
         if fclone.site in self.participating:
-            if self.network.send(self.site, fclone.site, QUERY_PORT, fclone):
-                self.stats.clones_forwarded += 1
-                return
-        elif self.network.send(self.site, self.site, HELPER_PORT, fclone):
+
+            def after_forward(outcome: SendOutcome) -> None:
+                if outcome.delivered:
+                    self.stats.clones_forwarded += 1
+                else:
+                    self._retract(fclone)
+
+            self.channel.send(self.site, fclone.site, QUERY_PORT, fclone, after_forward)
+            return
+        if self.network.send(self.site, self.site, HELPER_PORT, fclone):
             # Not participating: keep it central.
             self.stats.local_hops += 1
             return
+        self._retract(fclone)
+
+    def _retract(self, fclone: QueryClone) -> None:
+        qid = fclone.query.qid
         retractions = tuple(
             NodeReport(ChtEntry(url, fclone.state), Disposition.UNREACHABLE)
             for url in fclone.dest
         )
-        self.network.send(self.site, qid.host, qid.port, ResultMessage(qid, retractions, kind="cht"))
+        self.channel.send(
+            self.site, qid.host, qid.port, ResultMessage(qid, retractions, kind="cht")
+        )
 
 
 class HybridEngine(WebDisEngine):

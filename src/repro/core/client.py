@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import QueryLifecycleError
-from ..net.network import HELPER_PORT, QUERY_PORT, Network
+from ..net.network import HELPER_PORT, QUERY_PORT, Network, SendOutcome
+from ..net.reliable import ReliableChannel
 from ..net.simclock import SimClock
 from ..net.stats import TrafficStats
 from ..relational.query import ResultRow
@@ -172,9 +173,16 @@ class UserSiteClient:
         self.tracer = tracer
         self.config = config
         self.user = user
+        self.channel = ReliableChannel(
+            network, clock, config.retry_policy,
+            name=f"client:{site}", trace=self._trace_transport,
+        )
         self._query_numbers = itertools.count(1)
         self._ports = itertools.count(_FIRST_RESULT_PORT)
         self._handles: dict[QueryId, QueryHandle] = {}
+
+    def _trace_transport(self, action: str, detail: str) -> None:
+        self.tracer.record(self.clock.now, "-", self.site, "-", "-", action, detail)
 
     # -- Figure 2: send_query ---------------------------------------------------
 
@@ -219,24 +227,43 @@ class UserSiteClient:
         for site, nodes in by_site.items():
             groups = [tuple(nodes)] if self.config.batch_per_site else [(n,) for n in nodes]
             for group in groups:
-                clone = QueryClone(query, 0, initial_pre, group)
-                if self.network.send(self.site, site, QUERY_PORT, clone):
-                    self.stats.clones_forwarded += 1
-                    continue
-                if self.config.central_fallback and self.network.send(
-                    self.site, self.site, HELPER_PORT, clone
-                ):
-                    self.stats.clones_forwarded += 1
-                    continue
-                # Start site unreachable / not participating: retire entries.
-                for node in group:
-                    handle.cht.mark_deleted(ChtEntry(node, state), self.clock.now)
-                    self.tracer.record(
-                        self.clock.now, str(node), site, state, START_NODE,
-                        "unreachable-start",
-                    )
+                self._dispatch_clone(
+                    handle, QueryClone(query, 0, initial_pre, group), "unreachable-start"
+                )
         self._check_completion(handle)
         return handle
+
+    def _dispatch_clone(
+        self, handle: QueryHandle, clone: QueryClone, failure_action: str
+    ) -> None:
+        """Send ``clone`` to its site reliably; retire its entries on failure.
+
+        The channel retries transient faults; the callback fires with the
+        final outcome (synchronously when the first connect settles it).
+        All of the clone's CHT entries must already be in the table —
+        retirement on failure keeps completion exact.
+        """
+        state = clone.state
+
+        def after_send(outcome: SendOutcome) -> None:
+            if outcome.delivered:
+                self.stats.clones_forwarded += 1
+                return
+            if self.config.central_fallback and self.network.send(
+                self.site, self.site, HELPER_PORT, clone
+            ):
+                self.stats.clones_forwarded += 1
+                return
+            # Destination unreachable / not participating: retire entries.
+            for node in clone.dest:
+                handle.cht.mark_deleted(ChtEntry(node, state), self.clock.now)
+                self.tracer.record(
+                    self.clock.now, str(node), clone.site, state, START_NODE,
+                    failure_action,
+                )
+            self._check_completion(handle)
+
+        self.channel.send(self.site, clone.site, QUERY_PORT, clone, after_send)
 
     # -- Figure 2: receive_results ------------------------------------------------
 
@@ -300,6 +327,42 @@ class UserSiteClient:
                 on_stall(handle)
 
         arm()
+
+    # -- crash recovery (extension): re-forward orphaned clones --------------------
+
+    def reforward_pending(self, handle: QueryHandle) -> int:
+        """Re-dispatch a clone for every outstanding CHT entry.
+
+        A clone that died inside a crashed query-server (queued, being
+        processed, or in flight to it) leaves its CHT entry pending forever:
+        the forwarder saw a successful connect, so no retry fires and no
+        retraction arrives.  The entry's ``(node, state)`` key is exactly the
+        paper's complete clone state (§2.7.1), so the user-site can rebuild
+        the clone and forward it afresh — each re-forward is resolved by a
+        new report (possibly a DUPLICATE drop at the target's log table) or,
+        if the site stays unreachable, a retraction.
+
+        Call this only for entries believed *orphaned* — e.g. from the
+        :meth:`watch` stall detector.  Re-forwarding an entry whose original
+        report is still in flight would retire it twice and unbalance the
+        CHT.  Returns the number of clones re-forwarded.
+        """
+        if handle.status is not QueryStatus.RUNNING:
+            return 0
+        query = handle.query
+        groups: dict[tuple[str, int, object], list[Url]] = {}
+        for entry in handle.cht.pending_entries():
+            step_index = len(query.steps) - entry.state.num_q
+            key = (entry.node.host, step_index, entry.state.rem)
+            groups.setdefault(key, []).append(entry.node)
+        for (site, step_index, rem), nodes in sorted(groups.items(), key=str):
+            clone = QueryClone(query, step_index, rem, tuple(dict.fromkeys(nodes)))
+            for node in clone.dest:
+                self.tracer.record(
+                    self.clock.now, str(node), site, clone.state, "-", "re-forwarded"
+                )
+            self._dispatch_clone(handle, clone, "unreachable-reforward")
+        return len(groups)
 
     # -- Section 2.8: passive termination ----------------------------------------
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..net.reliable import RetryPolicy
+
 __all__ = ["EngineConfig"]
 
 
@@ -39,6 +41,12 @@ class EngineConfig:
     #: query connection (not participating in WEBDIS), redirect the clone to
     #: the central helper at the user-site instead of retiring its entries.
     central_fallback: bool = False
+
+    #: Reliability extension (DESIGN.md §4.6): retry transient send faults
+    #: (HOST_DOWN / FAULT — never REFUSED) through a per-process
+    #: ReliableChannel.  None disables retrying, reproducing the paper's
+    #: single-attempt transport exactly.
+    retry_policy: RetryPolicy | None = None
 
     # --- server resource management ------------------------------------------
     #: Query-processor threads per server.  The paper's design is a single

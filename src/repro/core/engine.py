@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..disql.translate import compile_disql
+from ..errors import SimulationError
 from ..net.network import Network, NetworkConfig
 from ..net.simclock import SimClock
 from ..net.stats import TrafficStats
@@ -113,6 +114,51 @@ class WebDisEngine:
             self.client.cancel(handle)
         else:
             self.clock.schedule_at(at, lambda: self.client.cancel(handle))
+
+    # -- crash / recovery (§7.1 open problem) ------------------------------------
+
+    def crash_server(self, site: str, at: float | None = None) -> None:
+        """Crash ``site``'s query-server host now (or at time ``at``).
+
+        The host goes down (connects to it return HOST_DOWN, in-flight
+        deliveries to it are lost), its sockets are dropped, and the server
+        process loses all volatile state: queue, log table, db cache and
+        pending retries.  Queries whose clones die inside the crash are
+        recovered by sender-side retries (the connect never succeeded), by
+        the client's :meth:`~repro.core.client.UserSiteClient.reforward_pending`
+        (the connect succeeded but the clone was lost), or by retraction.
+        """
+        site = site.lower()
+        server = self._server_or_raise(site)
+        if at is not None:
+            self.clock.schedule_at(at, lambda: self.crash_server(site))
+            return
+        self.network.crash_site(site)
+        server.crash()
+
+    def restart_server(self, site: str, at: float | None = None) -> None:
+        """Restart a crashed query-server now (or at time ``at``).
+
+        The host comes back up and the server re-binds its query port with
+        a blank state — exactly what a process restart provides.
+        """
+        site = site.lower()
+        server = self._server_or_raise(site)
+        if at is not None:
+            self.clock.schedule_at(at, lambda: self.restart_server(site))
+            return
+        self.network.set_site_up(site)
+        server.restart()
+
+    def _server_or_raise(self, site: str) -> QueryServer:
+        server = self.servers.get(site)
+        if server is None:
+            raise SimulationError(f"no query-server at {site!r}")
+        return server
+
+    def apply_faults(self, plan) -> None:
+        """Install a :class:`~repro.net.faults.FaultPlan` on this deployment."""
+        plan.install(self.network, self)
 
     # -- introspection -----------------------------------------------------------------
 

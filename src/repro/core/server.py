@@ -14,6 +14,16 @@ One engineering extension beyond the paper (DESIGN.md §4): when a clone
 *forward* fails — the destination site is unreachable or refuses — the
 server sends a supplementary report retiring the affected CHT entries, so
 completion detection stays exact instead of hanging.
+
+Reliability extension (DESIGN.md §4.6): result dispatch and clone forwards
+are routed through a :class:`~repro.net.reliable.ReliableChannel`.  Only
+*transient* outcomes (HOST_DOWN / FAULT) are retried; a REFUSED connect
+stays final because it is the passive-termination signal.  The Figure-3
+ordering survives retries: clones are forwarded only once the result
+dispatch has actually DELIVERED, however many attempts that took.  The
+server also supports crash/recovery: :meth:`crash` loses the queue, log
+table and db cache (and abandons pending retries); :meth:`restart` re-binds
+the query port with a blank process state.
 """
 
 from __future__ import annotations
@@ -21,7 +31,8 @@ from __future__ import annotations
 from collections import deque
 
 from ..model.database import DatabaseConstructor, build_documents_table
-from ..net.network import HELPER_PORT, QUERY_PORT, Network
+from ..net.network import HELPER_PORT, QUERY_PORT, Network, SendOutcome
+from ..net.reliable import ReliableChannel
 from ..net.simclock import SimClock
 from ..net.stats import TrafficStats
 from ..pre.ast import Pre
@@ -59,12 +70,48 @@ class QueryServer:
         self.tracer = tracer
         self.constructor = DatabaseConstructor(config.db_cache_size)
         self.log_table = NodeQueryLogTable(config.log_subsumption)
+        self.channel = ReliableChannel(
+            network, clock, config.retry_policy,
+            name=f"server:{site}", trace=self._trace_transport,
+        )
         self._queue: deque[QueryClone] = deque()
         self._site_documents = None  # lazy §7.1 multi-document table
         self._active_workers = 0
         self._purged: set[QueryId] = set()
         self._last_purge = 0.0
+        #: Bumped by crash(): callbacks scheduled by a dead process must not
+        #: touch the reborn one's state.
+        self._epoch = 0
         network.listen(site, QUERY_PORT, self._on_message)
+
+    # -- crash / recovery (§7.1 open problem) ------------------------------------
+
+    def crash(self) -> None:
+        """The server process dies: all volatile state is lost.
+
+        The queue, log table, db cache, site-document table and purge memory
+        are gone; pending retries are abandoned; in-progress processing
+        never completes.  The caller (the engine) is responsible for the
+        network side: marking the site down and dropping its sockets.
+        """
+        self._epoch += 1
+        self._queue.clear()
+        self._active_workers = 0
+        self.log_table = NodeQueryLogTable(self.config.log_subsumption)
+        self.constructor = DatabaseConstructor(self.config.db_cache_size)
+        self._site_documents = None
+        self._purged = set()
+        self._last_purge = 0.0
+        self.channel.reset()
+
+    def restart(self) -> None:
+        """Re-bind the query port with a blank process state.
+
+        Purge memory was lost with the crash; termination is re-discovered
+        the usual way (a REFUSED result dispatch).
+        """
+        if not self.network.is_listening(self.site, QUERY_PORT):
+            self.network.listen(self.site, QUERY_PORT, self._on_message)
 
     # -- ingress ----------------------------------------------------------------
 
@@ -86,9 +133,9 @@ class QueryServer:
         qid = message.inner.qid
         if message.remaining:
             next_hop, rest = message.remaining[0], message.remaining[1:]
-            self.network.send(self.site, next_hop, QUERY_PORT, RelayMessage(rest, message.inner))
+            self.channel.send(self.site, next_hop, QUERY_PORT, RelayMessage(rest, message.inner))
         else:
-            self.network.send(self.site, qid.host, qid.port, message.inner)
+            self.channel.send(self.site, qid.host, qid.port, message.inner)
 
     def enqueue_local(self, clone: QueryClone) -> None:
         """Accept a clone forwarded within this site (no network message)."""
@@ -109,8 +156,10 @@ class QueryServer:
             self._maybe_purge_log()
             reports, clones, service = self._process(clone)
             self.stats.record_processing(self.site, service)
+            epoch = self._epoch
             self.clock.schedule(
-                service, lambda c=clone, r=reports, f=clones: self._complete(c, r, f)
+                service,
+                lambda c=clone, r=reports, f=clones, e=epoch: self._complete(c, r, f, e),
             )
 
     def _maybe_purge_log(self) -> None:
@@ -261,7 +310,10 @@ class QueryServer:
         clone: QueryClone,
         reports: list[NodeReport],
         clones: list[QueryClone],
+        epoch: int,
     ) -> None:
+        if epoch != self._epoch:
+            return  # the process that started this work crashed; work is lost
         try:
             if reports:
                 self._dispatch_and_forward(clone, reports, clones)
@@ -277,51 +329,87 @@ class QueryServer:
     ) -> None:
         qid = clone.query.qid
         if self.config.combine_results_and_cht:
-            ok = self._dispatch_report(clone, ResultMessage(qid, tuple(reports)))
-        else:
-            # Ablation: CHT bookkeeping and result rows travel separately.
-            cht_half = tuple(
-                NodeReport(r.entry, r.disposition, r.new_entries, ()) for r in reports
+            self._dispatch_report(
+                clone,
+                ResultMessage(qid, tuple(reports)),
+                lambda outcome: self._after_dispatch(outcome, clone, clones),
             )
-            data_half = tuple(
-                NodeReport(r.entry, Disposition.DATA_ONLY, (), r.results)
-                for r in reports
-                if r.results
-            )
-            ok = self._dispatch_report(clone, ResultMessage(qid, cht_half, kind="cht"))
-            if ok and data_half:
+            return
+        # Ablation: CHT bookkeeping and result rows travel separately.
+        cht_half = tuple(
+            NodeReport(r.entry, r.disposition, r.new_entries, ()) for r in reports
+        )
+        data_half = tuple(
+            NodeReport(r.entry, Disposition.DATA_ONLY, (), r.results)
+            for r in reports
+            if r.results
+        )
+
+        def after_cht(outcome: SendOutcome) -> None:
+            if outcome.delivered and data_half:
                 # Pure payload message: loss doesn't affect completion keys.
                 self._dispatch_report(clone, ResultMessage(qid, data_half))
-        if not ok:
-            self._purge(clone)
+            self._after_dispatch(outcome, clone, clones)
+
+        self._dispatch_report(clone, ResultMessage(qid, cht_half, kind="cht"), after_cht)
+
+    def _after_dispatch(
+        self, outcome: SendOutcome, clone: QueryClone, clones: list[QueryClone]
+    ) -> None:
+        """Figure-3 ordering: forward clones only once the dispatch DELIVERED.
+
+        REFUSED means the user closed the result socket — passive
+        termination.  A transient outcome arriving here has already been
+        through the channel's retry budget: the user-site is effectively
+        unreachable, so the query is purged locally too (its entries will be
+        re-resolved if the user's stall recovery re-forwards them).
+        """
+        if outcome.delivered:
+            for fclone in clones:
+                self._forward(fclone)
             return
-        for fclone in clones:
-            self._forward(fclone)
+        if not outcome.refused:
+            self._trace_transport("dispatch-exhausted", str(clone.query.qid))
+        self._purge(clone)
 
-    def _send_to_user(self, qid: QueryId, message: ResultMessage) -> bool:
-        return self.network.send(self.site, qid.host, qid.port, message)
+    def _send_to_user(self, qid: QueryId, message: ResultMessage, on_final=None) -> SendOutcome:
+        return self.channel.send(self.site, qid.host, qid.port, message, on_final)
 
-    def _dispatch_report(self, clone: QueryClone, message: ResultMessage) -> bool:
+    def _dispatch_report(
+        self, clone: QueryClone, message: ResultMessage, on_final=None
+    ) -> SendOutcome:
         """Send a report either directly (§2.6 design) or by path retrace.
 
-        Under retrace, success only means the *first backward hop* accepted
-        the message — the weaker guarantee the paper criticizes (termination
-        no longer propagates to this server).
+        ``on_final`` observes the channel's final outcome — DELIVERED,
+        REFUSED, or the last transient failure after retry exhaustion.
+        Under retrace, "delivered" only means the *first backward hop*
+        accepted the message — the weaker guarantee the paper criticizes
+        (termination no longer propagates to this server).
         """
         qid = clone.query.qid
         if self.config.direct_result_return or not clone.history:
-            return self._send_to_user(qid, message)
+            return self._send_to_user(qid, message, on_final)
         trail = clone.history
         first_hop, rest = trail[-1], tuple(reversed(trail[:-1]))
-        return self.network.send(self.site, first_hop, QUERY_PORT, RelayMessage(rest, message))
+        return self.channel.send(
+            self.site, first_hop, QUERY_PORT, RelayMessage(rest, message), on_final
+        )
 
     def _forward(self, fclone: QueryClone) -> None:
         if fclone.site == self.site:
             self.enqueue_local(fclone)
             return
-        if self.network.send(self.site, fclone.site, QUERY_PORT, fclone):
-            self.stats.clones_forwarded += 1
-            return
+
+        def after_forward(outcome: SendOutcome) -> None:
+            if outcome.delivered:
+                self.stats.clones_forwarded += 1
+            else:
+                self._forward_failed(fclone)
+
+        self.channel.send(self.site, fclone.site, QUERY_PORT, fclone, after_forward)
+
+    def _forward_failed(self, fclone: QueryClone) -> None:
+        """The forward's connect refused, or exhausted its retries."""
         qid = fclone.query.qid
         if self.config.central_fallback:
             # §7.1: the destination site does not participate — ship the
@@ -348,6 +436,10 @@ class QueryServer:
         self._queue = deque(c for c in self._queue if c.query.qid != qid)
 
     # -- tracing ----------------------------------------------------------------
+
+    def _trace_transport(self, action: str, detail: str) -> None:
+        """Channel-level events (retries, exhaustion) — no node/state context."""
+        self.tracer.record(self.clock.now, "-", self.site, "-", "-", action, detail)
 
     def _trace_outcome(self, now: float, node: Url, clone: QueryClone, outcome) -> None:
         state = clone.state

@@ -7,22 +7,30 @@ protocols become deterministic, measurable and failure-injectable:
 * :mod:`repro.net.simclock` — the event loop (virtual time, FIFO ties);
 * :mod:`repro.net.network` — sites, listening ports, latency + bandwidth
   cost model, byte-accounted delivery, failure injection;
-* :mod:`repro.net.stats` — traffic counters shared by all engines.
+* :mod:`repro.net.stats` — traffic counters shared by all engines;
+* :mod:`repro.net.reliable` — retry/backoff channel over transient faults;
+* :mod:`repro.net.faults` — seeded, composable fault-plan DSL.
 
 The WEBDIS protocols only depend on message *ordering* and *connect
 success/failure* semantics, both of which are reproduced here (DESIGN.md
 Section 2).
 """
 
-from .network import Listener, Network, NetworkConfig, Payload
+from .faults import FaultPlan
+from .network import Listener, Network, NetworkConfig, Payload, SendOutcome
+from .reliable import ReliableChannel, RetryPolicy
 from .simclock import SimClock
 from .stats import TrafficStats
 
 __all__ = [
+    "FaultPlan",
     "Listener",
     "Network",
     "NetworkConfig",
     "Payload",
+    "ReliableChannel",
+    "RetryPolicy",
+    "SendOutcome",
     "SimClock",
     "TrafficStats",
 ]

@@ -7,14 +7,23 @@ Semantics mirror what the WEBDIS protocols rely on:
   successful" tests, and what passive termination exploits when the
   user-site closes its listening socket); the *delivery* happens after the
   modelled latency.
+* The connect outcome is a :class:`SendOutcome`, not a bare bool, because
+  the protocols assign opposite meanings to different failures: a REFUSED
+  connect is an *active* signal (the peer is up but not listening — passive
+  termination, or a non-participating site), while HOST_DOWN and FAULT are
+  *transient* conditions that a reliability layer may retry
+  (:mod:`repro.net.reliable`).  Retrying a REFUSED connect is forbidden —
+  it would erase the paper's zero-message termination protocol (§2.8).
 * Every site hosts listeners on numbered ports.  Query-servers all listen on
   the common :data:`QUERY_PORT`; each user query opens its own result port.
-* Failure injection: one-shot scheduled failures or a predicate, so tests
-  can break specific (src, dst) transfers at specific times.
+* Failure injection: one-shot scheduled failures (optionally per port), a
+  port-aware fault injector (see :mod:`repro.net.faults` for the composable
+  plan DSL), and whole-site crash/recovery.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Callable, Mapping, Protocol
 
@@ -22,13 +31,56 @@ from ..errors import NetworkError, SimulationError
 from .simclock import SimClock
 from .stats import TrafficStats
 
-__all__ = ["Payload", "Listener", "NetworkConfig", "Network", "QUERY_PORT"]
+__all__ = [
+    "Payload",
+    "Listener",
+    "NetworkConfig",
+    "Network",
+    "SendOutcome",
+    "QUERY_PORT",
+]
 
 #: The "common pre-specified port number" all query-servers listen on (§4.4).
 QUERY_PORT = 4000
 
 #: Port of the user-site central helper (hybrid engine, paper §7.1).
 HELPER_PORT = 4500
+
+
+class SendOutcome(enum.Enum):
+    """The synchronously-known result of one connect attempt.
+
+    Truthiness equals "connect succeeded", so legacy ``if network.send(...)``
+    call sites keep working; callers that must tell termination apart from
+    faults test the named predicates instead.
+    """
+
+    #: Connect succeeded; delivery is scheduled after the transfer time.
+    DELIVERED = "delivered"
+    #: The destination host is up but nothing listens on the port.  This is
+    #: an *active* refusal — the termination signal — and must never be
+    #: retried.
+    REFUSED = "refused"
+    #: The destination host is crashed or unknown; connect timed out.
+    HOST_DOWN = "host-down"
+    #: A transient network fault broke this particular connect.
+    FAULT = "fault"
+
+    def __bool__(self) -> bool:
+        return self is SendOutcome.DELIVERED
+
+    @property
+    def delivered(self) -> bool:
+        return self is SendOutcome.DELIVERED
+
+    @property
+    def refused(self) -> bool:
+        return self is SendOutcome.REFUSED
+
+    @property
+    def transient(self) -> bool:
+        """True for outcomes a retry could plausibly fix."""
+        return self in (SendOutcome.HOST_DOWN, SendOutcome.FAULT)
 
 
 class Payload(Protocol):
@@ -41,6 +93,9 @@ class Payload(Protocol):
 
 
 Listener = Callable[[str, "Payload"], None]  # (src_site, payload) -> None
+
+#: ``injector(src, dst, port, now) -> bool`` — True breaks the connect.
+FaultInjector = Callable[[str, str, int, float], bool]
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,8 +142,8 @@ class Network:
         self.config = config if config is not None else NetworkConfig()
         self._listeners: dict[tuple[str, int], Listener] = {}
         self._sites: set[str] = set()
-        self._fail_once: set[tuple[str, str]] = set()
-        self._fail_predicate: Callable[[str, str, float], bool] | None = None
+        self._fail_once: list[tuple[str, str, int | None]] = []
+        self._fault_injector: FaultInjector | None = None
         self._down_sites: set[str] = set()
         self._tap: Callable[[float, str, str, int, Payload], None] | None = None
 
@@ -131,21 +186,39 @@ class Network:
 
     # -- failure injection --------------------------------------------------
 
-    def fail_next(self, src: str, dst: str) -> None:
-        """Make the next ``src -> dst`` send fail (transient fault)."""
-        self._fail_once.add((src, dst))
+    def fail_next(self, src: str, dst: str, port: int | None = None) -> None:
+        """Make the next ``src -> dst`` send fail (transient fault).
+
+        With ``port`` given, only a send to that destination port trips the
+        fault — necessary when one server talks to another site on several
+        ports (e.g. a clone forward on :data:`QUERY_PORT` versus a result
+        dispatch on the query's result port): a portless injection could hit
+        the wrong one.
+        """
+        self._fail_once.append((src, dst, port))
 
     def set_failure_predicate(
         self, predicate: Callable[[str, str, float], bool] | None
     ) -> None:
-        """Install ``predicate(src, dst, now) -> bool`` deciding send failures."""
-        self._fail_predicate = predicate
+        """Install ``predicate(src, dst, now) -> bool`` deciding send failures.
+
+        Legacy form of :meth:`set_fault_injector` without port visibility;
+        prefer a :class:`repro.net.faults.FaultPlan` for new code.
+        """
+        if predicate is None:
+            self._fault_injector = None
+        else:
+            self._fault_injector = lambda src, dst, port, now: predicate(src, dst, now)
+
+    def set_fault_injector(self, injector: FaultInjector | None) -> None:
+        """Install ``injector(src, dst, port, now) -> bool`` breaking connects."""
+        self._fault_injector = injector
 
     # -- whole-site failures (crash / recovery, §7.1 future work) -----------
 
     def set_site_down(self, site: str) -> None:
-        """Crash ``site``: every connect to it is refused and in-flight
-        deliveries to it are lost until :meth:`set_site_up`."""
+        """Crash ``site``: every connect to it times out (HOST_DOWN) and
+        in-flight deliveries to it are lost until :meth:`set_site_up`."""
         if site not in self._sites:
             raise SimulationError(f"cannot crash unregistered site {site!r}")
         self._down_sites.add(site)
@@ -157,46 +230,61 @@ class Network:
     def is_site_up(self, site: str) -> bool:
         return site not in self._down_sites
 
+    def crash_site(self, site: str) -> None:
+        """Hard-crash ``site``: mark it down *and* drop all its sockets.
+
+        Unlike :meth:`set_site_down` alone, the site's listening sockets do
+        not survive into recovery — a restarted process must re-bind them
+        (``QueryServer.restart`` does).  In-flight deliveries are lost.
+        """
+        self.set_site_down(site)
+        for key in [key for key in self._listeners if key[0] == site]:
+            del self._listeners[key]
+
     # -- transfer -----------------------------------------------------------
 
-    def send(self, src: str, dst: str, port: int, payload: Payload) -> bool:
+    def send(self, src: str, dst: str, port: int, payload: Payload) -> SendOutcome:
         """Attempt a connect + transfer of ``payload`` from ``src`` to ``dst:port``.
 
-        Returns ``True`` when the connect succeeded, in which case delivery to
-        the listener is scheduled after the modelled transfer time.  Returns
-        ``False`` on refused connects (no listener — e.g. a cancelled query's
-        result port) and on injected transient failures.  The caller decides
-        what a failed send means; for WEBDIS it means "do not forward" /
-        "purge the query".
+        Returns the connect's :class:`SendOutcome`.  On DELIVERED, delivery
+        to the listener is scheduled after the modelled transfer time (but
+        may still be lost if the listener closes or the site crashes before
+        it — see :meth:`_deliver`).  The caller decides what each failure
+        means; for WEBDIS, REFUSED means "do not forward" / "purge the
+        query", while transient outcomes may be retried by a
+        :class:`repro.net.reliable.ReliableChannel`.
         """
         if src not in self._sites:
             raise SimulationError(f"send from unregistered site {src!r}")
         if dst not in self._sites:
-            # Unknown destination host: behaves like a DNS failure / refused
-            # connect, which is what forwarding to a nonexistent site hits.
-            self.stats.refused_sends += 1
-            return False
+            # Unknown destination host: behaves like a DNS failure / connect
+            # timeout, which is what forwarding to a nonexistent site hits.
+            self.stats.unknown_host_sends += 1
+            return SendOutcome.HOST_DOWN
         if dst in self._down_sites:
-            self.stats.refused_sends += 1
-            return False
-        if (src, dst) in self._fail_once:
-            self._fail_once.discard((src, dst))
+            self.stats.down_sends += 1
+            return SendOutcome.HOST_DOWN
+        for index, (fsrc, fdst, fport) in enumerate(self._fail_once):
+            if fsrc == src and fdst == dst and (fport is None or fport == port):
+                del self._fail_once[index]
+                self.stats.failed_sends += 1
+                return SendOutcome.FAULT
+        if self._fault_injector is not None and self._fault_injector(
+            src, dst, port, self.clock.now
+        ):
             self.stats.failed_sends += 1
-            return False
-        if self._fail_predicate is not None and self._fail_predicate(src, dst, self.clock.now):
-            self.stats.failed_sends += 1
-            return False
+            return SendOutcome.FAULT
         listener = self._listeners.get((dst, port))
         if listener is None:
             self.stats.refused_sends += 1
-            return False
+            return SendOutcome.REFUSED
         size = payload.size_bytes() + self.config.envelope_bytes
         self.stats.record_send(src, payload.kind, size)
         if self._tap is not None:
             self._tap(self.clock.now, src, dst, port, payload)
         delay = self.config.transfer_time(src, dst, size)
         self.clock.schedule(delay, lambda: self._deliver(src, dst, port, payload))
-        return True
+        return SendOutcome.DELIVERED
 
     def _deliver(self, src: str, dst: str, port: int, payload: Payload) -> None:
         # The listener may have closed — or the whole site crashed — between

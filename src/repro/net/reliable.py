@@ -1,0 +1,196 @@
+"""Reliable transport: retry/backoff on top of the raw network.
+
+The WEBDIS protocols (and the paper's §7.1 open problem of node failures)
+need one missing layer: a channel that distinguishes *what kind* of connect
+failure occurred and retries only the transient kinds.  The policy mirrors
+per-hop retry/timeout layers in distributed XQuery network specs:
+
+* DELIVERED — done;
+* REFUSED — **final, never retried**.  A refused connect is the active
+  signal passive termination (§2.8) and the §7.1 participation test are
+  built on; retrying it would turn "the user cancelled" into "try again
+  later" and break both protocols;
+* HOST_DOWN / FAULT — transient: retried with exponential backoff and
+  seeded jitter on the simulation clock, up to the policy's attempt budget
+  and deadline.  Exhaustion is reported to the caller, who falls back to
+  the protocol's existing failure paths (CHT retraction, purge).
+
+Everything is deterministic: jitter comes from a ``random.Random`` seeded
+from the policy seed plus the channel's name, and retries are ordinary
+``SimClock`` events.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from .network import Network, Payload, SendOutcome
+from .simclock import SimClock
+
+__all__ = ["RetryPolicy", "ReliableChannel"]
+
+#: Callback receiving the final outcome of a reliable send: DELIVERED,
+#: REFUSED, or the last transient outcome once retries are exhausted.
+FinalCallback = Callable[[SendOutcome], None]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Retry budget and backoff shape for one :class:`ReliableChannel`.
+
+    ``max_attempts`` counts every connect, including the first; 1 disables
+    retrying.  The delay before retry *n* is
+    ``base_delay * multiplier**(n-1)`` capped at ``max_delay``, then
+    jittered by up to ±``jitter`` (a fraction).  ``deadline`` bounds the
+    total elapsed time since the first attempt: a retry that would fire
+    past it is not scheduled.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    deadline: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before attempt ``attempt + 1`` (``attempt`` just failed)."""
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(delay, 0.0)
+
+
+class ReliableChannel:
+    """Connect-with-retry over one :class:`Network`.
+
+    ``send`` performs the first connect synchronously and returns its
+    outcome, so existing dispatch-before-forward ordering still observes
+    immediate REFUSED/DELIVERED results.  When the outcome is transient and
+    the policy allows, retries are scheduled on the clock; ``on_final``
+    fires exactly once with the final outcome (synchronously when no retry
+    is needed).
+
+    With ``policy=None`` the channel is a passthrough — a single attempt
+    whose transient failure is immediately final — which reproduces the
+    pre-reliability protocol behaviour exactly.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        clock: SimClock,
+        policy: RetryPolicy | None = None,
+        *,
+        name: str = "",
+        trace: Callable[[str, str], None] | None = None,
+    ) -> None:
+        self.network = network
+        self.clock = clock
+        self.policy = policy
+        self.stats = network.stats
+        self._rng = random.Random(f"{policy.seed if policy is not None else 0}:{name}")
+        self._trace = trace
+        self._generation = 0
+
+    def reset(self) -> None:
+        """Abandon every scheduled retry (their ``on_final`` never fires).
+
+        Used on server crash: a dead process does not keep retrying.
+        """
+        self._generation += 1
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        port: int,
+        payload: Payload,
+        on_final: FinalCallback | None = None,
+    ) -> SendOutcome:
+        """Reliably send ``payload``; returns the *first* attempt's outcome."""
+        return self._attempt(
+            src, dst, port, payload, on_final,
+            attempt=1, started=self.clock.now, generation=self._generation,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _attempt(
+        self,
+        src: str,
+        dst: str,
+        port: int,
+        payload: Payload,
+        on_final: FinalCallback | None,
+        attempt: int,
+        started: float,
+        generation: int,
+    ) -> SendOutcome:
+        outcome = self.network.send(src, dst, port, payload)
+        if not outcome.transient:
+            # DELIVERED or REFUSED: final either way.  REFUSED is the
+            # termination/participation signal and is deliberately never
+            # retried, no matter the policy.
+            if outcome.delivered and attempt > 1 and self._trace is not None:
+                self._trace("retry-delivered", f"{dst}:{port} attempt {attempt}")
+            if on_final is not None:
+                on_final(outcome)
+            return outcome
+        if self._retry_allowed(attempt, started):
+            delay = self.policy.backoff(attempt, self._rng)
+            if (
+                self.policy.deadline is None
+                or (self.clock.now + delay) - started <= self.policy.deadline
+            ):
+                self.stats.retried_sends += 1
+                if self._trace is not None:
+                    self._trace(
+                        "retry-scheduled",
+                        f"{dst}:{port} attempt {attempt + 1} in {delay:.3f}s"
+                        f" ({outcome.value})",
+                    )
+                self.clock.schedule(
+                    delay,
+                    lambda: self._fire(
+                        src, dst, port, payload, on_final, attempt + 1, started, generation
+                    ),
+                )
+                return outcome
+        if self.policy is not None:
+            self.stats.retries_exhausted += 1
+            if self._trace is not None:
+                self._trace(
+                    "retries-exhausted",
+                    f"{dst}:{port} after {attempt} attempt(s) ({outcome.value})",
+                )
+        if on_final is not None:
+            on_final(outcome)
+        return outcome
+
+    def _retry_allowed(self, attempt: int, started: float) -> bool:
+        return self.policy is not None and attempt < self.policy.max_attempts
+
+    def _fire(
+        self,
+        src: str,
+        dst: str,
+        port: int,
+        payload: Payload,
+        on_final: FinalCallback | None,
+        attempt: int,
+        started: float,
+        generation: int,
+    ) -> None:
+        if generation != self._generation:
+            return  # channel was reset (process crash): the retry dies with it
+        self._attempt(src, dst, port, payload, on_final, attempt, started, generation)

@@ -22,8 +22,19 @@ class TrafficStats:
     messages_by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
     messages_by_site: Counter = field(default_factory=Counter)
+    #: Injected transient connect faults (SendOutcome.FAULT).
     failed_sends: int = 0
+    #: Active refusals — the destination host is up but nothing listens on
+    #: the port (closed result socket, non-participating site).
     refused_sends: int = 0
+    #: Connects to a crashed (down) site (SendOutcome.HOST_DOWN).
+    down_sends: int = 0
+    #: Connects to a host that does not exist at all (DNS failure).
+    unknown_host_sends: int = 0
+    #: Retry attempts scheduled by a ReliableChannel after a transient fault.
+    retried_sends: int = 0
+    #: Reliable sends that exhausted their retry budget without delivery.
+    retries_exhausted: int = 0
 
     # Engine-level counters (incremented by query processors).
     documents_shipped: int = 0
@@ -63,6 +74,10 @@ class TrafficStats:
             "bytes": self.bytes_sent,
             "failed_sends": self.failed_sends,
             "refused_sends": self.refused_sends,
+            "down_sends": self.down_sends,
+            "unknown_host_sends": self.unknown_host_sends,
+            "retried_sends": self.retried_sends,
+            "retries_exhausted": self.retries_exhausted,
             "documents_shipped": self.documents_shipped,
             "document_bytes_shipped": self.document_bytes_shipped,
             "documents_parsed": self.documents_parsed,

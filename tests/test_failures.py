@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import NetworkConfig, QueryStatus, WebDisEngine
+from repro import NetworkConfig, QueryStatus, SendOutcome, WebDisEngine
 from repro.baselines import HybridEngine
 from repro.errors import SimulationError
 from repro.web.builders import WebBuilder
@@ -41,7 +41,8 @@ class TestSiteDown:
         from repro.net.network import QUERY_PORT
 
         ok = engine.network.send("root.example", "leaf0.example", QUERY_PORT, _blob())
-        assert ok is False
+        assert not ok
+        assert ok is SendOutcome.HOST_DOWN  # transient, unlike an active REFUSED
 
     def test_crash_unregistered_site_rejected(self):
         engine = WebDisEngine(_star_web())

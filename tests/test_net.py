@@ -7,7 +7,7 @@ from dataclasses import dataclass
 import pytest
 
 from repro.errors import NetworkError, SimulationError
-from repro.net import Network, NetworkConfig, SimClock, TrafficStats
+from repro.net import Network, NetworkConfig, SendOutcome, SimClock, TrafficStats
 
 
 @dataclass(frozen=True)
@@ -120,14 +120,20 @@ class TestNetwork:
 
     def test_refused_when_no_listener(self):
         __, network = _net()
-        assert network.send("a.example", "b.example", 81, _Blob(1)) is False
+        outcome = network.send("a.example", "b.example", 81, _Blob(1))
+        assert outcome is SendOutcome.REFUSED
+        assert not outcome and outcome.refused and not outcome.transient
         assert network.stats.refused_sends == 1
 
-    def test_send_to_unregistered_destination_refused(self):
-        # Unknown hosts behave like DNS failures, not programming errors.
+    def test_send_to_unregistered_destination_host_down(self):
+        # Unknown hosts behave like DNS failures, not programming errors —
+        # and not like active refusals: they are transient, hence retryable.
         __, network = _net()
-        assert network.send("a.example", "zzz.example", 80, _Blob(1)) is False
-        assert network.stats.refused_sends == 1
+        outcome = network.send("a.example", "zzz.example", 80, _Blob(1))
+        assert outcome is SendOutcome.HOST_DOWN
+        assert outcome.transient
+        assert network.stats.unknown_host_sends == 1
+        assert network.stats.refused_sends == 0
 
     def test_send_from_unregistered_source_raises(self):
         __, network = _net()
@@ -149,7 +155,7 @@ class TestNetwork:
         clock, network = _net()
         network.listen("b.example", 80, lambda s, p: None)
         network.close("b.example", 80)
-        assert network.send("a.example", "b.example", 80, _Blob(1)) is False
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is SendOutcome.REFUSED
 
     def test_close_is_idempotent(self):
         __, network = _net()
@@ -168,17 +174,64 @@ class TestNetwork:
         clock, network = _net()
         network.listen("b.example", 80, lambda s, p: None)
         network.fail_next("a.example", "b.example")
-        assert network.send("a.example", "b.example", 80, _Blob(1)) is False
-        assert network.send("a.example", "b.example", 80, _Blob(1)) is True
+        outcome = network.send("a.example", "b.example", 80, _Blob(1))
+        assert outcome is SendOutcome.FAULT
+        assert outcome.transient
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is SendOutcome.DELIVERED
         assert network.stats.failed_sends == 1
+
+    def test_fail_next_port_specific(self):
+        # A fault injected for port 81 must not break a port-80 send from the
+        # same pair — the bug that used to corrupt clone-forward failure tests.
+        clock, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        network.listen("b.example", 81, lambda s, p: None)
+        network.fail_next("a.example", "b.example", port=81)
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is SendOutcome.DELIVERED
+        assert network.send("a.example", "b.example", 81, _Blob(1)) is SendOutcome.FAULT
+        assert network.send("a.example", "b.example", 81, _Blob(1)) is SendOutcome.DELIVERED
+        assert network.stats.failed_sends == 1
+
+    def test_fail_next_portless_matches_any_port(self):
+        clock, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        network.fail_next("a.example", "b.example")
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is SendOutcome.FAULT
 
     def test_failure_predicate(self):
         clock, network = _net()
         network.listen("b.example", 80, lambda s, p: None)
         network.set_failure_predicate(lambda src, dst, now: dst == "b.example")
-        assert network.send("a.example", "b.example", 80, _Blob(1)) is False
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is SendOutcome.FAULT
         network.set_failure_predicate(None)
-        assert network.send("a.example", "b.example", 80, _Blob(1)) is True
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is SendOutcome.DELIVERED
+
+    def test_fault_injector_sees_port(self):
+        clock, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        network.listen("b.example", 81, lambda s, p: None)
+        network.set_fault_injector(lambda src, dst, port, now: port == 81)
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is SendOutcome.DELIVERED
+        assert network.send("a.example", "b.example", 81, _Blob(1)) is SendOutcome.FAULT
+
+    def test_site_down_is_host_down_not_refused(self):
+        clock, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        network.set_site_down("b.example")
+        outcome = network.send("a.example", "b.example", 80, _Blob(1))
+        assert outcome is SendOutcome.HOST_DOWN
+        assert outcome.transient
+        assert network.stats.down_sends == 1
+        assert network.stats.refused_sends == 0
+
+    def test_crash_site_drops_listeners(self):
+        clock, network = _net()
+        network.listen("b.example", 80, lambda s, p: None)
+        network.crash_site("b.example")
+        assert not network.is_listening("b.example", 80)
+        # Recovery without re-binding: connects are now REFUSED, not served.
+        network.set_site_up("b.example")
+        assert network.send("a.example", "b.example", 80, _Blob(1)) is SendOutcome.REFUSED
 
     def test_stats_accounting(self):
         clock, network = _net()

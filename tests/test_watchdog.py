@@ -51,6 +51,64 @@ class TestWatchdog:
         assert handle.status is QueryStatus.CANCELLED
         assert not handle.stalled
 
+    def test_on_stall_fires_exactly_once(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        engine.network.fail_next("dsl.serc.iisc.ernet.in", "user.example")
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        fired: list[float] = []
+        engine.client.watch(
+            handle, quiet_timeout=2.0, on_stall=lambda h: fired.append(h.stall_detected_at)
+        )
+        # Run far past several timeout periods: the watchdog must not re-arm
+        # after firing, so a persistently stalled query is flagged once.
+        engine.run()
+        engine.clock.schedule(10 * 2.0, lambda: None)
+        engine.run()
+        assert fired == [handle.stall_detected_at]
+
+    def test_rearm_measures_quiet_time_from_last_progress(self, campus_web):
+        """Progress re-arms the timer: the stall timestamp is at least one
+        full quiet period after the *last* report, not after submission."""
+        engine = WebDisEngine(campus_web)
+        engine.network.fail_next("dsl.serc.iisc.ernet.in", "user.example")
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        engine.client.watch(handle, quiet_timeout=2.0)
+        engine.run()
+        assert handle.stalled
+        assert handle.messages_received > 0  # there was progress before the stall
+        assert handle.stall_detected_at >= handle.last_message_time + 2.0
+
+    def test_completion_disarms(self, campus_web):
+        engine = WebDisEngine(campus_web)
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        fired: list[float] = []
+        engine.client.watch(
+            handle, quiet_timeout=0.15, on_stall=lambda h: fired.append(h.stall_detected_at)
+        )
+        engine.run()
+        assert handle.status is QueryStatus.COMPLETE
+        # Let the quiet timer lapse well past completion: it must stay dead.
+        engine.clock.schedule(1.0, lambda: None)
+        engine.run()
+        assert fired == []
+        assert not handle.stalled
+
+    def test_cancel_disarms_on_stall_callback(self, campus_web):
+        from repro import NetworkConfig
+
+        engine = WebDisEngine(campus_web, net_config=NetworkConfig(latency_base=0.5))
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        fired: list[float] = []
+        engine.client.watch(
+            handle, quiet_timeout=1.0, on_stall=lambda h: fired.append(h.stall_detected_at)
+        )
+        engine.cancel(handle, at=0.1)
+        engine.run()
+        engine.clock.schedule(5.0, lambda: None)
+        engine.run()
+        assert handle.status is QueryStatus.CANCELLED
+        assert fired == []
+
     def test_stalled_query_can_be_cancelled_and_retried(self, campus_web):
         engine = WebDisEngine(campus_web)
         engine.network.fail_next("dsl.serc.iisc.ernet.in", "user.example")

@@ -24,6 +24,7 @@ paper-versus-measured record.
 from .core.config import EngineConfig
 from .core.client import QueryHandle, QueryStatus
 from .core.engine import WebDisEngine
+from .core.supervisor import CoverageReport, QuerySupervisor, RecoveryPolicy
 from .core.webquery import QueryClone, QueryId, WebQuery, WebQueryStep
 from .disql import compile_disql, format_disql, parse_disql
 from .errors import WebDisError
@@ -36,6 +37,7 @@ from .web import Web, WebBuilder, build_campus_web, build_synthetic_web
 __version__ = "1.0.0"
 
 __all__ = [
+    "CoverageReport",
     "EngineConfig",
     "FaultPlan",
     "NetworkConfig",
@@ -43,6 +45,8 @@ __all__ = [
     "QueryHandle",
     "QueryId",
     "QueryStatus",
+    "QuerySupervisor",
+    "RecoveryPolicy",
     "RetryPolicy",
     "SendOutcome",
     "Web",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
+from dataclasses import replace
 from typing import Iterable
 
 from ..core.config import EngineConfig
@@ -84,6 +85,7 @@ class CentralProcessor:
         self._busy = False
         self._purged: set[QueryId] = set()
         self._request_ids = itertools.count(1)
+        self._dispatch_serial = itertools.count(1)
         self._awaiting: dict[int, Url] = {}
         self._documents: dict[Url, str | None] = {}
         self._current: QueryClone | None = None
@@ -198,6 +200,29 @@ class CentralProcessor:
             QueryClone(clone.query, step_index, rem, tuple(dict.fromkeys(targets)))
             for (__, step_index, rem), targets in groups.items()
         ]
+        # Echo the clone's dispatch identity and mint the children's, exactly
+        # like a participating query-server would (see QueryServer).
+        if clone.dispatch_id:
+            child_of: dict[tuple[Url, object], str] = {}
+            for index, child in enumerate(clones):
+                stamped = child.with_identity(
+                    f"c{next(self._dispatch_serial)}@{self.site}", clone.epoch
+                )
+                clones[index] = stamped
+                for node in stamped.dest:
+                    child_of[(node, stamped.state)] = stamped.dispatch_id
+            reports = [
+                replace(
+                    report,
+                    dispatch_id=clone.dispatch_id,
+                    epoch=clone.epoch,
+                    child_ids=tuple(
+                        child_of.get((entry.node, entry.state), "")
+                        for entry in report.new_entries
+                    ),
+                )
+                for report in reports
+            ]
         return reports, clones, service
 
     def _site_documents_for(self, query, site_name: str):
@@ -265,7 +290,10 @@ class CentralProcessor:
     def _retract(self, fclone: QueryClone) -> None:
         qid = fclone.query.qid
         retractions = tuple(
-            NodeReport(ChtEntry(url, fclone.state), Disposition.UNREACHABLE)
+            NodeReport(
+                ChtEntry(url, fclone.state), Disposition.UNREACHABLE,
+                dispatch_id=fclone.dispatch_id, epoch=fclone.epoch,
+            )
             for url in fclone.dest
         )
         self.channel.send(

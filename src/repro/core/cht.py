@@ -6,26 +6,86 @@ top, the new entries below) *before* forwarding clones, so the table always
 has complete knowledge and "all entries marked deleted" is an exact
 completion test.
 
-Implementation note: result messages from different servers are independent
-connections, so deltas can arrive out of order — a deletion may precede the
-arrival of the report that added the entry.  We therefore keep *signed
-pending counts* per ``(node, state)`` key.  The balance argument: every
-deletion is paired with exactly one addition (by ``send_query`` or an
-upstream report), and any in-flight report keeps the entries it would retire
-positive.  Hence "all counts zero" still holds exactly when no clone is
-active and no report is in flight — transient negative counts never produce
-a false completion.
+Two accounting modes coexist:
+
+**Legacy signed counts.**  Result messages from different servers are
+independent connections, so deltas can arrive out of order — a deletion may
+precede the arrival of the report that added the entry.  Unstamped
+operations therefore keep *signed pending counts* per ``(node, state)``
+key.  The balance argument: every deletion is paired with exactly one
+addition (by ``send_query`` or an upstream report), and any in-flight
+report keeps the entries it would retire positive.  Hence "all counts
+zero" still holds exactly when no clone is active and no report is in
+flight — transient negative counts never produce a false completion.
+
+**Dispatch-identity instances (self-healing extension).**  Signed counts
+break down under *recovery*: re-forwarding an entry whose original report
+is merely slow (not lost) makes two reports retire one addition, the
+balance goes negative, and the query hangs.  Stamped operations instead
+track one *instance* per ``(dispatch_id, node)`` — the identity minted by
+whoever dispatched the clone and echoed in its report.  Retirement is
+idempotent per instance: a second report for an already-retired instance
+is absorbed (``duplicates_absorbed``), a report for a dispatch that a
+re-forward superseded is absorbed as stale (``stale_absorbed``), and a
+retirement racing ahead of its own announcement is held as an *early*
+retirement until the announcement lands.  Completion is then "no pending
+instance and no unmatched early retirement" — exact under arbitrary
+re-forwarding, duplication and reordering.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import ProtocolError
+from ..urlutils import Url
 from .messages import ChtEntry
 
-__all__ = ["ChtRecord", "CurrentHostsTable"]
+__all__ = [
+    "ChtRecord",
+    "CurrentHostsTable",
+    "DispatchInstance",
+    "InstanceStatus",
+    "RetireResult",
+]
+
+
+class InstanceStatus(enum.Enum):
+    """Lifecycle of one dispatch-identity instance."""
+
+    PENDING = "pending"  # clone dispatched, report awaited
+    RETIRED = "retired"  # resolved by exactly one report
+    SUPERSEDED = "superseded"  # replaced by a re-forward under a newer epoch
+    ABANDONED = "abandoned"  # written off by recovery escalation (PARTIAL)
+
+
+class RetireResult(enum.Enum):
+    """What one retirement attempt actually did."""
+
+    RETIRED = "retired"  # a pending instance was resolved
+    EARLY = "early"  # retirement arrived before its announcement
+    ABSORBED_DUPLICATE = "absorbed-duplicate"  # instance already retired
+    ABSORBED_STALE = "absorbed-stale"  # instance superseded/abandoned
+    LEGACY = "legacy"  # unstamped signed-count retirement
+
+
+@dataclass
+class DispatchInstance:
+    """One ``(dispatch_id, node)`` accounting unit."""
+
+    dispatch_id: str
+    node: Url
+    entry: ChtEntry | None
+    epoch: int
+    status: InstanceStatus
+    added_at: float
+    resolved_at: float | None = None
+    reason: str = ""
+    #: True while a retirement has been recorded but the matching
+    #: announcement has not arrived yet (out-of-order delivery).
+    early: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,33 +95,195 @@ class ChtRecord:
     entry: ChtEntry
     time: float
     deleted: bool
+    dispatch_id: str = ""
+    note: str = ""
 
 
 class CurrentHostsTable:
-    """Signed-multiset CHT with a full audit history."""
+    """Dual-mode CHT: signed multiset plus dispatch-identity instances."""
 
     def __init__(self) -> None:
         self._pending: Counter[ChtEntry] = Counter()
+        self._legacy_nonzero = 0
+        self._instances: dict[tuple[str, Url], DispatchInstance] = {}
+        self._pending_count = 0
+        self._early_unmatched = 0
         self._history: list[ChtRecord] = []
+        self._abandoned: list[DispatchInstance] = []
         self._additions = 0
         self._deletions = 0
+        self._duplicates_absorbed = 0
+        self._stale_absorbed = 0
+        self._duplicate_adds_absorbed = 0
 
-    def add(self, entry: ChtEntry, time: float = 0.0) -> None:
-        """Record that a clone is (about to be) active at ``entry``."""
-        self._pending[entry] += 1
-        self._additions += 1
-        self._history.append(ChtRecord(entry, time, deleted=False))
+    # -- legacy signed-count helpers ------------------------------------------
 
-    def mark_deleted(self, entry: ChtEntry, time: float = 0.0) -> None:
-        """Retire one pending instance of ``entry``."""
-        self._pending[entry] -= 1
+    def _legacy_bump(self, entry: ChtEntry, delta: int) -> None:
+        before = self._pending[entry]
+        after = before + delta
+        self._pending[entry] = after
+        if before == 0 and after != 0:
+            self._legacy_nonzero += 1
+        elif before != 0 and after == 0:
+            self._legacy_nonzero -= 1
+
+    # -- additions --------------------------------------------------------------
+
+    def add(
+        self,
+        entry: ChtEntry,
+        time: float = 0.0,
+        *,
+        dispatch_id: str | None = None,
+        epoch: int = 0,
+    ) -> None:
+        """Record that a clone is (about to be) active at ``entry``.
+
+        With ``dispatch_id`` the addition registers an identity instance;
+        without it, the legacy signed count is incremented.
+        """
+        if not dispatch_id:
+            self._legacy_bump(entry, +1)
+            self._additions += 1
+            self._history.append(ChtRecord(entry, time, deleted=False))
+            return
+        key = (dispatch_id, entry.node)
+        instance = self._instances.get(key)
+        if instance is None:
+            self._instances[key] = DispatchInstance(
+                dispatch_id, entry.node, entry, epoch, InstanceStatus.PENDING, time
+            )
+            self._pending_count += 1
+            self._additions += 1
+            self._history.append(ChtRecord(entry, time, deleted=False, dispatch_id=dispatch_id))
+            return
+        if instance.early:
+            # The retirement beat its own announcement; match them up.
+            instance.early = False
+            instance.entry = entry
+            instance.epoch = epoch
+            self._early_unmatched -= 1
+            self._additions += 1
+            self._history.append(
+                ChtRecord(entry, time, deleted=False, dispatch_id=dispatch_id, note="early-match")
+            )
+            return
+        # A duplicate announcement of the same instance: absorb.
+        self._duplicate_adds_absorbed += 1
+
+    # -- retirements ------------------------------------------------------------
+
+    def mark_deleted(
+        self,
+        entry: ChtEntry,
+        time: float = 0.0,
+        *,
+        dispatch_id: str | None = None,
+    ) -> RetireResult:
+        """Retire ``entry`` — idempotently per dispatch identity when stamped."""
+        if not dispatch_id:
+            self._legacy_bump(entry, -1)
+            self._deletions += 1
+            self._history.append(ChtRecord(entry, time, deleted=True))
+            return RetireResult.LEGACY
+        key = (dispatch_id, entry.node)
+        instance = self._instances.get(key)
+        if instance is None:
+            # Out-of-order: the report retiring this instance arrived before
+            # the report announcing it.  Hold it; the announcement will match.
+            self._instances[key] = DispatchInstance(
+                dispatch_id, entry.node, entry, 0, InstanceStatus.RETIRED,
+                time, resolved_at=time, early=True,
+            )
+            self._early_unmatched += 1
+            self._deletions += 1
+            self._history.append(
+                ChtRecord(entry, time, deleted=True, dispatch_id=dispatch_id, note="early")
+            )
+            return RetireResult.EARLY
+        if instance.status is InstanceStatus.PENDING:
+            instance.status = InstanceStatus.RETIRED
+            instance.resolved_at = time
+            self._pending_count -= 1
+            self._deletions += 1
+            self._history.append(ChtRecord(entry, time, deleted=True, dispatch_id=dispatch_id))
+            return RetireResult.RETIRED
+        if instance.status is InstanceStatus.RETIRED:
+            self._duplicates_absorbed += 1
+            self._history.append(
+                ChtRecord(entry, time, deleted=True, dispatch_id=dispatch_id, note="absorbed")
+            )
+            return RetireResult.ABSORBED_DUPLICATE
+        # SUPERSEDED or ABANDONED: a stale report from an older recovery
+        # epoch (or for a written-off entry) — absorbed harmlessly.
+        self._stale_absorbed += 1
+        instance.resolved_at = time
+        self._history.append(
+            ChtRecord(entry, time, deleted=True, dispatch_id=dispatch_id, note="stale")
+        )
+        return RetireResult.ABSORBED_STALE
+
+    # -- recovery: supersession and write-off ------------------------------------
+
+    def supersede(
+        self,
+        dispatch_id: str,
+        node: Url,
+        new_dispatch_id: str,
+        new_epoch: int,
+        time: float = 0.0,
+    ) -> bool:
+        """Replace a pending instance with a re-forwarded one (epoch fence).
+
+        The old instance stops blocking completion — its late report, if the
+        original dispatch was merely slow, will be absorbed as stale — and a
+        fresh pending instance under ``new_dispatch_id`` takes its place.
+        """
+        instance = self._instances.get((dispatch_id, node))
+        if instance is None or instance.status is not InstanceStatus.PENDING:
+            return False
+        instance.status = InstanceStatus.SUPERSEDED
+        instance.resolved_at = time
+        instance.reason = f"superseded by {new_dispatch_id}"
+        self._pending_count -= 1
         self._deletions += 1
-        self._history.append(ChtRecord(entry, time, deleted=True))
+        entry = instance.entry
+        assert entry is not None
+        self._history.append(
+            ChtRecord(entry, time, deleted=True, dispatch_id=dispatch_id, note="superseded")
+        )
+        self.add(entry, time, dispatch_id=new_dispatch_id, epoch=new_epoch)
+        return True
+
+    def abandon(self, dispatch_id: str, node: Url, reason: str, time: float = 0.0) -> bool:
+        """Write off a pending instance (graceful degradation — PARTIAL)."""
+        instance = self._instances.get((dispatch_id, node))
+        if instance is None or instance.status is not InstanceStatus.PENDING:
+            return False
+        instance.status = InstanceStatus.ABANDONED
+        instance.resolved_at = time
+        instance.reason = reason
+        self._pending_count -= 1
+        self._deletions += 1
+        self._abandoned.append(instance)
+        if instance.entry is not None:
+            self._history.append(
+                ChtRecord(
+                    instance.entry, time, deleted=True, dispatch_id=dispatch_id,
+                    note=f"abandoned: {reason}",
+                )
+            )
+        return True
+
+    # -- completion and introspection ---------------------------------------------
 
     def all_deleted(self) -> bool:
         """True exactly when the query has fully completed (see module doc)."""
-        return self._additions == self._deletions and all(
-            count == 0 for count in self._pending.values()
+        return (
+            self._additions == self._deletions
+            and self._legacy_nonzero == 0
+            and self._pending_count == 0
+            and self._early_unmatched == 0
         )
 
     @property
@@ -72,12 +294,40 @@ class CurrentHostsTable:
     def deletions(self) -> int:
         return self._deletions
 
+    @property
+    def duplicates_absorbed(self) -> int:
+        """Reports absorbed because their instance was already retired."""
+        return self._duplicates_absorbed
+
+    @property
+    def stale_absorbed(self) -> int:
+        """Reports absorbed because their dispatch was superseded/abandoned."""
+        return self._stale_absorbed
+
     def pending_entries(self) -> list[ChtEntry]:
-        """Entries with a positive pending count (active clone locations)."""
-        return sorted(
-            (entry for entry, count in self._pending.items() if count > 0),
-            key=str,
+        """Entries still awaited (active clone locations), deduplicated."""
+        entries = {entry for entry, count in self._pending.items() if count > 0}
+        entries.update(
+            instance.entry
+            for instance in self._instances.values()
+            if instance.status is InstanceStatus.PENDING and instance.entry is not None
         )
+        return sorted(entries, key=str)
+
+    def pending_instances(self) -> list[DispatchInstance]:
+        """Identity instances still awaiting their report, stable order."""
+        return sorted(
+            (
+                instance
+                for instance in self._instances.values()
+                if instance.status is InstanceStatus.PENDING
+            ),
+            key=lambda inst: (str(inst.node), inst.dispatch_id),
+        )
+
+    def abandoned_instances(self) -> list[DispatchInstance]:
+        """Instances written off by recovery escalation, in write-off order."""
+        return list(self._abandoned)
 
     def imbalance(self) -> int:
         """Net outstanding additions; 0 at completion."""
@@ -87,6 +337,46 @@ class CurrentHostsTable:
         return list(self._history)
 
     def check_consistency(self) -> None:
-        """Raise :class:`ProtocolError` if counts and totals disagree."""
-        if sum(self._pending.values()) != self._additions - self._deletions:
-            raise ProtocolError("CHT counts diverged from addition/deletion totals")
+        """Raise :class:`ProtocolError` if the accounting disagrees with itself.
+
+        O(1): cross-checks the incrementally maintained aggregates.  The
+        invariant — additions minus deletions equals the legacy signed sum
+        plus pending instances minus unmatched early retirements — holds
+        after every message when accounting is correct; a double-retired or
+        double-added instance breaks it immediately.
+        """
+        legacy_net = sum(self._pending.values())
+        expected = legacy_net + self._pending_count - self._early_unmatched
+        if self._additions - self._deletions != expected:
+            raise ProtocolError(
+                "CHT counts diverged from addition/deletion totals: "
+                f"additions={self._additions} deletions={self._deletions} "
+                f"legacy_net={legacy_net} pending={self._pending_count} "
+                f"early={self._early_unmatched}"
+            )
+        if self._pending_count < 0 or self._early_unmatched < 0:
+            raise ProtocolError(
+                f"CHT instance counters negative: pending={self._pending_count} "
+                f"early={self._early_unmatched}"
+            )
+
+    def audit(self) -> None:
+        """Full O(n) recount of every aggregate (invariant-monitor check)."""
+        pending = sum(
+            1 for i in self._instances.values() if i.status is InstanceStatus.PENDING
+        )
+        early = sum(1 for i in self._instances.values() if i.early)
+        nonzero = sum(1 for count in self._pending.values() if count != 0)
+        if pending != self._pending_count:
+            raise ProtocolError(
+                f"CHT pending recount {pending} != counter {self._pending_count}"
+            )
+        if early != self._early_unmatched:
+            raise ProtocolError(
+                f"CHT early recount {early} != counter {self._early_unmatched}"
+            )
+        if nonzero != self._legacy_nonzero:
+            raise ProtocolError(
+                f"CHT legacy nonzero recount {nonzero} != counter {self._legacy_nonzero}"
+            )
+        self.check_consistency()

@@ -28,7 +28,7 @@ from ..net.simclock import SimClock
 from ..net.stats import TrafficStats
 from ..relational.query import ResultRow
 from ..urlutils import Url
-from .cht import CurrentHostsTable
+from .cht import CurrentHostsTable, RetireResult
 from .config import EngineConfig
 from .messages import ChtEntry, Disposition, ResultMessage
 from .trace import START_NODE, Tracer
@@ -43,6 +43,9 @@ class QueryStatus(enum.Enum):
     RUNNING = "running"
     COMPLETE = "complete"
     CANCELLED = "cancelled"
+    #: Recovery gave up on part of the query (graceful degradation): the
+    #: reachable portion of the answer was collected, the rest written off.
+    PARTIAL = "partial"
 
 
 @dataclass
@@ -69,10 +72,25 @@ class QueryHandle:
     #: CHT makes completion exact without timeouts (§2.7); the watchdog
     #: only flags queries stalled by lost messages or dead servers.
     stall_detected_at: float | None = None
+    #: Bumped by each :meth:`UserSiteClient.reforward_pending` round; clones
+    #: re-dispatched by recovery carry the new epoch, so reports from the
+    #: superseded dispatches are recognizably stale.
+    recovery_epoch: int = 0
+    #: ``(node, state)`` pairs whose result rows were already ingested —
+    #: node processing is deterministic, so a second stamped report for the
+    #: same pair (re-processing after a crash wiped the target's log table)
+    #: carries rows the user already has.
+    row_sources: set = field(default_factory=set)
+    #: Why the query finished PARTIAL (empty otherwise).
+    partial_reason: str = ""
 
     @property
     def stalled(self) -> bool:
         return self.stall_detected_at is not None
+
+    @property
+    def finished(self) -> bool:
+        return self.status is not QueryStatus.RUNNING
 
     @property
     def qid(self) -> QueryId:
@@ -180,9 +198,14 @@ class UserSiteClient:
         self._query_numbers = itertools.count(1)
         self._ports = itertools.count(_FIRST_RESULT_PORT)
         self._handles: dict[QueryId, QueryHandle] = {}
+        self._dispatch_serial = itertools.count(1)
 
     def _trace_transport(self, action: str, detail: str) -> None:
         self.tracer.record(self.clock.now, "-", self.site, "-", "-", action, detail)
+
+    def _mint_dispatch_id(self) -> str:
+        """A dispatch identity unique across the run (site-scoped serial)."""
+        return f"u{next(self._dispatch_serial)}@{self.site}"
 
     # -- Figure 2: send_query ---------------------------------------------------
 
@@ -218,7 +241,6 @@ class UserSiteClient:
         by_site: dict[str, list[Url]] = {}
         for url in query.start_urls:
             node = url.without_fragment()
-            handle.cht.add(ChtEntry(node, state), self.clock.now)
             self.tracer.record(
                 self.clock.now, str(node), node.host, state, START_NODE, "dispatched"
             )
@@ -227,9 +249,15 @@ class UserSiteClient:
         for site, nodes in by_site.items():
             groups = [tuple(nodes)] if self.config.batch_per_site else [(n,) for n in nodes]
             for group in groups:
-                self._dispatch_clone(
-                    handle, QueryClone(query, 0, initial_pre, group), "unreachable-start"
+                clone = QueryClone(query, 0, initial_pre, group).with_identity(
+                    self._mint_dispatch_id(), handle.recovery_epoch
                 )
+                for node in group:
+                    handle.cht.add(
+                        ChtEntry(node, state), self.clock.now,
+                        dispatch_id=clone.dispatch_id, epoch=clone.epoch,
+                    )
+                self._dispatch_clone(handle, clone, "unreachable-start")
         self._check_completion(handle)
         return handle
 
@@ -249,21 +277,29 @@ class UserSiteClient:
             if outcome.delivered:
                 self.stats.clones_forwarded += 1
                 return
-            if self.config.central_fallback and self.network.send(
-                self.site, self.site, HELPER_PORT, clone
+            if outcome is not SendOutcome.ABANDONED and (
+                self.config.central_fallback
+                and self.network.send(self.site, self.site, HELPER_PORT, clone)
             ):
                 self.stats.clones_forwarded += 1
                 return
+            if handle.status is not QueryStatus.RUNNING:
+                return  # cancelled/escalated while the send awaited a retry
             # Destination unreachable / not participating: retire entries.
             for node in clone.dest:
-                handle.cht.mark_deleted(ChtEntry(node, state), self.clock.now)
+                handle.cht.mark_deleted(
+                    ChtEntry(node, state), self.clock.now,
+                    dispatch_id=clone.dispatch_id or None,
+                )
                 self.tracer.record(
                     self.clock.now, str(node), clone.site, state, START_NODE,
                     failure_action,
                 )
             self._check_completion(handle)
 
-        self.channel.send(self.site, clone.site, QUERY_PORT, clone, after_send)
+        self.channel.send(
+            self.site, clone.site, QUERY_PORT, clone, after_send, tag=handle.qid
+        )
 
     # -- Figure 2: receive_results ------------------------------------------------
 
@@ -276,16 +312,70 @@ class UserSiteClient:
         handle.last_message_time = now
         for report in payload.reports:
             if report.disposition is not Disposition.DATA_ONLY:
-                handle.cht.mark_deleted(report.entry, now)
-                for entry in report.new_entries:
-                    handle.cht.add(entry, now)
-            for label, row in report.results:
-                if handle.first_result_time is None:
-                    handle.first_result_time = now
-                handle.results.append((label, row, now))
-                if handle.on_result is not None:
-                    handle.on_result(label, row, now)
+                outcome = handle.cht.mark_deleted(
+                    report.entry, now, dispatch_id=report.dispatch_id or None
+                )
+                if outcome is RetireResult.ABSORBED_DUPLICATE:
+                    self.stats.duplicate_reports_absorbed += 1
+                    self._trace_transport(
+                        "report-absorbed", f"duplicate {report.dispatch_id}"
+                    )
+                elif outcome is RetireResult.ABSORBED_STALE:
+                    self.stats.stale_reports_absorbed += 1
+                    self._trace_transport(
+                        "report-absorbed",
+                        f"stale {report.dispatch_id} epoch {report.epoch}",
+                    )
+                # The announcements are accepted even from an absorbed report:
+                # the server really did forward those children (forwards
+                # follow a *successful* report connect), so the CHT must
+                # expect their reports.  Idempotence comes from the child
+                # dispatch identities, not from dropping the announcement.
+                for index, entry in enumerate(report.new_entries):
+                    child_id = (
+                        report.child_ids[index]
+                        if index < len(report.child_ids)
+                        else ""
+                    )
+                    handle.cht.add(
+                        entry, now, dispatch_id=child_id or None, epoch=report.epoch
+                    )
+            self._ingest_rows(handle, report, now)
+        if self.config.debug_consistency_checks:
+            handle.cht.check_consistency()
         self._check_completion(handle)
+
+    def _ingest_rows(self, handle: QueryHandle, report, now: float) -> None:
+        """Store a report's rows, deduplicating re-processed work.
+
+        Node processing is deterministic, so two *stamped* reports for the
+        same ``(node, state)`` carry identical rows — the second is a
+        recovery artifact (the clone was re-forwarded and the target's log
+        table had been wiped by a crash).  Unstamped reports keep the legacy
+        behaviour: every row is stored and duplicate suppression is the
+        display layer's job.
+        """
+        if not report.results:
+            return
+        if report.dispatch_id:
+            source = (report.entry.node, report.entry.state)
+            if source in handle.row_sources and handle.recovery_epoch > 0:
+                # Only queries that have been through a recovery round can
+                # see re-processing duplicates; before that, a repeated
+                # (node, state) is legitimate protocol traffic (e.g. the
+                # log-table-disabled ablation) and is kept, as before.
+                self.stats.duplicate_rows_dropped += len(report.results)
+                self._trace_transport(
+                    "rows-deduplicated", f"{report.entry.node} x{len(report.results)}"
+                )
+                return
+            handle.row_sources.add(source)
+        for label, row in report.results:
+            if handle.first_result_time is None:
+                handle.first_result_time = now
+            handle.results.append((label, row, now))
+            if handle.on_result is not None:
+                handle.on_result(label, row, now)
 
     def _check_completion(self, handle: QueryHandle) -> None:
         if handle.status is QueryStatus.RUNNING and handle.cht.all_deleted():
@@ -349,30 +439,121 @@ class UserSiteClient:
         """
         if handle.status is not QueryStatus.RUNNING:
             return 0
+        now = self.clock.now
         query = handle.query
-        groups: dict[tuple[str, int, object], list[Url]] = {}
-        for entry in handle.cht.pending_entries():
+        handle.recovery_epoch += 1
+        epoch = handle.recovery_epoch
+
+        # Identity-tracked instances: group, supersede under the new epoch,
+        # re-dispatch.  A late report from the old dispatch is absorbed as
+        # stale; the re-forward's own report retires the new instance.
+        instance_groups: dict[tuple[str, int, object], list] = {}
+        for instance in handle.cht.pending_instances():
+            entry = instance.entry
+            assert entry is not None
             step_index = len(query.steps) - entry.state.num_q
             key = (entry.node.host, step_index, entry.state.rem)
-            groups.setdefault(key, []).append(entry.node)
-        for (site, step_index, rem), nodes in sorted(groups.items(), key=str):
+            instance_groups.setdefault(key, []).append(instance)
+        count = 0
+        for (site, step_index, rem), instances in sorted(
+            instance_groups.items(), key=lambda item: str(item[0])
+        ):
+            seen: dict[Url, object] = {}
+            for instance in instances:
+                seen.setdefault(instance.node, instance)
+            clone = QueryClone(
+                query, step_index, rem, tuple(seen)
+            ).with_identity(self._mint_dispatch_id(), epoch)
+            for node, instance in seen.items():
+                handle.cht.supersede(
+                    instance.dispatch_id, node, clone.dispatch_id, epoch, now
+                )
+                self.tracer.record(
+                    now, str(node), site, clone.state, "-", "re-forwarded",
+                    detail=f"epoch {epoch} supersedes {instance.dispatch_id}",
+                )
+            self.stats.clones_reforwarded += 1
+            count += 1
+            self._dispatch_clone(handle, clone, "unreachable-reforward")
+
+        # Legacy (unstamped) entries keep the pre-identity behaviour: the
+        # rebuilt clone travels unstamped and its report retires the signed
+        # count — with the documented double-retire hazard.
+        legacy_groups: dict[tuple[str, int, object], list[Url]] = {}
+        for entry in handle.cht.pending_entries():
+            if any(
+                inst.entry == entry for inst in handle.cht.pending_instances()
+            ):
+                continue
+            step_index = len(query.steps) - entry.state.num_q
+            key = (entry.node.host, step_index, entry.state.rem)
+            legacy_groups.setdefault(key, []).append(entry.node)
+        for (site, step_index, rem), nodes in sorted(legacy_groups.items(), key=str):
             clone = QueryClone(query, step_index, rem, tuple(dict.fromkeys(nodes)))
             for node in clone.dest:
                 self.tracer.record(
-                    self.clock.now, str(node), site, clone.state, "-", "re-forwarded"
+                    now, str(node), site, clone.state, "-", "re-forwarded"
                 )
+            self.stats.clones_reforwarded += 1
+            count += 1
             self._dispatch_clone(handle, clone, "unreachable-reforward")
-        return len(groups)
+        if self.config.debug_consistency_checks:
+            handle.cht.check_consistency()
+        return count
 
     # -- Section 2.8: passive termination ----------------------------------------
 
     def cancel(self, handle: QueryHandle) -> None:
-        """Cancel a running query by closing its result socket."""
+        """Cancel a running query by closing its result socket.
+
+        Outbound sends still awaiting a retry for this query are abandoned
+        too — a cancelled query must not keep re-offering its clones to
+        sites that were down when it was alive.
+        """
         if handle.status is not QueryStatus.RUNNING:
             raise QueryLifecycleError(f"cannot cancel a {handle.status.value} query")
         handle.status = QueryStatus.CANCELLED
         handle.cancel_time = self.clock.now
         self.network.close(self.site, handle.qid.port)
+        abandoned = self.channel.reset(tag=handle.qid)
+        if abandoned:
+            self._trace_transport(
+                "cancel-abandoned-sends", f"{handle.qid}: {abandoned}"
+            )
+
+    # -- graceful degradation (extension): finish with partial coverage ------------
+
+    def finish_partial(self, handle: QueryHandle, reason: str) -> int:
+        """Give up on the outstanding entries and finish the query PARTIAL.
+
+        Every pending dispatch instance is written off (visible afterwards
+        via ``handle.cht.abandoned_instances()`` for the coverage report),
+        the result socket closes so lingering servers purge via passive
+        termination, and pending outbound retries are abandoned.  Returns
+        the number of instances written off.
+        """
+        if handle.status is not QueryStatus.RUNNING:
+            raise QueryLifecycleError(
+                f"cannot finish a {handle.status.value} query as partial"
+            )
+        now = self.clock.now
+        written_off = 0
+        for instance in handle.cht.pending_instances():
+            handle.cht.abandon(instance.dispatch_id, instance.node, reason, now)
+            written_off += 1
+        handle.status = QueryStatus.PARTIAL
+        handle.partial_reason = reason
+        handle.completion_time = now
+        handle.cancel_time = now
+        self.stats.queries_partial += 1
+        self.network.close(self.site, handle.qid.port)
+        self.channel.reset(tag=handle.qid)
+        self._trace_transport(
+            "finished-partial", f"{handle.qid}: {written_off} written off ({reason})"
+        )
+        if handle.on_complete is not None:
+            handle.on_complete(handle)
+        return written_off
 
     def handles(self) -> list[QueryHandle]:
         return list(self._handles.values())

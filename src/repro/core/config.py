@@ -48,6 +48,13 @@ class EngineConfig:
     #: single-attempt transport exactly.
     retry_policy: RetryPolicy | None = None
 
+    #: Self-healing extension: run the CHT's O(1) accounting cross-check
+    #: after every report message and recovery round, raising ProtocolError
+    #: on the first inconsistency instead of silently hanging or
+    #: double-counting.  Cheap enough to stay on by default; benches that
+    #: want the last few percent can switch it off.
+    debug_consistency_checks: bool = True
+
     # --- server resource management ------------------------------------------
     #: Query-processor threads per server.  The paper's design is a single
     #: thread that "sequentially processes the queue of pending web-queries"

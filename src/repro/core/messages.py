@@ -57,18 +57,32 @@ class NodeReport:
     server is about to forward — sent *before* the forwarding happens so the
     CHT always has complete knowledge (Section 2.7.1).  ``results`` pairs
     each row with the node-query label that produced it.
+
+    Dispatch identity (self-healing extension): ``dispatch_id`` echoes the
+    identity of the clone dispatch this report resolves, and ``epoch`` the
+    recovery epoch that dispatch was issued under.  ``child_ids`` runs
+    parallel to ``new_entries`` — ``child_ids[i]`` is the dispatch identity
+    the clone carrying ``new_entries[i]`` will travel under, minted by the
+    reporting server *before* the forward.  The user-site's CHT keys its
+    accounting on these identities so a late or duplicated report is
+    absorbed idempotently instead of unbalancing the table.  Empty strings
+    mean an unstamped (legacy) report, accounted by signed counts.
     """
 
     entry: ChtEntry
     disposition: Disposition
     new_entries: tuple[ChtEntry, ...] = ()
     results: tuple[tuple[str, ResultRow], ...] = ()
+    dispatch_id: str = ""
+    epoch: int = 0
+    child_ids: tuple[str, ...] = ()
 
     def size_bytes(self) -> int:
         size = self.entry.size_bytes() + 1
         size += sum(entry.size_bytes() for entry in self.new_entries)
         for label, row in self.results:
             size += len(label) + sum(len(str(value)) for value in row.values)
+        size += len(self.dispatch_id) + 4 + sum(len(cid) for cid in self.child_ids)
         return size
 
 

@@ -28,7 +28,9 @@ the query port with a blank process state.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
+from dataclasses import replace
 
 from ..model.database import DatabaseConstructor, build_documents_table
 from ..net.network import HELPER_PORT, QUERY_PORT, Network, SendOutcome
@@ -82,7 +84,15 @@ class QueryServer:
         #: Bumped by crash(): callbacks scheduled by a dead process must not
         #: touch the reborn one's state.
         self._epoch = 0
+        #: Mints dispatch identities for forwarded clones.  Deliberately
+        #: *not* reset by crash(): identities must stay unique across the
+        #: server's incarnations or a reborn server could mint an id that
+        #: collides with a pre-crash dispatch still tracked by a user-site.
+        self._dispatch_serial = itertools.count(1)
         network.listen(site, QUERY_PORT, self._on_message)
+
+    def _mint_dispatch_id(self) -> str:
+        return f"s{next(self._dispatch_serial)}@{self.site}"
 
     # -- crash / recovery (§7.1 open problem) ------------------------------------
 
@@ -237,7 +247,43 @@ class QueryServer:
             reports.append(NodeReport(entry, disposition, new_entries, tuple(outcome.results)))
 
         clones = self._build_clones(clone, all_forwards)
-        return reports, clones, service
+        return self._stamp_identities(clone, reports, clones), clones, service
+
+    def _stamp_identities(
+        self,
+        clone: QueryClone,
+        reports: list[NodeReport],
+        clones: list[QueryClone],
+    ) -> list[NodeReport]:
+        """Echo the parent's dispatch identity and mint the children's.
+
+        Each outgoing clone gets a fresh dispatch id (epoch inherited from
+        the parent); the reports announce it via ``child_ids`` so the
+        user-site registers exactly the identity the child's own report will
+        later echo.  Unstamped parents (legacy traffic) stay unstamped
+        throughout.  Mutates ``clones`` in place so the stamped copies are
+        the ones forwarded.
+        """
+        if not clone.dispatch_id:
+            return reports
+        child_of: dict[tuple[Url, object], str] = {}
+        for index, child in enumerate(clones):
+            stamped = child.with_identity(self._mint_dispatch_id(), clone.epoch)
+            clones[index] = stamped
+            for node in stamped.dest:
+                child_of[(node, stamped.state)] = stamped.dispatch_id
+        return [
+            replace(
+                report,
+                dispatch_id=clone.dispatch_id,
+                epoch=clone.epoch,
+                child_ids=tuple(
+                    child_of.get((entry.node, entry.state), "")
+                    for entry in report.new_entries
+                ),
+            )
+            for report in reports
+        ]
 
     def _site_documents_for(self, query):
         """The site-spanning DOCUMENT table, built lazily on first need.
@@ -328,19 +374,21 @@ class QueryServer:
         clones: list[QueryClone],
     ) -> None:
         qid = clone.query.qid
+        epoch = self._epoch
         if self.config.combine_results_and_cht:
             self._dispatch_report(
                 clone,
                 ResultMessage(qid, tuple(reports)),
-                lambda outcome: self._after_dispatch(outcome, clone, clones),
+                lambda outcome: self._after_dispatch(outcome, clone, clones, epoch),
             )
             return
         # Ablation: CHT bookkeeping and result rows travel separately.
-        cht_half = tuple(
-            NodeReport(r.entry, r.disposition, r.new_entries, ()) for r in reports
-        )
+        cht_half = tuple(replace(r, results=()) for r in reports)
         data_half = tuple(
-            NodeReport(r.entry, Disposition.DATA_ONLY, (), r.results)
+            NodeReport(
+                r.entry, Disposition.DATA_ONLY, (), r.results,
+                dispatch_id=r.dispatch_id, epoch=r.epoch,
+            )
             for r in reports
             if r.results
         )
@@ -349,12 +397,16 @@ class QueryServer:
             if outcome.delivered and data_half:
                 # Pure payload message: loss doesn't affect completion keys.
                 self._dispatch_report(clone, ResultMessage(qid, data_half))
-            self._after_dispatch(outcome, clone, clones)
+            self._after_dispatch(outcome, clone, clones, epoch)
 
         self._dispatch_report(clone, ResultMessage(qid, cht_half, kind="cht"), after_cht)
 
     def _after_dispatch(
-        self, outcome: SendOutcome, clone: QueryClone, clones: list[QueryClone]
+        self,
+        outcome: SendOutcome,
+        clone: QueryClone,
+        clones: list[QueryClone],
+        epoch: int,
     ) -> None:
         """Figure-3 ordering: forward clones only once the dispatch DELIVERED.
 
@@ -362,8 +414,12 @@ class QueryServer:
         termination.  A transient outcome arriving here has already been
         through the channel's retry budget: the user-site is effectively
         unreachable, so the query is purged locally too (its entries will be
-        re-resolved if the user's stall recovery re-forwards them).
+        re-resolved if the user's stall recovery re-forwards them).  An
+        ABANDONED outcome (or any outcome observed after a crash bumped the
+        epoch) belongs to a dead incarnation and must not touch this one.
         """
+        if epoch != self._epoch or outcome is SendOutcome.ABANDONED:
+            return
         if outcome.delivered:
             for fclone in clones:
                 self._forward(fclone)
@@ -399,8 +455,11 @@ class QueryServer:
         if fclone.site == self.site:
             self.enqueue_local(fclone)
             return
+        epoch = self._epoch
 
         def after_forward(outcome: SendOutcome) -> None:
+            if epoch != self._epoch or outcome is SendOutcome.ABANDONED:
+                return  # a dead incarnation's send; the reborn process moved on
             if outcome.delivered:
                 self.stats.clones_forwarded += 1
             else:
@@ -418,8 +477,13 @@ class QueryServer:
                 self.stats.clones_forwarded += 1
                 return
         # Destination site unreachable: retire the CHT entries we announced.
+        # The retraction echoes the clone's own dispatch identity — it is
+        # resolving exactly the instances this server announced for it.
         retractions = tuple(
-            NodeReport(ChtEntry(url, fclone.state), Disposition.UNREACHABLE)
+            NodeReport(
+                ChtEntry(url, fclone.state), Disposition.UNREACHABLE,
+                dispatch_id=fclone.dispatch_id, epoch=fclone.epoch,
+            )
             for url in fclone.dest
         )
         for url in fclone.dest:

@@ -111,6 +111,14 @@ class QueryClone:
     #: which is exactly the "cannot forget the past" storage cost the
     #: paper criticizes.  Empty under direct return.
     history: tuple[str, ...] = ()
+    #: Dispatch identity, minted by whoever forwards this clone (the
+    #: user-site client or a server) and echoed back in the resulting
+    #: :class:`~repro.core.messages.NodeReport` so the CHT can retire the
+    #: clone's entries idempotently.  Empty = unstamped (legacy accounting).
+    dispatch_id: str = ""
+    #: Recovery epoch of the query when this dispatch chain was created;
+    #: children inherit it, re-forwards bump it.
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         if not self.dest:
@@ -136,6 +144,10 @@ class QueryClone:
     def kind(self) -> str:
         return "query"
 
+    def with_identity(self, dispatch_id: str, epoch: int) -> "QueryClone":
+        """A copy stamped with a dispatch identity (see ``dispatch_id``)."""
+        return replace(self, dispatch_id=dispatch_id, epoch=epoch)
+
     def size_bytes(self) -> int:
         """Serialized size: qid + remaining steps + current PRE + node list.
 
@@ -145,4 +157,8 @@ class QueryClone:
         remaining = sum(step.size_bytes() for step in self.query.steps[self.step_index :])
         dests = sum(len(str(url)) for url in self.dest)
         trail = sum(len(site) + 2 for site in self.history)
-        return self.query.qid.size_bytes() + remaining + 4 * pre_size(self.rem) + dests + trail + 16
+        identity = len(self.dispatch_id) + 4
+        return (
+            self.query.qid.size_bytes() + remaining + 4 * pre_size(self.rem)
+            + dests + trail + identity + 16
+        )

@@ -65,6 +65,10 @@ class SendOutcome(enum.Enum):
     HOST_DOWN = "host-down"
     #: A transient network fault broke this particular connect.
     FAULT = "fault"
+    #: The sending process gave the send up before it could settle — its
+    #: channel was reset (process crash, query cancellation).  Terminal:
+    #: the payload was never delivered and no further attempt will be made.
+    ABANDONED = "abandoned"
 
     def __bool__(self) -> bool:
         return self is SendOutcome.DELIVERED

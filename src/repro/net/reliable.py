@@ -32,7 +32,8 @@ from .simclock import SimClock
 __all__ = ["RetryPolicy", "ReliableChannel"]
 
 #: Callback receiving the final outcome of a reliable send: DELIVERED,
-#: REFUSED, or the last transient outcome once retries are exhausted.
+#: REFUSED, the last transient outcome once retries are exhausted, or
+#: ABANDONED when the channel was reset while the send awaited a retry.
 FinalCallback = Callable[[SendOutcome], None]
 
 
@@ -100,14 +101,41 @@ class ReliableChannel:
         self.stats = network.stats
         self._rng = random.Random(f"{policy.seed if policy is not None else 0}:{name}")
         self._trace = trace
-        self._generation = 0
+        self._send_serial = 0
+        #: Sends with a retry in flight: key -> (on_final, tag).  A key
+        #: removed by :meth:`reset` makes the scheduled retry a no-op.
+        self._pending: dict[int, tuple[FinalCallback | None, object]] = {}
 
-    def reset(self) -> None:
-        """Abandon every scheduled retry (their ``on_final`` never fires).
+    def pending_sends(self, tag: object | None = None) -> int:
+        """Sends currently waiting on a scheduled retry (optionally by tag)."""
+        if tag is None:
+            return len(self._pending)
+        return sum(1 for __, t in self._pending.values() if t == tag)
 
-        Used on server crash: a dead process does not keep retrying.
+    def reset(self, tag: object | None = None) -> int:
+        """Abandon scheduled retries; their ``on_final`` fires with ABANDONED.
+
+        Used on server crash (a dead process does not keep retrying) and on
+        query cancellation (retries aimed at a closed result port are
+        pointless).  With ``tag`` given, only sends carrying that tag are
+        abandoned — so cancelling one query leaves another query's retries
+        running on a shared channel.  Every abandoned send's ``on_final``
+        is invoked exactly once with :data:`SendOutcome.ABANDONED`, so no
+        caller waits forever on a send that will never settle.  Returns the
+        number of sends abandoned.
         """
-        self._generation += 1
+        if tag is None:
+            doomed = list(self._pending.keys())
+        else:
+            doomed = [key for key, (__, t) in self._pending.items() if t == tag]
+        for key in doomed:
+            on_final, __ = self._pending.pop(key)
+            self.stats.sends_abandoned += 1
+            if self._trace is not None:
+                self._trace("send-abandoned", f"serial {key}")
+            if on_final is not None:
+                on_final(SendOutcome.ABANDONED)
+        return len(doomed)
 
     def send(
         self,
@@ -116,11 +144,18 @@ class ReliableChannel:
         port: int,
         payload: Payload,
         on_final: FinalCallback | None = None,
+        *,
+        tag: object | None = None,
     ) -> SendOutcome:
-        """Reliably send ``payload``; returns the *first* attempt's outcome."""
+        """Reliably send ``payload``; returns the *first* attempt's outcome.
+
+        ``tag`` labels the send for selective :meth:`reset` (e.g. the qid of
+        the query the send belongs to).
+        """
+        self._send_serial += 1
         return self._attempt(
             src, dst, port, payload, on_final,
-            attempt=1, started=self.clock.now, generation=self._generation,
+            attempt=1, started=self.clock.now, key=self._send_serial, tag=tag,
         )
 
     # -- internals -----------------------------------------------------------
@@ -134,13 +169,15 @@ class ReliableChannel:
         on_final: FinalCallback | None,
         attempt: int,
         started: float,
-        generation: int,
+        key: int,
+        tag: object | None,
     ) -> SendOutcome:
         outcome = self.network.send(src, dst, port, payload)
         if not outcome.transient:
             # DELIVERED or REFUSED: final either way.  REFUSED is the
             # termination/participation signal and is deliberately never
             # retried, no matter the policy.
+            self._pending.pop(key, None)
             if outcome.delivered and attempt > 1 and self._trace is not None:
                 self._trace("retry-delivered", f"{dst}:{port} attempt {attempt}")
             if on_final is not None:
@@ -159,13 +196,15 @@ class ReliableChannel:
                         f"{dst}:{port} attempt {attempt + 1} in {delay:.3f}s"
                         f" ({outcome.value})",
                     )
+                self._pending[key] = (on_final, tag)
                 self.clock.schedule(
                     delay,
                     lambda: self._fire(
-                        src, dst, port, payload, on_final, attempt + 1, started, generation
+                        src, dst, port, payload, on_final, attempt + 1, started, key, tag
                     ),
                 )
                 return outcome
+        self._pending.pop(key, None)
         if self.policy is not None:
             self.stats.retries_exhausted += 1
             if self._trace is not None:
@@ -189,8 +228,9 @@ class ReliableChannel:
         on_final: FinalCallback | None,
         attempt: int,
         started: float,
-        generation: int,
+        key: int,
+        tag: object | None,
     ) -> None:
-        if generation != self._generation:
-            return  # channel was reset (process crash): the retry dies with it
-        self._attempt(src, dst, port, payload, on_final, attempt, started, generation)
+        if key not in self._pending:
+            return  # abandoned by reset (crash/cancel): on_final already fired
+        self._attempt(src, dst, port, payload, on_final, attempt, started, key, tag)

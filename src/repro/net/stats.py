@@ -35,6 +35,24 @@ class TrafficStats:
     retried_sends: int = 0
     #: Reliable sends that exhausted their retry budget without delivery.
     retries_exhausted: int = 0
+    #: In-flight reliable sends terminated by a channel reset (crash or
+    #: cancellation) before they could settle — reported as ABANDONED.
+    sends_abandoned: int = 0
+
+    # Completion-protocol idempotence counters (incremented by the client).
+    #: Reports retiring a CHT entry instance that was already retired —
+    #: absorbed harmlessly by dispatch-identity accounting.
+    duplicate_reports_absorbed: int = 0
+    #: Reports for a superseded dispatch (an older recovery epoch) whose
+    #: retirement was absorbed because a re-forward replaced the dispatch.
+    stale_reports_absorbed: int = 0
+    #: Result-row batches dropped because the same (node, state) processing
+    #: already contributed rows under another dispatch identity.
+    duplicate_rows_dropped: int = 0
+    #: Clones re-dispatched by recovery (reforward_pending).
+    clones_reforwarded: int = 0
+    #: Queries escalated to PARTIAL by a supervisor (graceful degradation).
+    queries_partial: int = 0
 
     # Engine-level counters (incremented by query processors).
     documents_shipped: int = 0
@@ -78,6 +96,12 @@ class TrafficStats:
             "unknown_host_sends": self.unknown_host_sends,
             "retried_sends": self.retried_sends,
             "retries_exhausted": self.retries_exhausted,
+            "sends_abandoned": self.sends_abandoned,
+            "duplicate_reports_absorbed": self.duplicate_reports_absorbed,
+            "stale_reports_absorbed": self.stale_reports_absorbed,
+            "duplicate_rows_dropped": self.duplicate_rows_dropped,
+            "clones_reforwarded": self.clones_reforwarded,
+            "queries_partial": self.queries_partial,
             "documents_shipped": self.documents_shipped,
             "document_bytes_shipped": self.document_bytes_shipped,
             "documents_parsed": self.documents_parsed,

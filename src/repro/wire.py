@@ -237,7 +237,7 @@ def _entry_from_wire(data: Any) -> ChtEntry:
 
 
 def _report_to_wire(report: NodeReport) -> Any:
-    return {
+    encoded = {
         "entry": _entry_to_wire(report.entry),
         "disp": report.disposition.value,
         "new": [_entry_to_wire(e) for e in report.new_entries],
@@ -246,6 +246,15 @@ def _report_to_wire(report: NodeReport) -> Any:
             for label, row in report.results
         ],
     }
+    # Dispatch identity travels only when stamped, so legacy traffic
+    # round-trips byte-identically.
+    if report.dispatch_id:
+        encoded["did"] = report.dispatch_id
+    if report.epoch:
+        encoded["ep"] = report.epoch
+    if report.child_ids:
+        encoded["cids"] = list(report.child_ids)
+    return encoded
 
 
 def _report_from_wire(data: Any) -> NodeReport:
@@ -256,6 +265,9 @@ def _report_from_wire(data: Any) -> NodeReport:
         results=tuple(
             (r["q"], ResultRow(tuple(r["h"]), tuple(r["v"]))) for r in data["rows"]
         ),
+        dispatch_id=data.get("did", ""),
+        epoch=data.get("ep", 0),
+        child_ids=tuple(data.get("cids", ())),
     )
 
 
@@ -278,6 +290,10 @@ def encode_message(message: object) -> bytes:
             "dest": [str(u) for u in message.dest],
             "hist": list(message.history),
         }
+        if message.dispatch_id:
+            body["did"] = message.dispatch_id
+        if message.epoch:
+            body["ep"] = message.epoch
         kind = _KIND_CLONE
     elif isinstance(message, ResultMessage):
         body = {
@@ -326,6 +342,8 @@ def decode_message(data: bytes) -> object:
             rem=pre_from_wire(body["rem"]),
             dest=tuple(parse_url(u) for u in body["dest"]),
             history=tuple(body["hist"]),
+            dispatch_id=body.get("did", ""),
+            epoch=body.get("ep", 0),
         )
     if kind == _KIND_RESULT:
         return ResultMessage(

@@ -149,8 +149,12 @@ class TestReliableChannel:
         channel.send("a.example", "b.example", 80, _Blob(), finals.append)
         channel.reset()  # the process crashed: dead processes do not retry
         clock.run()
-        assert finals == []
+        # The callback is not left dangling: it observes a terminal
+        # ABANDONED outcome (previously reset dropped the send silently
+        # and the caller waited forever).
+        assert finals == [SendOutcome.ABANDONED]
         assert received == []
+        assert network.stats.sends_abandoned == 1
 
     def test_seeded_backoff_is_deterministic(self):
         def run(seed):

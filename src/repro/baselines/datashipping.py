@@ -42,7 +42,7 @@ from ..urlutils import Url
 from ..web.web import Web
 from .docservice import DOC_PORT, DocResponse, FetchRequest, install_doc_servers
 
-__all__ = ["DataShippingEngine", "DataShippingResult"]
+__all__ = ["DataShippingEngine", "DataShippingResult", "JournalEntry"]
 
 _RESULT_PORT = 9000
 
@@ -83,6 +83,22 @@ class DataShippingResult:
 
 
 @dataclass(frozen=True, slots=True)
+class JournalEntry:
+    """Provenance of one processed node (``record_journal=True``).
+
+    The DST oracle replays a fault-free centralized run and needs to know,
+    for every node the traversal touched, which result rows that node
+    produced and which nodes it forwarded to — the edges of the reference
+    provenance graph used to decide whether a row missing from a PARTIAL
+    distributed run is attributable to an abandoned dispatch.
+    """
+
+    node: str
+    rows: tuple[tuple[str, tuple[str, ...], tuple[object, ...]], ...]
+    forwards: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
 class _Work:
     """One pending node visit: evaluate step ``step_index`` after ``rem``."""
 
@@ -103,6 +119,7 @@ class DataShippingEngine:
         user_site: str = "user.example",
         max_concurrent_fetches: int = 4,
         trace: bool = False,
+        record_journal: bool = False,
     ) -> None:
         self.web = web
         self.config = config if config is not None else EngineConfig()
@@ -132,6 +149,9 @@ class DataShippingEngine:
         self._processing_backlog: deque[tuple[_Work, str | None]] = deque()
         self._busy = False
         self._result: DataShippingResult | None = None
+        self._record_journal = record_journal
+        #: Per-node provenance (:class:`JournalEntry`) when recording.
+        self.journal: list[JournalEntry] = []
 
     # -- public API -----------------------------------------------------------
 
@@ -255,6 +275,20 @@ class DataShippingEngine:
             )
         for forward in outcome.forwards:
             self._frontier.append(_Work(forward.target, forward.step_index, forward.rem))
+        if self._record_journal:
+            self.journal.append(
+                JournalEntry(
+                    node=str(work.url),
+                    rows=tuple(
+                        (label, row.header, row.values)
+                        for label, row in outcome.results
+                    ),
+                    forwards=tuple(
+                        str(forward.target.without_fragment())
+                        for forward in outcome.forwards
+                    ),
+                )
+            )
         return self.config.service_time(len(html), outcome.tuples_scanned)
 
     def _site_documents_for(self, query: WebQuery, site_name: str):

@@ -329,6 +329,23 @@ class CurrentHostsTable:
         """Instances written off by recovery escalation, in write-off order."""
         return list(self._abandoned)
 
+    def negative_legacy_entries(self) -> list[tuple[ChtEntry, int]]:
+        """Legacy ``(node, state)`` keys whose signed count is negative.
+
+        Transient negatives are legitimate mid-flight (a deletion's report
+        can outrun the addition's — see the module doc), but at quiescence
+        every count must be >= 0: Figure 3's ordering dispatches each
+        server's report (additions) before forwarding the clones whose
+        reports could delete them, so a *settled* negative count means two
+        reports retired an entry only one addition announced — the
+        pre-epoch-fence double-retire bug.  The DST invariant monitor checks
+        this at quiescence.
+        """
+        return sorted(
+            ((entry, count) for entry, count in self._pending.items() if count < 0),
+            key=lambda item: str(item[0]),
+        )
+
     def imbalance(self) -> int:
         """Net outstanding additions; 0 at completion."""
         return self._additions - self._deletions

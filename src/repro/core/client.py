@@ -444,6 +444,9 @@ class UserSiteClient:
         handle.recovery_epoch += 1
         epoch = handle.recovery_epoch
 
+        if self.config.debug_unfenced_recovery:
+            return self._reforward_unfenced(handle, now)
+
         # Identity-tracked instances: group, supersede under the new epoch,
         # re-dispatch.  A late report from the old dispatch is absorbed as
         # stale; the re-forward's own report retires the new instance.
@@ -499,6 +502,42 @@ class UserSiteClient:
             self._dispatch_clone(handle, clone, "unreachable-reforward")
         if self.config.debug_consistency_checks:
             handle.cht.check_consistency()
+        return count
+
+    def _reforward_unfenced(self, handle: QueryHandle, now: float) -> int:
+        """DEBUG ONLY: the pre-epoch-fence recovery, preserved as a bug oracle.
+
+        Re-dispatches every pending stamped instance as an *unstamped*
+        legacy clone, without superseding the instance — exactly what
+        recovery did before dispatch identities existed.  The re-forward's
+        unstamped report then retires a legacy signed count that no legacy
+        addition ever announced (the original addition is instance-tracked),
+        driving the ``(node, state)`` count negative; the stamped instance
+        meanwhile stays pending until the original — possibly dead — server
+        reports.  Net effect: the query hangs or spuriously escalates
+        PARTIAL, and :meth:`CurrentHostsTable.negative_legacy_entries` is
+        non-empty at quiescence.  Exists so the DST shrinker has a known
+        bug to find (``EngineConfig.debug_unfenced_recovery``).
+        """
+        query = handle.query
+        groups: dict[tuple[str, int, object], list[Url]] = {}
+        for instance in handle.cht.pending_instances():
+            entry = instance.entry
+            assert entry is not None
+            step_index = len(query.steps) - entry.state.num_q
+            key = (entry.node.host, step_index, entry.state.rem)
+            groups.setdefault(key, []).append(entry.node)
+        count = 0
+        for (site, step_index, rem), nodes in sorted(groups.items(), key=str):
+            clone = QueryClone(query, step_index, rem, tuple(dict.fromkeys(nodes)))
+            for node in clone.dest:
+                self.tracer.record(
+                    now, str(node), site, clone.state, "-", "re-forwarded",
+                    detail="unfenced (debug)",
+                )
+            self.stats.clones_reforwarded += 1
+            count += 1
+            self._dispatch_clone(handle, clone, "unreachable-reforward")
         return count
 
     # -- Section 2.8: passive termination ----------------------------------------

@@ -48,6 +48,15 @@ class EngineConfig:
     #: single-attempt transport exactly.
     retry_policy: RetryPolicy | None = None
 
+    #: DEBUG ONLY — re-introduces the pre-epoch-fence recovery bug for the
+    #: DST shrinker demo: ``reforward_pending`` re-dispatches pending stamped
+    #: instances as *unstamped legacy* clones without superseding them, so
+    #: the original report and the re-forward's report both retire what only
+    #: one addition announced.  The legacy signed count for the entry goes
+    #: negative and never recovers — the query hangs (or spuriously
+    #: escalates PARTIAL).  Never enable outside the testing harness.
+    debug_unfenced_recovery: bool = False
+
     #: Self-healing extension: run the CHT's O(1) accounting cross-check
     #: after every report message and recovery round, raising ProtocolError
     #: on the first inconsistency instead of silently hanging or

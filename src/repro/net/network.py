@@ -149,16 +149,30 @@ class Network:
         self._fail_once: list[tuple[str, str, int | None]] = []
         self._fault_injector: FaultInjector | None = None
         self._down_sites: set[str] = set()
-        self._tap: Callable[[float, str, str, int, Payload], None] | None = None
+        self._taps: list[Callable[[float, str, str, int, Payload], None]] = []
 
     def set_tap(self, tap: Callable[[float, str, str, int, "Payload"], None] | None) -> None:
         """Install an observer called for every successfully sent message.
 
         Used by :class:`repro.journal.ProtocolJournal` to record traffic;
         the tap sees ``(time, src, dst, port, payload)`` and must not
-        mutate anything.
+        mutate anything.  Replaces all previously installed taps (legacy
+        single-observer semantics); use :meth:`add_tap` to stack observers.
         """
-        self._tap = tap
+        self._taps = [tap] if tap is not None else []
+
+    def add_tap(self, tap: Callable[[float, str, str, int, "Payload"], None]) -> None:
+        """Add an observer alongside any already installed (see :meth:`set_tap`).
+
+        Multiple subsystems — the protocol journal, the DST harness's
+        message-log fingerprint — can observe traffic simultaneously; taps
+        fire in installation order.
+        """
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[float, str, str, int, "Payload"], None]) -> None:
+        """Remove a tap previously installed via :meth:`add_tap`/:meth:`set_tap`."""
+        self._taps = [t for t in self._taps if t is not tap]
 
     # -- topology ---------------------------------------------------------
 
@@ -284,8 +298,8 @@ class Network:
             return SendOutcome.REFUSED
         size = payload.size_bytes() + self.config.envelope_bytes
         self.stats.record_send(src, payload.kind, size)
-        if self._tap is not None:
-            self._tap(self.clock.now, src, dst, port, payload)
+        for tap in self._taps:
+            tap(self.clock.now, src, dst, port, payload)
         delay = self.config.transfer_time(src, dst, size)
         self.clock.schedule(delay, lambda: self._deliver(src, dst, port, payload))
         return SendOutcome.DELIVERED

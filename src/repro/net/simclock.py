@@ -1,14 +1,25 @@
 """A minimal discrete-event simulation clock.
 
-Events are ``(time, sequence, callback)`` triples in a binary heap; the
-sequence number makes simultaneous events FIFO and the whole simulation
+Events are ``(time, tiebreak, sequence, callback)`` tuples in a binary heap;
+the sequence number makes simultaneous events FIFO and the whole simulation
 deterministic.  Time is a float in abstract seconds.
+
+Schedule exploration (DST extension): the protocols must be correct under
+*any* ordering of simultaneous events, not just the FIFO one this clock
+happens to produce.  :meth:`set_tie_breaker` installs a seeded tie-break
+jitter — every scheduled event draws a random priority that orders it
+against other events at the same virtual time.  The permutation is a pure
+function of the seed and the schedule order, so a run with tie-break seed
+``s`` replays bit-identically, while different seeds explore different
+interleavings (the deterministic-simulation-testing harness in
+:mod:`repro.testing` sweeps them to shake out ordering races).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from typing import Callable
 
 from ..errors import SimulationError
@@ -19,11 +30,14 @@ __all__ = ["SimClock"]
 class SimClock:
     """The event loop driving one simulation run."""
 
-    def __init__(self) -> None:
+    def __init__(self, tie_break_seed: int | None = None) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._running = False
+        self._tie_rng: random.Random | None = (
+            random.Random(tie_break_seed) if tie_break_seed is not None else None
+        )
         self.events_executed = 0
 
     @property
@@ -31,14 +45,34 @@ class SimClock:
         """Current virtual time."""
         return self._now
 
+    def set_tie_breaker(self, seed: int | None) -> None:
+        """Opt in to seeded permutation of same-time events (None restores FIFO).
+
+        Only events scheduled *after* this call draw a jittered priority;
+        call it before driving the simulation for a fully permuted run.
+        """
+        self._tie_rng = random.Random(seed) if seed is not None else None
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at ``now + delay`` (``delay`` must be >= 0)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), callback))
+        tiebreak = self._tie_rng.random() if self._tie_rng is not None else 0.0
+        heapq.heappush(
+            self._heap, (self._now + delay, tiebreak, next(self._sequence), callback)
+        )
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute virtual ``time`` (>= now)."""
+        """Run ``callback`` at absolute virtual ``time`` (must be >= now).
+
+        Validates the absolute time itself — mirroring :meth:`schedule`'s
+        delay check — so a caller handing in a stale timestamp gets an error
+        naming the offending time instead of a derived negative delay.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is in the past (now={self._now})"
+            )
         self.schedule(time - self._now, callback)
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
@@ -54,7 +88,7 @@ class SimClock:
         try:
             executed = 0
             while self._heap:
-                time, __, callback = self._heap[0]
+                time, __, ___, callback = self._heap[0]
                 if until is not None and time > until:
                     self._now = until
                     break

@@ -1,0 +1,46 @@
+"""Deterministic simulation testing (DST) for the WEBDIS protocols.
+
+Seeded generators produce (web, query, fault schedule) cases; an
+independent oracle — the data-shipping baseline run fault-free — decides
+what the right answer is; the invariant battery audits the protocol's
+internal accounting; a seeded tie-breaker in the simulation clock permutes
+same-time events to explore schedules; and a greedy shrinker reduces any
+failure to a small JSON repro replayable via ``tools/dst.py replay``.
+
+See ``docs/testing.md`` for the workflow.
+"""
+
+from .generators import build_fault_plan, build_web, generate_case, query_text
+from .invariants import (
+    Violation,
+    check_handle,
+    check_no_refused_retry,
+    check_run,
+    reference_rows,
+)
+from .oracle import Reference, check_clean, check_faulted, reference_run
+from .runner import CaseResult, SeedResult, case_fails, run_case, run_seed
+from .shrink import shrink, spec_size
+
+__all__ = [
+    "CaseResult",
+    "Reference",
+    "SeedResult",
+    "Violation",
+    "build_fault_plan",
+    "build_web",
+    "case_fails",
+    "check_clean",
+    "check_faulted",
+    "check_handle",
+    "check_no_refused_retry",
+    "check_run",
+    "generate_case",
+    "query_text",
+    "reference_rows",
+    "reference_run",
+    "run_case",
+    "run_seed",
+    "shrink",
+    "spec_size",
+]

@@ -1,0 +1,246 @@
+"""The DST runner: generate → simulate → oracle-check → fingerprint.
+
+One *case* drives three simulations:
+
+1. **Reference** — the data-shipping baseline, fault-free, with a
+   provenance journal (:func:`repro.testing.oracle.reference_run`).
+2. **Clean control** — WEBDIS on the same web/query with no faults and
+   FIFO scheduling.  Must finish COMPLETE with exactly the reference rows
+   (:func:`check_clean`); its row multiset also becomes the ``rows-sound``
+   ground truth for the faulted run.
+3. **Run under test** — WEBDIS with the spec's fault schedule, latency
+   overrides and tie-break schedule seed, driven by a
+   :class:`~repro.core.supervisor.QuerySupervisor`.  Checked against the
+   full invariant battery (:mod:`repro.testing.invariants`) and the
+   coverage-aware oracle (:func:`check_faulted`).
+
+Every faulted run also produces a **fingerprint** — a hash over the final
+status, rows, recovery epoch, completion time and the complete network
+message log ``(time, src, dst, port, kind)`` — so "same seed ⇒
+bit-identical run" is checkable by plain string equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..core.config import EngineConfig
+from ..core.engine import WebDisEngine
+from ..core.supervisor import QuerySupervisor, RecoveryPolicy
+from ..errors import ProtocolError, SimulationError
+from ..net.network import NetworkConfig
+from ..net.reliable import RetryPolicy
+from .generators import (
+    Spec,
+    build_fault_plan,
+    build_web,
+    generate_case,
+    latency_overrides,
+    query_text,
+)
+from .invariants import Violation, check_run, reference_rows
+from .oracle import Reference, check_clean, check_faulted, reference_run
+
+__all__ = ["CaseResult", "SeedResult", "run_case", "run_seed", "case_fails", "POLICY"]
+
+#: Generous recovery budgets: a *clean* run must always reach COMPLETE, so
+#: slow-but-alive paths (latency overrides up to ~3 s) must never exhaust
+#: the round budget.  Escalation to PARTIAL is reserved for genuinely
+#: unreachable coverage.
+POLICY = RecoveryPolicy(
+    quiet_timeout=2.0, max_recoveries=5, backoff_multiplier=1.6, deadline=60.0
+)
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one simulated case (one schedule)."""
+
+    spec: Spec
+    status: str
+    clean_status: str
+    rows: int
+    recovery_epoch: int
+    violations: list[Violation] = field(default_factory=list)
+    fingerprint: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class SeedResult:
+    """Outcome of one seed across its schedule variants."""
+
+    seed: int
+    cases: list[CaseResult]
+    deterministic: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return self.deterministic and all(case.ok for case in self.cases)
+
+    @property
+    def violations(self) -> list[Violation]:
+        found = [v for case in self.cases for v in case.violations]
+        if not self.deterministic:
+            found.append(
+                Violation(
+                    "deterministic", f"seed {self.seed}",
+                    "same-seed rerun produced a different fingerprint",
+                )
+            )
+        return found
+
+
+def _engine_config(spec: Spec, *, inject_bug: bool) -> EngineConfig:
+    config = spec.get("config", {})
+    return EngineConfig(
+        log_subsumption=config.get("log_subsumption", "paper"),
+        batch_per_site=config.get("batch_per_site", True),
+        retry_policy=RetryPolicy(
+            max_attempts=3, base_delay=0.2, multiplier=2.0, jitter=0.3,
+            seed=spec["seed"],
+        ),
+        debug_unfenced_recovery=inject_bug,
+    )
+
+
+def _run_clean(spec: Spec, reference: Reference) -> tuple[list[Violation], object]:
+    """The fault-free WEBDIS control run; returns (violations, handle)."""
+    engine = WebDisEngine(
+        build_web(spec), config=_engine_config(spec, inject_bug=False), trace=True
+    )
+    handle = engine.submit_disql(query_text(spec))
+    engine.run()
+    violations = check_clean(handle, reference)
+    violations += check_run(engine, [handle])
+    return violations, handle
+
+
+def _run_faulted(
+    spec: Spec, reference: Reference, clean_rows, *, inject_bug: bool
+) -> CaseResult:
+    """The run under test: faults + schedule jitter + supervision."""
+    engine = WebDisEngine(
+        build_web(spec),
+        config=_engine_config(spec, inject_bug=inject_bug),
+        net_config=NetworkConfig(latency_overrides=latency_overrides(spec)),
+        trace=True,
+    )
+    engine.clock.set_tie_breaker(spec.get("schedule_seed"))
+    message_log: list[tuple] = []
+    engine.network.add_tap(
+        lambda time, src, dst, port, payload: message_log.append(
+            (round(time, 9), src, dst, port, payload.kind)
+        )
+    )
+    plan = build_fault_plan(spec)
+    if plan is not None:
+        engine.apply_faults(plan)
+    supervisor = QuerySupervisor(engine.client, POLICY)
+    handle = engine.submit_disql(query_text(spec))
+    supervisor.supervise(handle)
+    engine.run()
+
+    violations = check_run(
+        engine, [handle], references={handle.qid.number: clean_rows}
+    )
+    coverage = supervisor.coverage(handle)
+    if plan is None:
+        # Only the schedule differs from the control run: still clean, so
+        # the oracle demands COMPLETE and exact equivalence.
+        violations += check_clean(handle, reference)
+    else:
+        violations += check_faulted(handle, engine.tracer, reference, coverage)
+
+    fingerprint = hashlib.sha256(
+        repr(
+            (
+                handle.status.value,
+                sorted(str((label, row.header, row.values))
+                       for label, row, __ in handle.results),
+                handle.recovery_epoch,
+                round(handle.completion_time or -1.0, 9),
+                tuple(message_log),
+            )
+        ).encode()
+    ).hexdigest()
+    return CaseResult(
+        spec=spec,
+        status=handle.status.value,
+        clean_status="",
+        rows=len(handle.results),
+        recovery_epoch=handle.recovery_epoch,
+        violations=violations,
+        fingerprint=fingerprint,
+    )
+
+
+def run_case(spec: Spec, *, inject_bug: bool = False) -> CaseResult:
+    """Run one spec end to end (reference + clean control + faulted run)."""
+    reference = reference_run(spec)
+    clean_violations, clean_handle = _run_clean(spec, reference)
+    result = _run_faulted(
+        spec, reference, reference_rows(clean_handle), inject_bug=inject_bug
+    )
+    result.clean_status = clean_handle.status.value
+    result.violations = clean_violations + result.violations
+    return result
+
+
+def run_seed(
+    seed: int,
+    *,
+    schedules: int = 2,
+    inject_bug: bool = False,
+    check_determinism: bool = True,
+) -> SeedResult:
+    """Run one seed: the reference and clean control once, then the run
+    under test across ``schedules`` tie-break variants (the first is FIFO).
+
+    ``check_determinism`` reruns the first variant and compares
+    fingerprints — the "same seed ⇒ bit-identical" acceptance gate.
+    """
+    spec = generate_case(seed)
+    reference = reference_run(spec)
+    clean_violations, clean_handle = _run_clean(spec, reference)
+    clean_rows = reference_rows(clean_handle)
+
+    cases = []
+    for variant in range(max(1, schedules)):
+        variant_spec = dict(spec)
+        variant_spec["schedule_seed"] = None if variant == 0 else seed * 1000 + variant
+        case = _run_faulted(
+            variant_spec, reference, clean_rows, inject_bug=inject_bug
+        )
+        case.clean_status = clean_handle.status.value
+        if variant == 0:
+            case.violations = clean_violations + case.violations
+        cases.append(case)
+
+    deterministic = True
+    if check_determinism and cases:
+        rerun = _run_faulted(
+            cases[0].spec, reference, clean_rows, inject_bug=inject_bug
+        )
+        deterministic = rerun.fingerprint == cases[0].fingerprint
+    return SeedResult(seed=seed, cases=cases, deterministic=deterministic)
+
+
+def case_fails(spec: Spec, *, inject_bug: bool = False) -> bool:
+    """Does ``spec`` still reproduce a failure?  (The shrinker's predicate.)
+
+    Protocol-level exceptions (accounting divergence, runaway event loops)
+    count as failures; anything else raised during setup means the
+    candidate spec is malformed — e.g. the shrinker removed the start site
+    — and must *not* count, or shrinking would chase setup artifacts.
+    """
+    try:
+        return not run_case(spec, inject_bug=inject_bug).ok
+    except (ProtocolError, SimulationError):
+        return True
+    except Exception:
+        return False

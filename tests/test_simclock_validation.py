@@ -1,0 +1,108 @@
+"""SimClock scheduling validation and tie-break schedule exploration.
+
+Regression coverage for the ``schedule_at`` past-time check (it must
+validate the *absolute* time, mirroring ``schedule``'s delay check) and
+for the DST tie-breaker: seeded permutation of same-time events that is
+deterministic per seed and restores FIFO when cleared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simclock import SimClock
+
+
+def _run_order(clock: SimClock, n: int = 6, delay: float = 1.0) -> list[int]:
+    """Schedule ``n`` same-time events and return their execution order."""
+    order: list[int] = []
+    for i in range(n):
+        clock.schedule(delay, lambda i=i: order.append(i))
+    clock.run()
+    return order
+
+
+class TestScheduleValidation:
+    def test_schedule_rejects_negative_delay(self):
+        clock = SimClock()
+        with pytest.raises(SimulationError, match="past"):
+            clock.schedule(-0.5, lambda: None)
+
+    def test_schedule_at_rejects_past_time(self):
+        clock = SimClock()
+        clock.schedule(5.0, lambda: None)
+        clock.run()
+        assert clock.now == 5.0
+        with pytest.raises(SimulationError) as exc:
+            clock.schedule_at(3.0, lambda: None)
+        # The error names the offending absolute time and the current time,
+        # not a derived negative delay.
+        assert "t=3.0" in str(exc.value)
+        assert "now=5.0" in str(exc.value)
+
+    def test_schedule_at_accepts_now_exactly(self):
+        clock = SimClock()
+        clock.schedule(2.0, lambda: None)
+        clock.run()
+        fired = []
+        clock.schedule_at(2.0, lambda: fired.append(True))
+        clock.run()
+        assert fired == [True]
+        assert clock.now == 2.0
+
+    def test_schedule_at_future_runs_at_that_time(self):
+        clock = SimClock()
+        times: list[float] = []
+        clock.schedule_at(4.5, lambda: times.append(clock.now))
+        clock.schedule_at(1.5, lambda: times.append(clock.now))
+        clock.run()
+        assert times == [1.5, 4.5]
+
+    def test_schedule_and_schedule_at_agree_on_the_boundary(self):
+        # delay=0 and time=now are both the earliest legal schedule.
+        clock = SimClock()
+        clock.schedule(0.0, lambda: None)
+        clock.schedule_at(0.0, lambda: None)
+        clock.run()
+        assert clock.events_executed == 2
+
+
+class TestTieBreaker:
+    def test_fifo_by_default(self):
+        assert _run_order(SimClock()) == [0, 1, 2, 3, 4, 5]
+
+    def test_same_seed_same_order(self):
+        first = _run_order(SimClock(tie_break_seed=42))
+        second = _run_order(SimClock(tie_break_seed=42))
+        assert first == second
+
+    def test_some_seed_permutes_same_time_events(self):
+        fifo = list(range(6))
+        permuted = {tuple(_run_order(SimClock(tie_break_seed=s))) for s in range(10)}
+        assert any(order != tuple(fifo) for order in permuted), (
+            "no seed in 0..9 permuted six simultaneous events"
+        )
+
+    def test_set_tie_breaker_none_restores_fifo(self):
+        clock = SimClock(tie_break_seed=7)
+        clock.set_tie_breaker(None)
+        assert _run_order(clock) == [0, 1, 2, 3, 4, 5]
+
+    def test_jitter_never_reorders_distinct_times(self):
+        clock = SimClock(tie_break_seed=99)
+        times: list[float] = []
+        for delay in (3.0, 1.0, 2.0):
+            clock.schedule(delay, lambda d=delay: times.append(d))
+        clock.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_tie_breaker_applies_only_to_later_schedules(self):
+        clock = SimClock()
+        order: list[int] = []
+        clock.schedule(1.0, lambda: order.append(0))  # FIFO priority 0.0
+        clock.set_tie_breaker(5)
+        # Jittered priorities are in (0, 1), so the FIFO event keeps winning.
+        clock.schedule(1.0, lambda: order.append(1))
+        clock.run()
+        assert order[0] == 0

@@ -1,0 +1,130 @@
+"""Property tests for the log table's ``A*m·B`` subsumption analysis.
+
+Unit level: random bodies, tails and bounds drive
+:func:`repro.pre.ops.compare_for_log` and
+:func:`repro.pre.ops.rewrite_superset`; the classification must match the
+bound arithmetic (``None`` = unbounded), and the multi-rewrite must
+preserve the language it is allowed to drop nothing from —
+``A*m·B  =  B  ∪  A·A*(m-1)·B``, the rewritten clone covering exactly the
+paths with at least one leading repetition.
+
+Engine level: the rewrite-and-forward path (log table on, which rewrites
+superset arrivals and drops duplicates) must produce the same distinct
+result set as the same query with the log table disabled, fault-free, on
+randomly generated webs.  Bounded repeats only — without the log table an
+unbounded PRE never terminates on a cyclic web.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import EngineConfig
+from repro.core.engine import WebDisEngine
+from repro.model.relations import LinkType
+from repro.pre.ast import Atom, alt, concat, repeat
+from repro.pre.automaton import language_equivalent
+from repro.pre.ops import LogComparison, compare_for_log, nullable, rewrite_superset
+from repro.testing import build_web, generate_case
+
+ATOMS = st.sampled_from([Atom(LinkType.LOCAL), Atom(LinkType.GLOBAL), Atom(LinkType.INTERIOR)])
+
+# Non-nullable repeat bodies: atoms and two-way alternations of atoms.
+bodies = st.one_of(
+    ATOMS,
+    st.tuples(ATOMS, ATOMS).map(lambda pair: alt(pair)),
+)
+
+# Tails: empty (pure A*m), one atom, or atom·atom.
+tails = st.one_of(
+    st.just(()),
+    ATOMS.map(lambda a: (a,)),
+    st.tuples(ATOMS, ATOMS),
+)
+
+bounds = st.one_of(st.none(), st.integers(1, 5))
+
+
+def _bound_le(m, n):
+    if n is None:
+        return True
+    if m is None:
+        return False
+    return m <= n
+
+
+class TestCompareForLog:
+    @settings(max_examples=300, deadline=None)
+    @given(body=bodies, tail=tails, m=bounds, n=bounds)
+    def test_same_shape_classified_by_bound(self, body, tail, m, n):
+        incoming = concat((repeat(body, m), *tail))
+        logged = concat((repeat(body, n), *tail))
+        expected = (
+            LogComparison.DUPLICATE if _bound_le(m, n) else LogComparison.SUPERSET
+        )
+        assert compare_for_log(incoming, logged) == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(body=bodies, tail=tails, m=bounds)
+    def test_exact_match_is_duplicate(self, body, tail, m):
+        pre = concat((repeat(body, m), *tail))
+        assert compare_for_log(pre, pre) == LogComparison.DUPLICATE
+
+    @settings(max_examples=200, deadline=None)
+    @given(body=bodies, tail=tails.filter(bool), m=bounds, n=bounds)
+    def test_different_tail_unrelated(self, body, tail, m, n):
+        incoming = concat((repeat(body, m), *tail))
+        logged = repeat(body, n)
+        if incoming == logged:  # smart constructors may collapse the shapes
+            return
+        assert compare_for_log(incoming, logged) == LogComparison.UNRELATED
+
+
+class TestRewriteSuperset:
+    @settings(max_examples=200, deadline=None)
+    @given(body=bodies, tail=tails, m=bounds)
+    def test_rewrite_preserves_language_modulo_tail(self, body, tail, m):
+        """``A*m·B  ≡  B | A·A*(m-1)·B`` — the rewrite drops exactly the
+        zero-repetition branch, which the logged clone already covers."""
+        original = concat((repeat(body, m), *tail))
+        rewritten = rewrite_superset(original)
+        zero_branch = concat(tail)
+        assert language_equivalent(alt((zero_branch, rewritten)), original)
+
+    @settings(max_examples=200, deadline=None)
+    @given(body=bodies, tail=tails, m=bounds)
+    def test_rewrite_is_a_pure_router(self, body, tail, m):
+        """The rewritten PRE starts with a mandatory body traversal: the
+        rewritten clone is strictly narrower than the original."""
+        original = concat((repeat(body, m), *tail))
+        rewritten = rewrite_superset(original)
+        assert not nullable(rewritten)
+        # Re-classifying against the original log entry can only find
+        # DUPLICATE or UNRELATED, never SUPERSET again (no rewrite loops).
+        assert compare_for_log(rewritten, original) != LogComparison.SUPERSET
+
+
+def _distinct_rows(handle):
+    return {(label, row.header, row.values) for label, row, __ in handle.results}
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 400), m=st.integers(1, 3))
+    def test_log_table_rewrites_lose_no_rows(self, seed, m):
+        """Fault-free, the rewrite-and-forward path returns the same
+        distinct rows as the raw (log-disabled) traversal."""
+        spec = generate_case(seed)
+        query = (
+            "select d.url, d.title\n"
+            f'from document d such that "http://s0.example/" (L|G)*{m} d'
+        )
+        results = {}
+        for flag in (True, False):
+            engine = WebDisEngine(
+                build_web(spec), config=EngineConfig(log_table_enabled=flag)
+            )
+            handle = engine.submit_disql(query)
+            engine.run()
+            results[flag] = _distinct_rows(handle)
+        assert results[True] == results[False]

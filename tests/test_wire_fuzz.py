@@ -1,0 +1,160 @@
+"""Wire round-trip fuzz: stamped messages survive the codec bit-exactly.
+
+Hypothesis generates ``ResultMessage``s whose reports carry the full
+dispatch-identity stamping — ``(qid, dispatch_id, recovery_epoch)`` plus
+``child_ids`` — including the edge cases the self-healing protocol relies
+on: empty ``child_ids`` (leaf reports), unicode site names (the envelope
+is UTF-8 JSON with ``ensure_ascii=False``), and epoch 0 (elided on the
+wire, restored on decode).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.messages import ChtEntry, Disposition, NodeReport, ResultMessage
+from repro.core.state import QueryState
+from repro.core.webquery import QueryId
+from repro.pre import parse_pre
+from repro.relational.query import ResultRow
+from repro.urlutils import parse_url
+from repro.wire import decode_message, encode_message
+
+HOSTS = st.sampled_from(
+    [
+        "s0.example",
+        "csa.iisc.ernet.in",
+        "sité-α.example",  # unicode site name
+        "ドメイン.example",  # non-latin site name
+        "a-b.example",
+    ]
+)
+
+PRE_TEXTS = st.sampled_from(["N", "G", "L*1", "L*", "(L|G)*2", "G.(G|L)", "I.L.G"])
+
+qids = st.builds(
+    QueryId,
+    user=st.sampled_from(["maya", "u", "ユーザ", "op-7"]),
+    host=HOSTS,
+    port=st.integers(1024, 65535),
+    number=st.integers(0, 10**6),
+)
+
+states = st.builds(
+    QueryState,
+    num_q=st.integers(0, 5),
+    rem=PRE_TEXTS.map(parse_pre),
+)
+
+
+@st.composite
+def urls(draw):
+    host = draw(HOSTS)
+    path = draw(st.sampled_from(["/", "/p1.html", "/a/b.html", "/p2.html#sec1"]))
+    return parse_url(f"http://{host}{path}")
+
+
+entries = st.builds(ChtEntry, node=urls(), state=states)
+
+rows = st.builds(
+    ResultRow,
+    header=st.tuples(st.sampled_from(["d.url", "d.title", "r.text"])),
+    values=st.tuples(
+        st.one_of(
+            st.text(max_size=12),  # includes "", unicode, quotes
+            st.integers(-1000, 1000),
+        )
+    ),
+)
+
+
+@st.composite
+def dispatch_ids(draw):
+    if draw(st.booleans()):
+        return ""  # unstamped legacy report
+    n = draw(st.integers(0, 99))
+    host = draw(HOSTS)
+    return f"u{n}@{host}"
+
+
+@st.composite
+def reports(draw):
+    n_children = draw(st.integers(0, 3))
+    new_entries = tuple(draw(entries) for _ in range(n_children))
+    # child_ids runs parallel to new_entries — or is empty (legacy report).
+    if n_children and draw(st.booleans()):
+        child_ids = tuple(
+            f"c{i}@{draw(HOSTS)}" for i in range(n_children)
+        )
+    else:
+        child_ids = ()
+    return NodeReport(
+        entry=draw(entries),
+        disposition=draw(st.sampled_from(list(Disposition))),
+        new_entries=new_entries,
+        results=tuple(
+            (draw(st.sampled_from(["d", "d0", "r"])), draw(rows))
+            for _ in range(draw(st.integers(0, 2)))
+        ),
+        dispatch_id=draw(dispatch_ids()),
+        epoch=draw(st.sampled_from([0, 0, 1, 2, 7])),
+        child_ids=child_ids,
+    )
+
+
+messages = st.builds(
+    ResultMessage,
+    qid=qids,
+    reports=st.lists(reports(), min_size=0, max_size=3).map(tuple),
+    kind=st.sampled_from(["result", "cht"]),
+)
+
+
+class TestStampedRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(messages)
+    def test_decode_inverts_encode(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @settings(max_examples=200, deadline=None)
+    @given(messages)
+    def test_reencode_is_bit_exact(self, message):
+        wire = encode_message(message)
+        assert encode_message(decode_message(wire)) == wire
+
+    @settings(max_examples=100, deadline=None)
+    @given(messages)
+    def test_stamping_survives(self, message):
+        decoded = decode_message(encode_message(message))
+        for sent, received in zip(message.reports, decoded.reports):
+            assert received.dispatch_id == sent.dispatch_id
+            assert received.epoch == sent.epoch
+            assert received.child_ids == sent.child_ids
+            assert len(received.child_ids) in (0, len(received.new_entries))
+
+
+class TestEdgeCases:
+    def test_empty_child_ids_stays_empty_tuple(self):
+        entry = ChtEntry(parse_url("http://s0.example/"), QueryState(1, parse_pre("L")))
+        report = NodeReport(entry=entry, disposition=Disposition.PROCESSED)
+        message = ResultMessage(QueryId("maya", "user.example", 5001, 7), (report,))
+        decoded = decode_message(encode_message(message))
+        assert decoded.reports[0].child_ids == ()
+        assert decoded.reports[0].dispatch_id == ""
+        assert decoded.reports[0].epoch == 0
+
+    def test_unicode_site_name_round_trips(self):
+        entry = ChtEntry(
+            parse_url("http://sité-α.example/p1.html"),
+            QueryState(2, parse_pre("(L|G)*2")),
+        )
+        report = NodeReport(
+            entry=entry,
+            disposition=Disposition.PROCESSED,
+            new_entries=(entry,),
+            dispatch_id="u3@sité-α.example",
+            epoch=1,
+            child_ids=("c0@ドメイン.example",),
+        )
+        message = ResultMessage(QueryId("ユーザ", "sité-α.example", 5001, 7), (report,))
+        assert decode_message(encode_message(message)) == message

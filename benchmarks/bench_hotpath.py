@@ -1,0 +1,296 @@
+"""EXP-P1 (extension) — the node-query hot path: compiled plans vs the interpreter.
+
+WEBDIS evaluates the *same* node-query at every node a clone reaches, so
+per-evaluation cost is the engine's inner loop.  This bench measures that
+loop head-to-head on the scalability web family (EXP-S1's generator):
+
+* **interpreted** — :func:`repro.relational.query.evaluate_node_query`,
+  which re-walks the expression AST per candidate row;
+* **compiled** — :meth:`repro.relational.compile.CompiledPlan.execute`,
+  closures over positional row tuples, compiled once per ``(qid, step)``.
+
+Three checks ride along (they are what ``--check`` gates in CI):
+
+1. row-for-row equality — for every (node-query, node-database) pair the
+   compiled plan returns exactly the interpreter's rows, in order;
+2. engine equivalence — a full :class:`WebDisEngine` run is bit-identical
+   (status, completion time, result rows in order) with ``compiled_plans``
+   on and off;
+3. a conservative speedup floor (CI machines are noisy; the headline
+   number in ``BENCH_PERF.json`` is measured with more repeats).
+
+Run directly to (re)generate ``BENCH_PERF.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import EngineConfig, QueryStatus, WebDisEngine
+from repro.disql import compile_disql
+from repro.model.database import build_node_database
+from repro.relational.compile import compile_node_query
+from repro.relational.query import evaluate_node_query
+from repro.web import SyntheticWebConfig, build_synthetic_web
+from repro.web.synthetic import synthetic_start_url
+
+sys.path.insert(0, str(Path(__file__).parent))
+from harness import format_table, ratio, report  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_PERF.json"
+
+#: The EXP-S1 web at scale 4: 16 sites x 5 pages.
+WEB_CONFIG = SyntheticWebConfig(
+    sites=16, pages_per_site=5, local_out_degree=2, global_out_degree=2, seed=504
+)
+
+#: Workload: the scalability query plus join-heavier shapes, so the bench
+#: covers single-table filters, a relinfon join and a two-step chain.
+QUERIES = (
+    (
+        "title-filter",
+        'select d.url from document d such that "{start}" (L|G)*3 d\n'
+        'where d.title contains "topic"',
+    ),
+    (
+        "relinfon-join",
+        'select d.url, r.text\n'
+        'from document d such that "{start}" (L|G)*2 d,\n'
+        '     relinfon r such that r.delimiter = "b"\n'
+        'where r.text contains "detail"',
+    ),
+    (
+        "chained-steps",
+        'select d.url, e.title\n'
+        'from document d such that "{start}" G d\n'
+        'where d.title contains "page"\n'
+        '     document e such that d (L|G)*2 e\n'
+        'where e.title contains "topic"',
+    ),
+)
+
+#: CI floor: deliberately far below the measured speedup — it catches a
+#: regression that makes compilation pointless, not run-to-run jitter.
+CHECK_SPEEDUP_FLOOR = 1.2
+
+
+def _workload():
+    """(node-query, label) pairs and the per-page node databases."""
+    web = build_synthetic_web(WEB_CONFIG)
+    start = synthetic_start_url(WEB_CONFIG)
+    node_queries = []
+    for name, template in QUERIES:
+        webquery = compile_disql(template.format(start=start))
+        for k, step in enumerate(webquery.steps):
+            node_queries.append((f"{name}/q{k + 1}", step.query))
+    databases = []
+    for site_name in web.site_names:
+        site = web.site(site_name)
+        for path, page in sorted(site.pages.items()):
+            databases.append(build_node_database(site.url_of(path), page.html))
+    return web, node_queries, databases
+
+
+def _time_best(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time for one full pass (noise floor)."""
+    best = float("inf")
+    for __ in range(repeats):
+        begin = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - begin)
+    return best
+
+
+def check_rows_identical(node_queries, databases) -> int:
+    """Row-for-row equality of compiled vs interpreted; returns pair count."""
+    pairs = 0
+    for label, query in node_queries:
+        plan = compile_node_query(query)
+        for database in databases:
+            expected = evaluate_node_query(query, database)
+            actual = plan.execute(database)
+            assert [(r.header, r.values) for r in actual] == [
+                (r.header, r.values) for r in expected
+            ], f"compiled rows diverge for {label} at {database.url}"
+            pairs += 1
+    return pairs
+
+
+def check_engine_identical() -> int:
+    """Full-engine bit-equality with compiled_plans on and off."""
+    runs = {}
+    disql = QUERIES[0][1].format(start=synthetic_start_url(WEB_CONFIG))
+    for compiled in (True, False):
+        engine = WebDisEngine(
+            build_synthetic_web(WEB_CONFIG),
+            config=EngineConfig(compiled_plans=compiled),
+        )
+        handle = engine.submit_disql(disql)
+        done_at = engine.run()
+        assert handle.status is QueryStatus.COMPLETE
+        runs[compiled] = (
+            handle.status,
+            done_at,
+            [(label, row.header, row.values) for label, row, __ in handle.results],
+        )
+    assert runs[True] == runs[False], "engine results differ with compiled plans"
+    assert runs[True][2], "scalability query returned no rows"
+    return len(runs[True][2])
+
+
+def measure(repeats: int = 7) -> dict:
+    """The EXP-P1 measurement: one dict, JSON-ready."""
+    web, node_queries, databases = _workload()
+
+    pairs_checked = check_rows_identical(node_queries, databases)
+    engine_rows = check_engine_identical()
+
+    compile_begin = time.perf_counter()
+    plans = [(label, compile_node_query(query)) for label, query in node_queries]
+    compile_seconds = time.perf_counter() - compile_begin
+
+    per_query = []
+    for (label, query), (__, plan) in zip(node_queries, plans):
+        interpreted = _time_best(
+            lambda q=query: [evaluate_node_query(q, db) for db in databases], repeats
+        )
+        compiled = _time_best(
+            lambda p=plan: [p.execute(db) for db in databases], repeats
+        )
+        rows = sum(len(plan.execute(db)) for db in databases)
+        per_query.append(
+            {
+                "node_query": label,
+                "interpreted_s": round(interpreted, 6),
+                "compiled_s": round(compiled, 6),
+                "speedup": round(interpreted / compiled, 3),
+                "rows_per_pass": rows,
+            }
+        )
+
+    total_interp = sum(q["interpreted_s"] for q in per_query)
+    total_comp = sum(q["compiled_s"] for q in per_query)
+    evaluations = len(node_queries) * len(databases)
+    return {
+        "experiment": "EXP-P1",
+        "title": "node-query hot path: compiled plans vs interpreter",
+        "web": {
+            "sites": WEB_CONFIG.sites,
+            "pages": web.page_count(),
+            "seed": WEB_CONFIG.seed,
+        },
+        "node_queries": len(node_queries),
+        "databases": len(databases),
+        "evaluations_per_pass": evaluations,
+        "repeats": repeats,
+        "per_query": per_query,
+        "interpreted_total_s": round(total_interp, 6),
+        "compiled_total_s": round(total_comp, 6),
+        "speedup": round(total_interp / total_comp, 3),
+        "compile_once_s": round(compile_seconds, 6),
+        "compile_amortized_over_evals": round(
+            compile_seconds / (total_interp - total_comp), 3
+        ) if total_interp > total_comp else None,
+        "rows_identical_pairs": pairs_checked,
+        "engine_identical_rows": engine_rows,
+    }
+
+
+def _report(result: dict) -> str:
+    rows = [
+        (
+            q["node_query"],
+            f"{q['interpreted_s'] * 1e3:.2f}",
+            f"{q['compiled_s'] * 1e3:.2f}",
+            f"{q['speedup']:.2f}x",
+            q["rows_per_pass"],
+        )
+        for q in result["per_query"]
+    ]
+    rows.append(
+        (
+            "TOTAL",
+            f"{result['interpreted_total_s'] * 1e3:.2f}",
+            f"{result['compiled_total_s'] * 1e3:.2f}",
+            ratio(result["interpreted_total_s"], result["compiled_total_s"]),
+            sum(q["rows_per_pass"] for q in result["per_query"]),
+        )
+    )
+    body = format_table(
+        ("node-query", "interp (ms/pass)", "compiled (ms/pass)", "speedup", "rows"),
+        rows,
+    )
+    body += (
+        f"\n\nweb: {result['web']['sites']} sites / {result['web']['pages']} pages"
+        f" (seed {result['web']['seed']});"
+        f" one pass = {result['databases']} node-databases;"
+        f" best of {result['repeats']} passes per cell"
+        f"\ncompile-once cost: {result['compile_once_s'] * 1e3:.2f} ms for"
+        f" {result['node_queries']} plans — repaid after"
+        f" ~{result['compile_amortized_over_evals']} passes"
+        f"\nchecked: {result['rows_identical_pairs']} (query, database) pairs"
+        f" row-identical; engine run bit-identical"
+        f" ({result['engine_identical_rows']} result rows) with compiled_plans"
+        " on/off"
+    )
+    report("EXP-P1", result["title"], body)
+    return body
+
+
+def bench_hotpath(benchmark):
+    result = measure()
+    _report(result)
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    assert result["speedup"] >= 2.0, f"speedup {result['speedup']}x below 2x target"
+    __, node_queries, databases = _workload()
+    plan = compile_node_query(node_queries[0][1])
+    benchmark(lambda: [plan.execute(db) for db in databases])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI gate: correctness + conservative speedup floor, fewer repeats",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing passes per cell"
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (3 if args.check else 7)
+    result = measure(repeats=repeats)
+    _report(result)
+
+    if args.check:
+        floor = CHECK_SPEEDUP_FLOOR
+        if result["speedup"] < floor:
+            print(
+                f"FAIL: speedup {result['speedup']}x below the {floor}x CI floor",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: {result['rows_identical_pairs']} pairs row-identical, engine"
+            f" bit-identical, speedup {result['speedup']}x (floor {floor}x)"
+        )
+        return 0
+
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH} (speedup {result['speedup']}x)")
+    if result["speedup"] < 2.0:
+        print("WARNING: below the 2x EXP-P1 target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

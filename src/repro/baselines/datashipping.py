@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from ..core.config import EngineConfig
 from ..core.logtable import LogAction, NodeQueryLogTable
+from ..core.plancache import PlanCache
 from ..core.processing import process_node
 from ..core.trace import Tracer
 from ..core.webquery import WebQuery
@@ -142,6 +143,7 @@ class DataShippingEngine:
         )
         self.constructor = DatabaseConstructor(self.config.db_cache_size)
         self.log_table = NodeQueryLogTable(self.config.log_subsumption)
+        self.plans = PlanCache()
         self._site_documents: dict[str, object] = {}
         self._request_ids = itertools.count(1)
         self._frontier: deque[_Work] = deque()
@@ -247,10 +249,11 @@ class DataShippingEngine:
         assert self._result is not None
         query = self._result.query
         if html is None:
-            self.tracer.record(
-                self.clock.now, str(work.url), self.user_site,
-                _state_of(query, work), "-", "missing",
-            )
+            if self.tracer.enabled:
+                self.tracer.record(
+                    self.clock.now, str(work.url), self.user_site,
+                    _state_of(query, work), "-", "missing",
+                )
             return self.config.node_service_time
         self._result.documents_fetched += 1
         database = self.constructor.construct(work.url, html)
@@ -258,6 +261,7 @@ class DataShippingEngine:
         outcome = process_node(
             work.url, database, query, work.step_index, work.rem, self.config,
             site_documents=self._site_documents_for(query, work.url.host),
+            plan_for=self._plan_for(query),
         )
         self.stats.node_queries_evaluated += len(outcome.evaluations)
         now = self.clock.now
@@ -267,12 +271,13 @@ class DataShippingEngine:
             self._result.results.append((label, row, now))
         if outcome.dead_end:
             self.stats.dead_ends += 1
-        for step_index, success in outcome.evaluations:
-            self.tracer.record(
-                now, str(work.url), self.user_site, _state_of(query, work),
-                outcome.role, "answered" if success else "failed",
-                detail=query.step_label(step_index),
-            )
+        if self.tracer.enabled:
+            for step_index, success in outcome.evaluations:
+                self.tracer.record(
+                    now, str(work.url), self.user_site, _state_of(query, work),
+                    outcome.role, "answered" if success else "failed",
+                    detail=query.step_label(step_index),
+                )
         for forward in outcome.forwards:
             self._frontier.append(_Work(forward.target, forward.step_index, forward.rem))
         if self._record_journal:
@@ -290,6 +295,15 @@ class DataShippingEngine:
                 )
             )
         return self.config.service_time(len(html), outcome.tuples_scanned)
+
+    def _plan_for(self, query: WebQuery):
+        """Step-index → compiled plan, or None under the interpreter ablation."""
+        if not self.config.compiled_plans:
+            return None
+        qid = query.qid
+        steps = query.steps
+        cache = self.plans
+        return lambda k: cache.plan_for(qid, k, steps[k].query)
 
     def _site_documents_for(self, query: WebQuery, site_name: str):
         """Site-spanning DOCUMENT table for §7.1 multi-document queries.

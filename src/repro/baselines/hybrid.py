@@ -31,6 +31,7 @@ from ..core.config import EngineConfig
 from ..core.engine import DEFAULT_USER_SITE, WebDisEngine
 from ..core.logtable import LogAction, NodeQueryLogTable
 from ..core.messages import ChtEntry, Disposition, NodeReport, ResultMessage
+from ..core.plancache import PlanCache
 from ..core.processing import process_node
 from ..core.trace import Tracer
 from ..core.webquery import QueryClone, QueryId
@@ -81,6 +82,7 @@ class CentralProcessor:
         )
         self.constructor = DatabaseConstructor(config.db_cache_size)
         self.log_table = NodeQueryLogTable(config.log_subsumption)
+        self.plans = PlanCache()
         self._queue: deque[QueryClone] = deque()
         self._busy = False
         self._purged: set[QueryId] = set()
@@ -171,15 +173,17 @@ class CentralProcessor:
             outcome = process_node(
                 node, database, clone.query, clone.step_index, rem, self.config,
                 site_documents=self._site_documents_for(clone.query, node.host),
+                plan_for=self._plan_for(clone.query),
             )
             service += self.config.service_time(len(html), outcome.tuples_scanned)
             self.stats.node_queries_evaluated += len(outcome.evaluations)
-            for step_index, success in outcome.evaluations:
-                self.tracer.record(
-                    now, str(node), self.site, clone.state, outcome.role,
-                    "answered" if success else "failed",
-                    detail=f"central:{clone.query.step_label(step_index)}",
-                )
+            if self.tracer.enabled:
+                for step_index, success in outcome.evaluations:
+                    self.tracer.record(
+                        now, str(node), self.site, clone.state, outcome.role,
+                        "answered" if success else "failed",
+                        detail=f"central:{clone.query.step_label(step_index)}",
+                    )
             fresh = [fw for fw in outcome.forwards if fw not in seen_forwards]
             seen_forwards.update(fresh)
             forwards.extend(fresh)
@@ -224,6 +228,15 @@ class CentralProcessor:
                 for report in reports
             ]
         return reports, clones, service
+
+    def _plan_for(self, query):
+        """Step-index → compiled plan, or None under the interpreter ablation."""
+        if not self.config.compiled_plans:
+            return None
+        qid = query.qid
+        steps = query.steps
+        cache = self.plans
+        return lambda k: cache.plan_for(qid, k, steps[k].query)
 
     def _site_documents_for(self, query, site_name: str):
         """Site-spanning DOCUMENT table for §7.1 multi-document queries."""

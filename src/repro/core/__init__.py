@@ -21,6 +21,7 @@ from .config import EngineConfig
 from .client import QueryHandle, UserSiteClient
 from .engine import WebDisEngine
 from .messages import NodeReport, ResultMessage
+from .plancache import PlanCache
 from .state import QueryState
 from .trace import TraceEvent, Tracer
 from .webquery import QueryClone, QueryId, WebQuery, WebQueryStep
@@ -28,6 +29,7 @@ from .webquery import QueryClone, QueryId, WebQuery, WebQueryStep
 __all__ = [
     "EngineConfig",
     "NodeReport",
+    "PlanCache",
     "QueryClone",
     "QueryHandle",
     "QueryId",

@@ -201,7 +201,8 @@ class UserSiteClient:
         self._dispatch_serial = itertools.count(1)
 
     def _trace_transport(self, action: str, detail: str) -> None:
-        self.tracer.record(self.clock.now, "-", self.site, "-", "-", action, detail)
+        if self.tracer.enabled:
+            self.tracer.record(self.clock.now, "-", self.site, "-", "-", action, detail)
 
     def _mint_dispatch_id(self) -> str:
         """A dispatch identity unique across the run (site-scoped serial)."""
@@ -241,9 +242,10 @@ class UserSiteClient:
         by_site: dict[str, list[Url]] = {}
         for url in query.start_urls:
             node = url.without_fragment()
-            self.tracer.record(
-                self.clock.now, str(node), node.host, state, START_NODE, "dispatched"
-            )
+            if self.tracer.enabled:
+                self.tracer.record(
+                    self.clock.now, str(node), node.host, state, START_NODE, "dispatched"
+                )
             by_site.setdefault(node.host, []).append(node)
 
         for site, nodes in by_site.items():
@@ -291,10 +293,11 @@ class UserSiteClient:
                     ChtEntry(node, state), self.clock.now,
                     dispatch_id=clone.dispatch_id or None,
                 )
-                self.tracer.record(
-                    self.clock.now, str(node), clone.site, state, START_NODE,
-                    failure_action,
-                )
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        self.clock.now, str(node), clone.site, state, START_NODE,
+                        failure_action,
+                    )
             self._check_completion(handle)
 
         self.channel.send(
@@ -471,10 +474,11 @@ class UserSiteClient:
                 handle.cht.supersede(
                     instance.dispatch_id, node, clone.dispatch_id, epoch, now
                 )
-                self.tracer.record(
-                    now, str(node), site, clone.state, "-", "re-forwarded",
-                    detail=f"epoch {epoch} supersedes {instance.dispatch_id}",
-                )
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        now, str(node), site, clone.state, "-", "re-forwarded",
+                        detail=f"epoch {epoch} supersedes {instance.dispatch_id}",
+                    )
             self.stats.clones_reforwarded += 1
             count += 1
             self._dispatch_clone(handle, clone, "unreachable-reforward")
@@ -493,10 +497,11 @@ class UserSiteClient:
             legacy_groups.setdefault(key, []).append(entry.node)
         for (site, step_index, rem), nodes in sorted(legacy_groups.items(), key=str):
             clone = QueryClone(query, step_index, rem, tuple(dict.fromkeys(nodes)))
-            for node in clone.dest:
-                self.tracer.record(
-                    now, str(node), site, clone.state, "-", "re-forwarded"
-                )
+            if self.tracer.enabled:
+                for node in clone.dest:
+                    self.tracer.record(
+                        now, str(node), site, clone.state, "-", "re-forwarded"
+                    )
             self.stats.clones_reforwarded += 1
             count += 1
             self._dispatch_clone(handle, clone, "unreachable-reforward")
@@ -530,11 +535,12 @@ class UserSiteClient:
         count = 0
         for (site, step_index, rem), nodes in sorted(groups.items(), key=str):
             clone = QueryClone(query, step_index, rem, tuple(dict.fromkeys(nodes)))
-            for node in clone.dest:
-                self.tracer.record(
-                    now, str(node), site, clone.state, "-", "re-forwarded",
-                    detail="unfenced (debug)",
-                )
+            if self.tracer.enabled:
+                for node in clone.dest:
+                    self.tracer.record(
+                        now, str(node), site, clone.state, "-", "re-forwarded",
+                        detail="unfenced (debug)",
+                    )
             self.stats.clones_reforwarded += 1
             count += 1
             self._dispatch_clone(handle, clone, "unreachable-reforward")

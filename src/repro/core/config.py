@@ -37,6 +37,13 @@ class EngineConfig:
     direct_result_return: bool = True
     strict_dead_end: bool = False
 
+    #: Execute node-queries through compiled plans (per-process
+    #: :class:`~repro.core.plancache.PlanCache`, cleared by crashes) instead
+    #: of the tree-walking interpreter.  Result-identical by construction —
+    #: the DST oracle cross-checks both paths — so the toggle exists for
+    #: that cross-check and for the EXP-P1 interpreted-vs-compiled bench.
+    compiled_plans: bool = True
+
     #: §7.1 migration path: when a clone's destination site refuses the
     #: query connection (not participating in WEBDIS), redirect the clone to
     #: the central helper at the user-site instead of retiring its entries.

@@ -1,0 +1,68 @@
+"""Per-process cache of compiled node-query plans.
+
+A WEBDIS query-server evaluates the same node-query over and over as a
+web-query's clones arrive (paper §2.4); the DXQ line of work makes compiled
+per-site plans a first-class protocol object for exactly this reason.  The
+:class:`PlanCache` keys plans ``(qid, step_index)`` — a web-query's
+node-queries are immutable for its lifetime, so each is compiled at most
+once per site *incarnation* no matter how many clones arrive.
+
+Plans are **volatile process state**, exactly like the server's node-database
+cache: a crash loses them (:meth:`~repro.core.server.QueryServer.crash`
+calls :meth:`clear`), and the reborn process recompiles on first touch.
+That is what makes the cache trivially coherent — a stale ``(qid, step)``
+entry can never be served across incarnations because nothing survives one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..relational.compile import CompiledPlan, compile_node_query
+from ..relational.query import NodeQuery
+from .webquery import QueryId
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Bounded LRU of :class:`CompiledPlan` objects keyed ``(qid, step)``."""
+
+    __slots__ = ("max_size", "hits", "misses", "_plans")
+
+    def __init__(self, max_size: int = 256) -> None:
+        if max_size < 1:
+            raise ValueError("plan cache needs room for at least one plan")
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self._plans: OrderedDict[tuple[QueryId, int], CompiledPlan] = OrderedDict()
+
+    def plan_for(self, qid: QueryId, step_index: int, query: NodeQuery) -> CompiledPlan:
+        """The compiled plan for step ``step_index`` of query ``qid``.
+
+        Compiles on first touch; later touches are O(1) lookups.  ``query``
+        is the step's :class:`NodeQuery` (the compile input on a miss).
+        """
+        key = (qid, step_index)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = compile_node_query(query)
+        self._plans[key] = plan
+        while len(self._plans) > self.max_size:
+            self._plans.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        """Drop every plan (process crash / incarnation boundary)."""
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: tuple[QueryId, int]) -> bool:
+        return key in self._plans

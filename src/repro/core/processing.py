@@ -23,8 +23,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import TYPE_CHECKING, Callable
 
 from ..model.database import NodeDatabase
+from ..model.relations import LinkType
 from ..pre.ast import Never, Pre
 from ..pre.ops import advance, first_symbols, nullable
 from ..relational.query import ResultRow, evaluate_node_query
@@ -32,6 +35,9 @@ from ..urlutils import Url
 from .config import EngineConfig
 from .trace import PURE_ROUTER, SERVER_ROUTER
 from .webquery import WebQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.compile import CompiledPlan
 
 __all__ = ["Forward", "NodeOutcome", "process_node"]
 
@@ -55,6 +61,10 @@ class NodeOutcome:
     evaluations: list[tuple[int, bool]] = field(default_factory=list)
     #: Tuples scanned across evaluations (input to the CPU cost model).
     tuples_scanned: int = 0
+    #: Forwards already emitted, maintained incrementally so emission is
+    #: O(links) across the whole worklist instead of rebuilding this set
+    #: from ``forwards`` on every iteration (O(links²)).
+    _emitted: set[Forward] = field(default_factory=set, repr=False, compare=False)
 
     @property
     def role(self) -> str:
@@ -83,11 +93,17 @@ def process_node(
     rem: Pre,
     config: EngineConfig,
     site_documents=None,
+    plan_for: "Callable[[int], CompiledPlan] | None" = None,
 ) -> NodeOutcome:
     """Run the ServerRouter/PureRouter logic for one node.
 
     ``site_documents`` is the site-spanning DOCUMENT table required by
     node-queries with sitewide aliases (§7.1 multi-document extension).
+
+    ``plan_for`` maps a step index to that step's compiled node-query plan
+    (normally a :class:`~repro.core.plancache.PlanCache` lookup bound to the
+    query); when None, evaluation falls back to the tree-walking
+    interpreter.  Both paths are result-identical — same rows, same order.
 
     Pure function: no network, no tables — the server layers protocol
     bookkeeping (log table, CHT reports, message batching) on top.
@@ -105,7 +121,10 @@ def process_node(
         forward_continuations = True
         if nullable(current) and k < len(query.steps):
             step = query.steps[k]
-            rows = evaluate_node_query(step.query, database, site_documents)
+            if plan_for is None:
+                rows = evaluate_node_query(step.query, database, site_documents)
+            else:
+                rows = plan_for(k).execute(database, site_documents)
             outcome.tuples_scanned += database.tuple_count()
             if step.query.sitewide_aliases and site_documents is not None:
                 outcome.tuples_scanned += len(site_documents)
@@ -125,13 +144,28 @@ def process_node(
     return outcome
 
 
-def _emit_forwards(outcome: NodeOutcome, database: NodeDatabase, k: int, rem: Pre) -> None:
-    """Append one forward per (link matching ``rem``'s first symbols)."""
-    emitted: set[Forward] = set(outcome.forwards)
+@lru_cache(maxsize=65536)
+def _fanout(rem: Pre) -> tuple[tuple[LinkType, Pre], ...]:
+    """The ``(symbol, derivative)`` fan-out of ``rem``, memoized.
+
+    A run revisits the same handful of distinct ``rem`` states at every
+    node of the traversal; computing the first-symbol set, sorting it and
+    taking the derivatives once per distinct state removes that work from
+    the per-node hot path.  Pure function of ``rem`` (PREs are immutable),
+    so a shared cache is safe.
+    """
+    pairs = []
     for ltype in sorted(first_symbols(rem), key=lambda lt: lt.value):
         next_rem = advance(rem, ltype)
-        if isinstance(next_rem, Never):
-            continue
+        if not isinstance(next_rem, Never):
+            pairs.append((ltype, next_rem))
+    return tuple(pairs)
+
+
+def _emit_forwards(outcome: NodeOutcome, database: NodeDatabase, k: int, rem: Pre) -> None:
+    """Append one forward per (link matching ``rem``'s first symbols)."""
+    emitted = outcome._emitted
+    for ltype, next_rem in _fanout(rem):
         for anchor in database.outgoing_links(ltype):
             forward = Forward(k, next_rem, anchor.href.without_fragment())
             if forward not in emitted:

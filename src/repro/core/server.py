@@ -43,9 +43,10 @@ from ..web.web import Web
 from .config import EngineConfig
 from .logtable import LogAction, NodeQueryLogTable
 from .messages import ChtEntry, Disposition, NodeReport, RelayMessage, ResultMessage
+from .plancache import PlanCache
 from .processing import Forward, process_node
 from .trace import Tracer
-from .webquery import QueryClone, QueryId
+from .webquery import QueryClone, QueryId, WebQuery
 
 __all__ = ["QueryServer"]
 
@@ -72,6 +73,9 @@ class QueryServer:
         self.tracer = tracer
         self.constructor = DatabaseConstructor(config.db_cache_size)
         self.log_table = NodeQueryLogTable(config.log_subsumption)
+        #: Compiled node-query plans, keyed (qid, step) — volatile process
+        #: state, cleared by crash() exactly like the db cache.
+        self.plans = PlanCache()
         self.channel = ReliableChannel(
             network, clock, config.retry_policy,
             name=f"server:{site}", trace=self._trace_transport,
@@ -109,6 +113,7 @@ class QueryServer:
         self._active_workers = 0
         self.log_table = NodeQueryLogTable(self.config.log_subsumption)
         self.constructor = DatabaseConstructor(self.config.db_cache_size)
+        self.plans.clear()
         self._site_documents = None
         self._purged = set()
         self._last_purge = 0.0
@@ -196,6 +201,8 @@ class QueryServer:
         reports: list[NodeReport] = []
         all_forwards: list[Forward] = []
         service = 0.0
+        plan_for = self._plan_for(clone.query)
+        tracing = self.tracer.enabled
 
         for node in clone.dest:
             entry = ChtEntry(node, clone.state)
@@ -207,9 +214,10 @@ class QueryServer:
                 if observation.action is LogAction.DROP:
                     self.stats.duplicates_dropped += 1
                     service += self.config.node_service_time
-                    self.tracer.record(
-                        now, str(node), self.site, clone.state, "-", "duplicate-dropped"
-                    )
+                    if tracing:
+                        self.tracer.record(
+                            now, str(node), self.site, clone.state, "-", "duplicate-dropped"
+                        )
                     reports.append(NodeReport(entry, Disposition.DUPLICATE))
                     continue
                 if observation.action is LogAction.REWRITE:
@@ -217,15 +225,19 @@ class QueryServer:
                     rem = observation.rewritten_rem
                     disposition = Disposition.REWRITTEN
                     self.stats.queries_rewritten += 1
-                    self.tracer.record(
-                        now, str(node), self.site, clone.state, "-", "rewritten",
-                        detail=f"rem -> {rem}",
-                    )
+                    if tracing:
+                        self.tracer.record(
+                            now, str(node), self.site, clone.state, "-", "rewritten",
+                            detail=f"rem -> {rem}",
+                        )
 
             html = self.web.html_for(node)
             if html is None:
                 service += self.config.node_service_time
-                self.tracer.record(now, str(node), self.site, clone.state, "-", "missing")
+                if tracing:
+                    self.tracer.record(
+                        now, str(node), self.site, clone.state, "-", "missing"
+                    )
                 reports.append(NodeReport(entry, Disposition.MISSING))
                 continue
 
@@ -234,6 +246,7 @@ class QueryServer:
             outcome = process_node(
                 node, database, clone.query, clone.step_index, rem, self.config,
                 site_documents=self._site_documents_for(clone.query),
+                plan_for=plan_for,
             )
             service += self.config.service_time(len(html), outcome.tuples_scanned)
             self.stats.node_queries_evaluated += len(outcome.evaluations)
@@ -284,6 +297,20 @@ class QueryServer:
             )
             for report in reports
         ]
+
+    def _plan_for(self, query: WebQuery):
+        """Bind the plan cache to ``query``: a step-index → compiled-plan map.
+
+        Returns None when compiled plans are disabled, which makes
+        :func:`~repro.core.processing.process_node` fall back to the
+        interpreter (the EXP-P1 ablation / DST cross-check path).
+        """
+        if not self.config.compiled_plans:
+            return None
+        qid = query.qid
+        steps = query.steps
+        cache = self.plans
+        return lambda k: cache.plan_for(qid, k, steps[k].query)
 
     def _site_documents_for(self, query):
         """The site-spanning DOCUMENT table, built lazily on first need.
@@ -486,10 +513,12 @@ class QueryServer:
             )
             for url in fclone.dest
         )
-        for url in fclone.dest:
-            self.tracer.record(
-                self.clock.now, str(url), self.site, fclone.state, "-", "unreachable-site"
-            )
+        if self.tracer.enabled:
+            for url in fclone.dest:
+                self.tracer.record(
+                    self.clock.now, str(url), self.site, fclone.state, "-",
+                    "unreachable-site",
+                )
         self._send_to_user(qid, ResultMessage(qid, retractions, kind="cht"))
 
     def _purge(self, clone: QueryClone) -> None:
@@ -503,9 +532,15 @@ class QueryServer:
 
     def _trace_transport(self, action: str, detail: str) -> None:
         """Channel-level events (retries, exhaustion) — no node/state context."""
-        self.tracer.record(self.clock.now, "-", self.site, "-", "-", action, detail)
+        if self.tracer.enabled:
+            self.tracer.record(self.clock.now, "-", self.site, "-", "-", action, detail)
 
     def _trace_outcome(self, now: float, node: Url, clone: QueryClone, outcome) -> None:
+        if not self.tracer.enabled:
+            # Keep the stats side effect; skip all event formatting.
+            if outcome.dead_end:
+                self.stats.dead_ends += 1
+            return
         state = clone.state
         for step_index, success in outcome.evaluations:
             label = clone.query.step_label(step_index)
@@ -525,6 +560,8 @@ class QueryServer:
             )
 
     def _trace_nodes(self, clone: QueryClone, action: str, __: Disposition) -> None:
+        if not self.tracer.enabled:
+            return
         for node in clone.dest:
             self.tracer.record(
                 self.clock.now, str(node), self.site, clone.state, "-", action

@@ -234,13 +234,14 @@ class QuerySupervisor:
         for instance in handle.cht.pending_instances():
             sup.sites_recovered.add(instance.node.host)
         reforwarded = self.client.reforward_pending(handle)
-        self.client.tracer.record(
-            self.clock.now, "-", self.client.site, "-", "-", "recovery-round",
-            detail=(
-                f"{handle.qid}: round {sup.total_recoveries}, "
-                f"{reforwarded} clone(s) re-forwarded"
-            ),
-        )
+        if self.client.tracer.enabled:
+            self.client.tracer.record(
+                self.clock.now, "-", self.client.site, "-", "-", "recovery-round",
+                detail=(
+                    f"{handle.qid}: round {sup.total_recoveries}, "
+                    f"{reforwarded} clone(s) re-forwarded"
+                ),
+            )
         if handle.finished:
             # Re-forwarding can complete the query synchronously (e.g. every
             # outstanding site now refuses and the entries retire).

@@ -30,9 +30,18 @@ __all__ = ["NodeDatabase", "DatabaseConstructor"]
 
 
 class NodeDatabase:
-    """The three virtual relations for one node, ready for node-queries."""
+    """The three virtual relations for one node, ready for node-queries.
 
-    __slots__ = ("url", "document", "anchor", "relinfon", "_anchors")
+    Databases are read-only once built, so lookup structures the hot path
+    needs repeatedly — the name→relation map and the per-:class:`LinkType`
+    anchor buckets — are precomputed here instead of being rebuilt on every
+    :meth:`relation` / :meth:`outgoing_links` call.
+    """
+
+    __slots__ = (
+        "url", "document", "anchor", "relinfon", "_anchors",
+        "_relations", "_links_by_type",
+    )
 
     def __init__(
         self,
@@ -46,19 +55,29 @@ class NodeDatabase:
         self.document = Table(DOCUMENT_SCHEMA, [document.as_row()])
         self.anchor = Table(ANCHOR_SCHEMA, [a.as_row() for a in anchors])
         self.relinfon = Table(RELINFON_SCHEMA, [r.as_row() for r in relinfons])
+        self._relations = {
+            "document": self.document,
+            "anchor": self.anchor,
+            "relinfon": self.relinfon,
+        }
+        buckets: dict[LinkType, list[AnchorTuple]] = {ltype: [] for ltype in LinkType}
+        for anchor in anchors:
+            buckets[anchor.ltype].append(anchor)
+        self._links_by_type = buckets
 
     def relation(self, name: str) -> Table:
         """Look up a virtual relation by its lowercase name."""
         try:
-            return {"document": self.document, "anchor": self.anchor, "relinfon": self.relinfon}[
-                name
-            ]
+            return self._relations[name]
         except KeyError:
             raise SchemaError(f"no virtual relation named {name!r}") from None
 
     def outgoing_links(self, ltype: LinkType) -> list[AnchorTuple]:
-        """Anchors of the given link type; the forwarding step's input."""
-        return [anchor for anchor in self._anchors if anchor.ltype is ltype]
+        """Anchors of the given link type; the forwarding step's input.
+
+        Returns the precomputed bucket — callers must treat it as read-only.
+        """
+        return self._links_by_type[ltype]
 
     def tuple_count(self) -> int:
         """Total tuples across the three relations (a proxy for build cost)."""
@@ -76,8 +95,14 @@ class DatabaseConstructor:
     def __init__(self, cache_size: int = 0) -> None:
         self._cache_size = cache_size
         self._cache: OrderedDict[Url, NodeDatabase] = OrderedDict()
+        #: Parsed documents, shared *across* LRU evictions: an evicted
+        #: database that comes back only re-runs tuple construction, never
+        #: HTML tokenization — each page is tokenized at most once per
+        #: constructor lifetime (i.e. per process incarnation).
+        self._parsed: dict[Url, tuple[str, ParsedDocument]] = {}
         self.builds = 0
         self.cache_hits = 0
+        self.parse_hits = 0
 
     def construct(self, url: Url, html: str) -> NodeDatabase:
         """Parse ``html`` and build the node database for ``url``."""
@@ -89,7 +114,14 @@ class DatabaseConstructor:
                 self.cache_hits += 1
                 return cached
         self.builds += 1
-        database = build_node_database(key, html)
+        entry = self._parsed.get(key)
+        if entry is not None and (entry[0] is html or entry[0] == html):
+            parsed = entry[1]
+            self.parse_hits += 1
+        else:
+            parsed = parse_html(html)
+            self._parsed[key] = (html, parsed)
+        database = build_node_database(key, html, parsed=parsed)
         if self._cache_size:
             self._cache[key] = database
             while len(self._cache) > self._cache_size:
@@ -97,8 +129,9 @@ class DatabaseConstructor:
         return database
 
     def purge(self) -> None:
-        """Drop every cached database."""
+        """Drop every cached database and parsed document."""
         self._cache.clear()
+        self._parsed.clear()
 
 
 def build_documents_table(pages: "list[tuple[Url, str]]") -> Table:
@@ -122,9 +155,16 @@ def build_documents_table(pages: "list[tuple[Url, str]]") -> Table:
     return table
 
 
-def build_node_database(url: Url, html: str) -> NodeDatabase:
-    """Single-pass construction of the virtual relations for ``url``."""
-    parsed = parse_html(html)
+def build_node_database(
+    url: Url, html: str, parsed: ParsedDocument | None = None
+) -> NodeDatabase:
+    """Single-pass construction of the virtual relations for ``url``.
+
+    ``parsed`` short-circuits tokenization when the caller already holds the
+    parse result (the constructor's shared parsed-document cache).
+    """
+    if parsed is None:
+        parsed = parse_html(html)
     document = DocumentTuple(url=url, title=parsed.title, text=parsed.text, length=len(html))
     anchors = _anchor_tuples(url, parsed)
     relinfons = tuple(

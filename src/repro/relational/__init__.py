@@ -18,6 +18,7 @@ from .expr import (
     Or,
     evaluate,
 )
+from .compile import CompiledPlan, compile_node_query
 from .query import NodeQuery, ResultRow, TableDecl, evaluate_node_query
 from .schema import Schema
 from .table import Table
@@ -26,6 +27,7 @@ __all__ = [
     "And",
     "Attr",
     "Compare",
+    "CompiledPlan",
     "Contains",
     "Expr",
     "Literal",
@@ -36,6 +38,7 @@ __all__ = [
     "Schema",
     "Table",
     "TableDecl",
+    "compile_node_query",
     "evaluate",
     "evaluate_node_query",
 ]

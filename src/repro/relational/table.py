@@ -39,6 +39,14 @@ class Table:
         """Iterate rows in insertion order."""
         return iter(self._rows)
 
+    def row_list(self) -> list[tuple[object, ...]]:
+        """The backing row list, re-iterable without copying.
+
+        Compiled scans (:mod:`repro.relational.compile`) loop this directly;
+        callers must treat it as read-only.
+        """
+        return self._rows
+
     def column(self, attribute: str) -> list[object]:
         """All values of ``attribute`` in insertion order."""
         pos = self.schema.position(attribute)

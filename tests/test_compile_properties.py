@@ -1,0 +1,192 @@
+"""Compiled plans: property-checked against the naive evaluator.
+
+The compiler (:mod:`repro.relational.compile`) must be *semantically
+invisible*.  Two oracles, two property families:
+
+* against :func:`evaluate_node_query_naive` (the untouched semantic
+  oracle): identical rows in identical order.  Like the pushdown suite,
+  this family quantifies over *type-safe* expressions only — pushdown may
+  legitimately reorder which conjunct of an ``And`` raises first, so
+  error behaviour is not comparable against the naive evaluator.
+* against :func:`evaluate_node_query` (the pushdown interpreter): exact
+  equivalence over a *hostile* grammar too — mixed-type comparisons and
+  missing attributes must produce the same rows or raise the same error
+  class, because compiled plans use the interpreter's own filter
+  placement (``_plan_filters``) and its lazy error semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvaluationError
+from repro.html.generator import PageSpec, render_page
+from repro.model.database import build_documents_table, build_node_database
+from repro.relational.compile import compile_node_query
+from repro.relational.expr import And, Attr, Compare, Contains, Literal, Not, Or
+from repro.relational.query import (
+    NodeQuery,
+    TableDecl,
+    evaluate_node_query,
+    evaluate_node_query_naive,
+)
+from repro.urlutils import parse_url
+
+URL = parse_url("http://a.example/page.html")
+SIBLING = parse_url("http://a.example/other.html")
+
+
+def _page(title: str, links, emphasized):
+    return render_page(
+        PageSpec(
+            title=title,
+            paragraphs=["some text body"],
+            links=links,
+            emphasized=emphasized,
+            ruled=["CONVENER someone"],
+        )
+    )
+
+
+DATABASE = build_node_database(
+    URL,
+    _page(
+        "alpha topic page",
+        links=[
+            ("one", "http://b.example/"),
+            ("two", "/local.html"),
+            ("three", "#frag"),
+        ],
+        emphasized=[("b", "bold detail"), ("i", "italic note")],
+    ),
+)
+
+SITE_DOCUMENTS = build_documents_table(
+    [
+        (URL, _page("alpha topic page", [("one", "/other.html")], [("b", "x")])),
+        (SIBLING, _page("beta archive page", [("back", "/page.html")], [("i", "y")])),
+    ]
+)
+
+_ATTRS = [
+    Attr("d", "title"),
+    Attr("d", "url"),
+    Attr("a", "ltype"),
+    Attr("a", "href"),
+    Attr("a", "label"),
+    Attr("r", "delimiter"),
+    Attr("r", "text"),
+]
+# All-string operands: safe to compare against the naive evaluator
+# (see module doc — pushdown reorders which conjunct raises first).
+_SAFE_LITERALS = [Literal(v) for v in ("G", "L", "b", "topic", "detail", "x")]
+
+# Mixed-type literals on purpose: the compiled comparison path must keep
+# the interpreter's number-vs-numeric-string coercion and raise the same
+# EvaluationError on genuinely uncomparable operands.
+_HOSTILE_LITERALS = _SAFE_LITERALS + [Literal(5), Literal("5")]
+
+# A deliberately bogus attribute: the interpreter defers missing-attribute
+# errors to evaluation time (short-circuits may skip them), and the
+# compiled closures must defer identically.
+_BROKEN = Attr("d", "no_such_attribute")
+
+
+def _comparisons(operands, attrs):
+    ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+    compares = st.builds(Compare, ops, st.sampled_from(operands), st.sampled_from(operands))
+    contains = st.builds(
+        Contains,
+        st.sampled_from(attrs),
+        st.sampled_from(
+            [Literal("topic"), Literal("G"), Literal("b"), Literal("zzz")]
+        ),
+    )
+    return st.one_of(compares, contains)
+
+
+def _expr_strategy(operands, attrs):
+    return st.recursive(
+        _comparisons(operands, attrs),
+        lambda children: st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Not, children),
+        ),
+        max_leaves=6,
+    )
+
+
+_safe_exprs = _expr_strategy(_ATTRS + _SAFE_LITERALS, _ATTRS)
+_hostile_exprs = _expr_strategy(
+    _ATTRS + _HOSTILE_LITERALS + [_BROKEN], _ATTRS + [_BROKEN]
+)
+
+_selects = st.lists(
+    st.sampled_from(_ATTRS), min_size=1, max_size=3, unique_by=lambda a: (a.alias, a.name)
+)
+
+
+def _query(select, where, *, sitewide=()):
+    return NodeQuery(
+        select=tuple(select),
+        tables=(
+            TableDecl("document", "d"),
+            TableDecl("anchor", "a"),
+            TableDecl("relinfon", "r"),
+        ),
+        where=where,
+        sitewide_aliases=tuple(sitewide),
+    )
+
+
+def _outcome(run):
+    """Rows-in-order, or the error class: both sides must match exactly."""
+    try:
+        return [(row.header, row.values) for row in run()]
+    except EvaluationError:
+        return "evaluation-error"
+    except KeyError:
+        return "key-error"
+
+
+@given(_selects, _safe_exprs)
+@settings(max_examples=300, deadline=None)
+def test_compiled_matches_naive(select, where):
+    query = _query(select, where)
+    plan = compile_node_query(query)
+    assert _outcome(lambda: plan.execute(DATABASE)) == _outcome(
+        lambda: evaluate_node_query_naive(query, DATABASE)
+    )
+
+
+@given(_selects, _safe_exprs)
+@settings(max_examples=150, deadline=None)
+def test_compiled_matches_naive_sitewide(select, where):
+    query = _query(select, where, sitewide=("d",))
+    plan = compile_node_query(query)
+    assert _outcome(lambda: plan.execute(DATABASE, SITE_DOCUMENTS)) == _outcome(
+        lambda: evaluate_node_query_naive(query, DATABASE, SITE_DOCUMENTS)
+    )
+
+
+@given(_selects, _hostile_exprs)
+@settings(max_examples=300, deadline=None)
+def test_compiled_matches_pushdown_interpreter_exactly(select, where):
+    """Hostile grammar: same rows or the same error class as the interpreter."""
+    query = _query(select, where)
+    plan = compile_node_query(query)
+    assert _outcome(lambda: plan.execute(DATABASE)) == _outcome(
+        lambda: evaluate_node_query(query, DATABASE)
+    )
+
+
+@given(_hostile_exprs)
+@settings(max_examples=100, deadline=None)
+def test_compiled_plan_is_reusable(where):
+    """One compiled plan, many executions: no state leaks between runs."""
+    query = _query([Attr("d", "url")], where)
+    plan = compile_node_query(query)
+    first = _outcome(lambda: plan.execute(DATABASE))
+    second = _outcome(lambda: plan.execute(DATABASE))
+    assert first == second

@@ -1,0 +1,178 @@
+"""Hot-path machinery: plan caching, invalidation, and free disabled tracing.
+
+Covers the perf-layer invariants the benchmarks rely on:
+
+* :class:`~repro.core.plancache.PlanCache` is a bounded LRU keyed
+  ``(qid, step)``; a crash clears it, so a stale plan is never served
+  across server incarnations;
+* engine results are bit-identical with ``compiled_plans`` on and off;
+* a disabled tracer costs nothing on the hot path — zero ``record``
+  calls, zero event allocations;
+* the per-``rem`` fan-out memo and the hoisted forward-dedup set keep
+  ``_emit_forwards`` linear in the link count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, WebDisEngine
+from repro.core.plancache import PlanCache
+from repro.core.processing import _fanout
+from repro.core.trace import Tracer
+from repro.core.webquery import QueryId
+from repro.disql import compile_disql
+from repro.model.relations import LinkType
+from repro.pre.ast import Atom, alt, repeat
+from repro.web.builders import WebBuilder
+
+QUERY = (
+    'select d.url, d.title\n'
+    'from document d such that "http://root.example/" (L|G)*2 d\n'
+    'where d.title contains "topic"'
+)
+
+
+def _web():
+    builder = WebBuilder()
+    builder.site("root.example").page(
+        "/",
+        title="root topic",
+        links=[
+            ("leaf a", "http://leafa.example/"),
+            ("leaf b", "http://leafb.example/"),
+            ("self", "/deep.html"),
+        ],
+    ).page("/deep.html", title="deep topic", links=[("up", "/")])
+    builder.site("leafa.example").page("/", title="leaf a topic")
+    builder.site("leafb.example").page("/", title="leaf b topic")
+    return builder.build()
+
+
+def _node_query():
+    return compile_disql(QUERY).steps[0].query
+
+
+class TestPlanCache:
+    def test_hit_returns_same_plan_object(self):
+        cache = PlanCache()
+        qid = QueryId("maya", "user.example", 4000, 1)
+        query = _node_query()
+        first = cache.plan_for(qid, 0, query)
+        second = cache.plan_for(qid, 0, query)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_distinct_keys_get_distinct_plans(self):
+        cache = PlanCache()
+        query = _node_query()
+        a = cache.plan_for(QueryId("maya", "user.example", 4000, 1), 0, query)
+        b = cache.plan_for(QueryId("maya", "user.example", 4000, 2), 0, query)
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_lru_eviction_is_bounded(self):
+        cache = PlanCache(max_size=2)
+        query = _node_query()
+        keys = [QueryId("maya", "user.example", 4000, n) for n in (1, 2, 3)]
+        plans = [cache.plan_for(qid, 0, query) for qid in keys]
+        assert len(cache) == 2
+        assert (keys[0], 0) not in cache  # oldest evicted
+        # Re-requesting the evicted key recompiles: a new plan object.
+        assert cache.plan_for(keys[0], 0, query) is not plans[0]
+
+    def test_clear_forces_recompilation(self):
+        cache = PlanCache()
+        qid = QueryId("maya", "user.example", 4000, 1)
+        query = _node_query()
+        before = cache.plan_for(qid, 0, query)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.plan_for(qid, 0, query) is not before
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_size=0)
+
+
+class TestInvalidationAcrossIncarnations:
+    def test_crash_clears_server_plans(self):
+        engine = WebDisEngine(_web())
+        engine.submit_disql(QUERY)
+        engine.run()
+        server = engine.server_for("root.example")
+        assert len(server.plans) > 0
+        pre_crash = dict(server.plans._plans)
+        engine.crash_server("root.example")
+        assert len(server.plans) == 0
+        engine.restart_server("root.example")
+        # The reborn incarnation recompiles on first touch — the stale
+        # plan objects are never served again.
+        handle = engine.submit_disql(QUERY)
+        engine.run()
+        assert handle.results
+        for key, plan in server.plans._plans.items():
+            assert pre_crash.get(key) is not plan
+
+    def test_engine_results_identical_with_and_without_compilation(self):
+        runs = {}
+        for compiled in (True, False):
+            engine = WebDisEngine(
+                _web(), config=EngineConfig(compiled_plans=compiled)
+            )
+            handle = engine.submit_disql(QUERY)
+            done_at = engine.run()
+            runs[compiled] = (
+                handle.status,
+                done_at,
+                [(label, row.header, row.values) for label, row, __ in handle.results],
+            )
+        assert runs[True] == runs[False]
+        assert runs[True][2]  # non-vacuous: the query does return rows
+
+    def test_interpreter_ablation_leaves_plan_cache_untouched(self):
+        engine = WebDisEngine(_web(), config=EngineConfig(compiled_plans=False))
+        engine.submit_disql(QUERY)
+        engine.run()
+        assert all(
+            len(server.plans) == 0 for server in engine.servers.values()
+        )
+
+
+class TestDisabledTracingIsFree:
+    def test_zero_event_allocation_when_disabled(self, monkeypatch):
+        calls = []
+        original = Tracer.record
+
+        def counting(self, *args, **kwargs):
+            calls.append(args)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Tracer, "record", counting)
+        engine = WebDisEngine(_web(), trace=False)
+        handle = engine.submit_disql(QUERY)
+        engine.run()
+        assert handle.results  # the run did real work
+        assert calls == []  # ...without ever reaching the tracer
+        assert engine.tracer.events == []
+
+    def test_enabled_tracing_still_records(self):
+        engine = WebDisEngine(_web(), trace=True)
+        engine.submit_disql(QUERY)
+        engine.run()
+        assert engine.tracer.events
+
+
+class TestFanoutMemo:
+    def test_fanout_matches_derivatives_and_is_cached(self):
+        rem = repeat(alt([Atom(LinkType.LOCAL), Atom(LinkType.GLOBAL)]), 2)
+        _fanout.cache_clear()
+        first = _fanout(rem)
+        assert _fanout(rem) is first
+        assert _fanout.cache_info().hits >= 1
+        kinds = {ltype for ltype, __ in first}
+        assert kinds == {LinkType.LOCAL, LinkType.GLOBAL}
+        # Order is deterministic (sorted by link-type value).
+        assert [lt for lt, __ in first] == sorted(
+            (lt for lt, __ in first), key=lambda lt: lt.value
+        )

@@ -35,11 +35,19 @@ def _run(engine_config: EngineConfig):
 
 
 def bench_batching_ablation(benchmark):
+    # frontier_batching (EXP-P2, our extension) coalesces per-node clones
+    # into bundles and per-clone dispatches into one message per frontier,
+    # masking exactly the per-message inflation this paper ablation
+    # measures — pin it off so §3.2's effect is isolated.
     variants = [
-        ("full WEBDIS (both on)", EngineConfig()),
-        ("per-node clones", EngineConfig(batch_per_site=False)),
-        ("separate result/CHT msgs", EngineConfig(combine_results_and_cht=False)),
-        ("both off", EngineConfig(batch_per_site=False, combine_results_and_cht=False)),
+        ("full WEBDIS (both on)", EngineConfig(frontier_batching=False)),
+        ("per-node clones",
+         EngineConfig(batch_per_site=False, frontier_batching=False)),
+        ("separate result/CHT msgs",
+         EngineConfig(combine_results_and_cht=False, frontier_batching=False)),
+        ("both off",
+         EngineConfig(batch_per_site=False, combine_results_and_cht=False,
+                      frontier_batching=False)),
     ]
     baseline_rows = None
     rows = []

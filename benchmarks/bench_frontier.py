@@ -1,0 +1,276 @@
+"""EXP-P2 (extension) — frontier-batched clone processing vs per-event pumping.
+
+WEBDIS schedules one SimClock round trip (schedule + completion callback)
+and one combined result message per clone pump, and one network message per
+forwarded clone.  Frontier batching (``EngineConfig.frontier_batching``)
+coalesces all three: a pump step traverses the site-local PRE × link-graph
+product as one frontier, ships one combined result+CHT message for the whole
+frontier, and coalesces clone forwards into one :class:`CloneBundle` per
+destination site.
+
+Two workloads over the EXP-S1 scalability web family:
+
+* **reach** — the EXP-S1 reachability query ``(L|G)*3``: nearly every hop
+  crosses sites, so batching opportunities are the *worst case* (still a
+  measurable win from coalesced dispatch);
+* **drill** — ``(L|G)*2 L*4``: fan out across sites, then traverse each
+  site's local link graph — the site-local product traversal frontier
+  batching targets.  This is the headline the ≥2x events gate holds.
+
+Measured per (workload, scale): SimClock events executed, network messages
+sent, and wall-clock.  Equivalence checks ride along (what ``--check``
+gates in CI):
+
+1. result rows are identical — the same distinct row set, the contract the
+   DST oracle enforces.  Arrival interleaving (and therefore duplicate-row
+   multiplicity) is schedule-dependent with the knob either way;
+2. completion outcomes are identical (COMPLETE status both sides);
+3. every server's log-table end state is identical, in the semantic sense
+   :meth:`~repro.core.logtable.NodeQueryLogTable.canonical_snapshot`
+   defines: per (node, qid), the maximal logged states under language
+   containment.  Admission *order* (and therefore the raw insert/drop
+   counters) legitimately shifts — the frontier admits local descendants
+   ahead of remote clones that would have interleaved in the per-event
+   schedule — but every schedule converges on the same covered languages.
+
+Run directly to merge the EXP-P2 record into ``BENCH_PERF.json``:
+
+    PYTHONPATH=src python benchmarks/bench_frontier.py
+    PYTHONPATH=src python benchmarks/bench_frontier.py --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro import EngineConfig, QueryStatus, WebDisEngine
+from repro.web import SyntheticWebConfig, build_synthetic_web
+from repro.web.synthetic import synthetic_start_url
+
+sys.path.insert(0, str(Path(__file__).parent))
+from harness import format_table, merge_bench_record, ratio, report  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_PERF.json"
+
+#: (name, disql template, pages per site).
+WORKLOADS = (
+    (
+        "reach",
+        'select d.url from document d such that "{start}" (L|G)*3 d\n'
+        'where d.title contains "topic"',
+        5,
+    ),
+    (
+        "drill",
+        'select d.url from document d such that "{start}" (L|G)*2 L*4 d\n'
+        'where d.title contains "topic"',
+        10,
+    ),
+)
+
+SCALES = (1, 2, 4, 8)
+
+#: The ≥2x acceptance target holds on the drill-down workload; the CI floor
+#: sits at the target — measured headroom is ~3.9x, so a pass is not noise.
+CHECK_EVENTS_FLOOR = 2.0
+
+
+def _web_config(scale: int, pages: int) -> SyntheticWebConfig:
+    """The EXP-S1 web family: 4*scale sites."""
+    return SyntheticWebConfig(
+        sites=4 * scale, pages_per_site=pages, local_out_degree=2,
+        global_out_degree=2, seed=500 + scale,
+    )
+
+
+def _log_snapshot(engine: WebDisEngine) -> dict:
+    """Every server's semantic log-table end state."""
+    return {
+        site: server.log_table.canonical_snapshot()
+        for site, server in sorted(engine.servers.items())
+    }
+
+
+def _run(scale: int, frontier: bool, template: str, pages: int):
+    config = _web_config(scale, pages)
+    web = build_synthetic_web(config)
+    disql = template.format(start=synthetic_start_url(config))
+    engine = WebDisEngine(web, config=EngineConfig(frontier_batching=frontier))
+    begin = time.perf_counter()
+    handle = engine.run_query(disql)
+    wall = time.perf_counter() - begin
+    assert handle.status is QueryStatus.COMPLETE
+    return {
+        "engine": engine,
+        "handle": handle,
+        # Distinct row set — the DST oracle's result contract.
+        "rows": frozenset(
+            (label, row.header, row.values) for label, row, __ in handle.results
+        ),
+        "status": handle.status.name,
+        "events": engine.clock.events_executed,
+        "messages": engine.stats.messages_sent,
+        "bytes": engine.stats.bytes_sent,
+        "wall_s": wall,
+        "log": _log_snapshot(engine),
+    }
+
+
+def _check_equivalent(on: dict, off: dict, label: str) -> None:
+    assert on["rows"] == off["rows"], f"{label}: result rows diverge with batching"
+    assert on["rows"], f"{label}: query returned no rows"
+    assert on["status"] == off["status"], f"{label}: completion status diverges"
+    assert on["log"] == off["log"], f"{label}: log-table end states diverge"
+
+
+def measure() -> dict:
+    """The EXP-P2 measurement: one dict, JSON-ready."""
+    cells = []
+    for name, template, pages in WORKLOADS:
+        for scale in SCALES:
+            on = _run(scale, True, template, pages)
+            off = _run(scale, False, template, pages)
+            label = f"{name} @ {4 * scale} sites"
+            _check_equivalent(on, off, label)
+            stats = on["engine"].stats
+            cells.append(
+                {
+                    "workload": name,
+                    "web": f"{4 * scale} sites",
+                    "pages": on["engine"].web.page_count(),
+                    "events_off": off["events"],
+                    "events_on": on["events"],
+                    "events_ratio": round(off["events"] / on["events"], 3),
+                    "messages_off": off["messages"],
+                    "messages_on": on["messages"],
+                    "wall_off_s": round(off["wall_s"], 6),
+                    "wall_on_s": round(on["wall_s"], 6),
+                    "frontier_batches": stats.frontier_batches,
+                    "clones_batched": stats.frontier_clones_batched,
+                    "bundles_sent": stats.clone_bundles_sent,
+                    "clones_bundled": stats.clones_bundled,
+                    "rows": len(on["rows"]),
+                }
+            )
+
+    headline = [c for c in cells if c["workload"] == "drill"][-1]
+    return {
+        "experiment": "EXP-P2",
+        "title": "frontier-batched clone processing vs per-event pumping",
+        "workloads": [
+            {"name": name, "pages_per_site": pages} for name, __, pages in WORKLOADS
+        ],
+        "scales": list(SCALES),
+        "cells": cells,
+        "events_ratio": headline["events_ratio"],
+        "messages_saved": headline["messages_off"] - headline["messages_on"],
+        "rows_identical": True,
+        "log_tables_identical": True,
+    }
+
+
+def _report(result: dict) -> str:
+    rows = [
+        (
+            c["workload"],
+            c["web"],
+            c["events_off"],
+            c["events_on"],
+            f"{c['events_ratio']:.2f}x",
+            c["messages_off"],
+            c["messages_on"],
+            f"{c['wall_off_s'] * 1e3:.1f}",
+            f"{c['wall_on_s'] * 1e3:.1f}",
+            c["frontier_batches"],
+            c["bundles_sent"],
+        )
+        for c in result["cells"]
+    ]
+    body = format_table(
+        ("workload", "web", "events off", "events on", "ratio", "msgs off",
+         "msgs on", "wall off (ms)", "wall on (ms)", "frontiers", "bundles"),
+        rows,
+    )
+    headline = [c for c in result["cells"] if c["workload"] == "drill"][-1]
+    body += (
+        f"\n\ndrill-down headline (largest web):"
+        f" {ratio(headline['events_off'], headline['events_on'])} fewer"
+        f" SimClock events and"
+        f" {headline['messages_off'] - headline['messages_on']} fewer messages"
+        f" ({headline['clones_bundled']} clones coalesced into"
+        f" {headline['bundles_sent']} bundles);"
+        " distinct rows, completion outcomes and every server's log-table"
+        " end state are identical with the knob on or off"
+    )
+    report("EXP-P2", result["title"], body)
+    return body
+
+
+def bench_frontier(benchmark):
+    result = measure()
+    _report(result)
+    merge_bench_record(RESULT_PATH, "EXP-P2", result)
+    assert result["events_ratio"] >= 2.0, (
+        f"events ratio {result['events_ratio']}x below the 2x EXP-P2 target"
+    )
+    for cell in result["cells"]:
+        assert cell["messages_on"] < cell["messages_off"], (
+            f"{cell['workload']} @ {cell['web']}: batching did not save messages"
+        )
+    name, template, pages = WORKLOADS[1]
+    benchmark(lambda: _run(2, True, template, pages)["handle"].completion_time)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI gate: on/off equivalence + the 2x events-ratio floor",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure()
+    _report(result)
+
+    if args.check:
+        floor = CHECK_EVENTS_FLOOR
+        if result["events_ratio"] < floor:
+            print(
+                f"FAIL: events ratio {result['events_ratio']}x below the"
+                f" {floor}x CI floor",
+                file=sys.stderr,
+            )
+            return 1
+        thinner = [
+            f"{c['workload']} @ {c['web']}"
+            for c in result["cells"]
+            if c["messages_on"] >= c["messages_off"]
+        ]
+        if thinner:
+            print(f"FAIL: no message saving for {thinner}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: rows/log tables identical on vs off across"
+            f" {len(result['cells'])} cells; drill-down events ratio"
+            f" {result['events_ratio']}x (floor {floor}x),"
+            f" {result['messages_saved']} messages saved on the largest web"
+        )
+        return 0
+
+    merge_bench_record(RESULT_PATH, "EXP-P2", result)
+    print(
+        f"merged EXP-P2 into {RESULT_PATH}"
+        f" (drill-down events ratio {result['events_ratio']}x)"
+    )
+    if result["events_ratio"] < 2.0:
+        print("WARNING: below the 2x EXP-P2 target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

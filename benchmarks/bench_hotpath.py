@@ -28,7 +28,6 @@ Run directly to (re)generate ``BENCH_PERF.json`` at the repo root:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -42,7 +41,7 @@ from repro.web import SyntheticWebConfig, build_synthetic_web
 from repro.web.synthetic import synthetic_start_url
 
 sys.path.insert(0, str(Path(__file__).parent))
-from harness import format_table, ratio, report  # noqa: E402
+from harness import format_table, merge_bench_record, ratio, report  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_PERF.json"
@@ -248,7 +247,7 @@ def _report(result: dict) -> str:
 def bench_hotpath(benchmark):
     result = measure()
     _report(result)
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    merge_bench_record(RESULT_PATH, "EXP-P1", result)
     assert result["speedup"] >= 2.0, f"speedup {result['speedup']}x below 2x target"
     __, node_queries, databases = _workload()
     plan = compile_node_query(node_queries[0][1])
@@ -284,8 +283,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH} (speedup {result['speedup']}x)")
+    merge_bench_record(RESULT_PATH, "EXP-P1", result)
+    print(f"merged EXP-P1 into {RESULT_PATH} (speedup {result['speedup']}x)")
     if result["speedup"] < 2.0:
         print("WARNING: below the 2x EXP-P1 target", file=sys.stderr)
         return 1

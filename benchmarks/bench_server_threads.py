@@ -29,7 +29,12 @@ QUERY = (
 
 def _run(threads: int):
     web = build_synthetic_web(CONFIG)
-    engine = WebDisEngine(web, config=EngineConfig(server_threads=threads))
+    # frontier_batching (EXP-P2) absorbs each site's queue synchronously in
+    # one pump, removing the queueing this ablation exists to measure —
+    # pin it off so the §4.4 sequential-vs-threaded premise holds.
+    engine = WebDisEngine(
+        web, config=EngineConfig(server_threads=threads, frontier_batching=False)
+    )
     handle = engine.run_query(QUERY.format(start=synthetic_start_url(CONFIG)))
     assert handle.status is QueryStatus.COMPLETE
     return engine, handle

@@ -30,7 +30,7 @@ from typing import Iterable
 from ..core.config import EngineConfig
 from ..core.engine import DEFAULT_USER_SITE, WebDisEngine
 from ..core.logtable import LogAction, NodeQueryLogTable
-from ..core.messages import ChtEntry, Disposition, NodeReport, ResultMessage
+from ..core.messages import ChtEntry, CloneBundle, Disposition, NodeReport, ResultMessage
 from ..core.plancache import PlanCache
 from ..core.processing import process_node
 from ..core.trace import Tracer
@@ -97,6 +97,12 @@ class CentralProcessor:
     # -- clone intake ------------------------------------------------------------
 
     def _on_clone(self, src: str, payload: object) -> None:
+        if isinstance(payload, CloneBundle):
+            # A coalesced forward redirected here wholesale (frontier
+            # batching + central fallback): unpack like a query-server.
+            self._queue.extend(payload.clones)
+            self._pump()
+            return
         assert isinstance(payload, QueryClone)
         self._queue.append(payload)
         self._pump()

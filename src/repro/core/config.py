@@ -44,6 +44,22 @@ class EngineConfig:
     #: that cross-check and for the EXP-P1 interpreted-vs-compiled bench.
     compiled_plans: bool = True
 
+    #: Frontier-batched clone processing (EXP-P2): when a server pumps its
+    #: queue it gathers every pending clone of the head clone's query and
+    #: runs a site-local BFS over the PRE × site-link-graph product —
+    #: Local/Interior hops are absorbed into the same pump instead of each
+    #: costing a queue→log-table→process→dispatch round trip through the
+    #: SimClock.  One combined result+CHT message goes to the user-site per
+    #: frontier and forwards to the same destination site coalesce into one
+    #: :class:`~repro.core.messages.CloneBundle`.  Answers, CHT completion
+    #: outcomes and log-table end states are identical with the knob on or
+    #: off (the DST harness draws it per case and cross-checks); only event
+    #: and message counts change.  Engages only under
+    #: ``direct_result_return`` — the path-retrace alternative needs one
+    #: history trail per hop, which per-hop messages carry and a combined
+    #: frontier dispatch cannot.
+    frontier_batching: bool = True
+
     #: §7.1 migration path: when a clone's destination site refuses the
     #: query connection (not participating in WEBDIS), redirect the clone to
     #: the central helper at the user-site instead of retiring its entries.

@@ -86,12 +86,56 @@ class NodeQueryLogTable:
         between states with equal ``num_q`` (the paper requires all fields
         equal except the PRE).
         """
-        key = (node, qid)
-        entries = self._entries.setdefault(key, [])
+        return self._observe_entry(self._entries.setdefault((node, qid), []), state, now, None)
+
+    def observe_bulk(
+        self, nodes: tuple[Url, ...], qid: QueryId, state: QueryState, now: float
+    ) -> list[LogObservation]:
+        """Admit one clone's whole destination list in a single pass.
+
+        All of a clone's nodes arrive in the same ``state``, so the
+        state-vs-logged-state relation is a pure function of the *logged*
+        PRE — the pass shares one relation cache across nodes instead of
+        re-deriving ``A*m·B`` comparisons per node.  Observation order (and
+        therefore every drop/rewrite/insert outcome and counter) is exactly
+        the per-node ``observe`` sequence.
+        """
+        entries_map = self._entries
+        cache: dict[Pre, LogComparison] = {}
+        rewritten: Pre | None = None
+        observations = []
+        for node in nodes:
+            obs = self._observe_entry(
+                entries_map.setdefault((node, qid), []), state, now, cache
+            )
+            if obs.action is LogAction.REWRITE:
+                # rewrite_superset(state.rem) is node-independent too.
+                if rewritten is None:
+                    rewritten = obs.rewritten_rem
+                else:
+                    obs = LogObservation(LogAction.REWRITE, rewritten)
+            observations.append(obs)
+        return observations
+
+    def _observe_entry(
+        self,
+        entries: list[_LogEntry],
+        state: QueryState,
+        now: float,
+        cache: dict[Pre, LogComparison] | None,
+    ) -> LogObservation:
         for entry in entries:
             if entry.state.num_q != state.num_q:
                 continue
-            relation = compare_for_log(state.rem, entry.state.rem)
+            if cache is None:
+                relation = compare_for_log(state.rem, entry.state.rem)
+            else:
+                # Keyed by the logged PRE only: the incoming PRE is fixed
+                # for the pass, and num_q already matched above.
+                relation = cache.get(entry.state.rem)
+                if relation is None:
+                    relation = compare_for_log(state.rem, entry.state.rem)
+                    cache[entry.state.rem] = relation
             if relation is LogComparison.DUPLICATE:
                 self.drops += 1
                 return LogObservation(LogAction.DROP)
@@ -135,6 +179,40 @@ class NodeQueryLogTable:
 
     def entry_count(self) -> int:
         return sum(len(entries) for entries in self._entries.values())
+
+    def canonical_snapshot(self) -> dict[tuple[str, str], frozenset[str]]:
+        """The table's semantic end state: maximal logged states per key.
+
+        Which clones get *inserted* is schedule-dependent under paper-mode
+        subsumption — a later ``A*m·B`` superset replaces the entry it
+        covers, but children forwarded before the replacement may log
+        derivative states a different schedule never produces.  What every
+        schedule converges on is the set of path-languages marked covered:
+        per ``(node, qid)``, the logged states that no other logged state
+        language-contains.  Equivalence tests (frontier batching on/off,
+        EXP-P2) compare these snapshots.
+        """
+        snapshot: dict[tuple[str, str], frozenset[str]] = {}
+        for (node, qid), entries in self._entries.items():
+            states = [entry.state for entry in entries]
+            keep = set()
+            for state in states:
+                dominated = False
+                for other in states:
+                    if other is state or other.num_q != state.num_q:
+                        continue
+                    if self._language_covered(state.rem, other.rem):
+                        # Strict cover loses; mutual (equal-language) states
+                        # collapse onto the lexicographically first form.
+                        if not self._language_covered(other.rem, state.rem) or str(
+                            other
+                        ) < str(state):
+                            dominated = True
+                            break
+                if not dominated:
+                    keep.add(str(state))
+            snapshot[(str(node), str(qid))] = frozenset(keep)
+        return snapshot
 
     def states_for(self, node: Url, qid: QueryId) -> list[QueryState]:
         """Logged states for one node/query (test and trace support)."""

@@ -7,6 +7,13 @@ one message, batched across all the nodes a clone covered at a site.  Each
 processed node and received state (the CHT entry to mark deleted), lists the
 CHT entries for the clones about to be forwarded, and carries that node's
 result rows.
+
+Frontier batching widens the batch: one :class:`ResultMessage` then covers
+*every* clone a site-local frontier processed, in BFS order.  That order is
+load-bearing for the CHT — a child's report (retiring its entry) always
+appears *after* the parent report whose ``new_entries`` announced it, so the
+user-site processes announce-before-retire within the one message exactly as
+it would across separate per-hop messages.
 """
 
 from __future__ import annotations
@@ -14,12 +21,13 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..errors import DisqlSemanticsError
 from ..relational.query import ResultRow
 from ..urlutils import Url
 from .state import QueryState
-from .webquery import QueryId
+from .webquery import QueryClone, QueryId
 
-__all__ = ["Disposition", "ChtEntry", "NodeReport", "ResultMessage"]
+__all__ = ["Disposition", "ChtEntry", "NodeReport", "ResultMessage", "CloneBundle"]
 
 
 class Disposition(enum.Enum):
@@ -103,6 +111,39 @@ class ResultMessage:
 
     def result_count(self) -> int:
         return sum(len(report.results) for report in self.reports)
+
+
+@dataclass(frozen=True, slots=True)
+class CloneBundle:
+    """Several clones travelling to one destination site in one message.
+
+    Coalesced dispatch (frontier batching, EXP-P2): a frontier can seed
+    clones in *different* states for the same remote site; instead of one
+    network message per ``(site, state)`` group, the server ships them all
+    under a single envelope.  The receiving server unpacks the bundle into
+    its queue — each inner clone keeps its own dispatch identity, so CHT
+    accounting is exactly as if the clones had travelled separately.
+    """
+
+    clones: tuple[QueryClone, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clones:
+            raise DisqlSemanticsError("clone bundle is empty")
+        sites = {clone.site for clone in self.clones}
+        if len(sites) != 1:
+            raise DisqlSemanticsError(f"bundle spans multiple sites: {sorted(sites)}")
+
+    @property
+    def site(self) -> str:
+        return self.clones[0].site
+
+    @property
+    def kind(self) -> str:
+        return "query-batch"
+
+    def size_bytes(self) -> int:
+        return sum(clone.size_bytes() for clone in self.clones) + 8
 
 
 @dataclass(frozen=True, slots=True)

@@ -38,8 +38,10 @@ from .webquery import WebQuery
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..relational.compile import CompiledPlan
+    from .messages import NodeReport
+    from .webquery import QueryClone
 
-__all__ = ["Forward", "NodeOutcome", "process_node"]
+__all__ = ["Forward", "FrontierResult", "NodeOutcome", "process_frontier", "process_node"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,6 +144,79 @@ def process_node(
             _emit_forwards(outcome, database, k, current)
 
     return outcome
+
+
+@dataclass
+class FrontierResult:
+    """Aggregate outcome of one site-local frontier traversal (EXP-P2).
+
+    ``reports`` accumulate in BFS order — every parent's report precedes
+    its children's, the announce-before-retire order the user-site's CHT
+    relies on when the whole frontier ships as one message.  ``remote``
+    holds the clones that left the site, in emission order.
+    """
+
+    reports: "list[NodeReport]" = field(default_factory=list)
+    remote: "list[QueryClone]" = field(default_factory=list)
+    #: Total simulated CPU time across the frontier (one schedule pays it).
+    service: float = 0.0
+    #: Clones evaluated, including the seeds.
+    clones_processed: int = 0
+    #: Same-site child clones absorbed into the worklist instead of being
+    #: re-queued through the event loop — each one is a saved SimClock
+    #: round trip (schedule + complete + re-pump).
+    local_absorbed: int = 0
+
+
+def process_frontier(
+    seeds: "list[QueryClone]",
+    site: str,
+    process_clone: "Callable[[QueryClone], tuple[list[NodeReport], list[QueryClone], float]]",
+    max_clones: int = 100_000,
+) -> FrontierResult:
+    """Traverse the PRE × site-link-graph product as one batched frontier.
+
+    :func:`process_node` already walks the PRE × *node* product (the
+    ``(step, rem)`` worklist at one document); this driver extends the
+    product across the site's link graph: every child clone that targets
+    ``site`` itself (a Local or Interior hop) is pushed onto the FIFO
+    worklist and processed in the same pass, instead of being bounced
+    through the server queue and the SimClock.  FIFO order makes the
+    traversal exactly the breadth-first order the unbatched event loop
+    produces for the same seeds, so log-table outcomes — which are
+    order-sensitive under the ``A*m·B`` rewrite — match the per-event path.
+
+    ``process_clone`` is the protocol layer's per-clone step (log-table
+    admission, node-query evaluation, report building and child identity
+    stamping); this function owns only the product traversal.
+
+    ``max_clones`` bounds one synchronous pass: with duplicate suppression
+    disabled a cyclic site would otherwise spin here forever, invisible to
+    the SimClock's ``max_events`` runaway guard.  Leftover worklist entries
+    are returned in ``remote``-style continuation via the caller re-queuing
+    — see the return's ``pending`` note below — so a runaway query still
+    surfaces as a clock-level event storm.  Pure driver: no network, no
+    clock, no tables.
+    """
+    worklist: deque["QueryClone"] = deque(seeds)
+    result = FrontierResult()
+    while worklist and result.clones_processed < max_clones:
+        clone = worklist.popleft()
+        reports, children, service = process_clone(clone)
+        result.clones_processed += 1
+        result.service += service
+        result.reports.extend(reports)
+        for child in children:
+            if child.site == site:
+                worklist.append(child)
+                result.local_absorbed += 1
+            else:
+                result.remote.append(child)
+    # Overflow (max_clones hit): hand unprocessed local clones back to the
+    # caller as if they were remote — the server re-queues same-site clones,
+    # so the traversal continues on the next pump under clock supervision.
+    result.remote.extend(worklist)
+    return result
 
 
 @lru_cache(maxsize=65536)

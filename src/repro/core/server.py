@@ -5,6 +5,18 @@ Section 3: the node-query log table, per-site clone batching, combined
 result + CHT shipping, and passive termination.  Each server processes its
 queue *sequentially* (paper Section 4.4) under the engine's CPU cost model.
 
+Frontier batching (EXP-P2, ``EngineConfig.frontier_batching``): a pump step
+gathers every queued clone of one query and traverses the site-local
+PRE × link-graph product as a single frontier
+(:func:`~repro.core.processing.process_frontier`) — Local/Interior hops are
+absorbed synchronously, log-table admission is bulk per clone, the whole
+frontier's reports ship in **one** combined result+CHT message (BFS order,
+parents before children, so the user-site CHT sees announce-before-retire),
+and clone forwards coalesce into one :class:`CloneBundle` per destination
+site.  Costs change — far fewer SimClock events and network messages — but
+answers, CHT outcomes and log-table end states are identical with the knob
+on or off.
+
 Protocol ordering (Section 2.7.1, deliberately preserved): the result/CHT
 message is dispatched to the user-site **first**; clones are forwarded only
 when that dispatch succeeds.  A failed dispatch (user closed the result
@@ -42,9 +54,9 @@ from ..urlutils import Url
 from ..web.web import Web
 from .config import EngineConfig
 from .logtable import LogAction, NodeQueryLogTable
-from .messages import ChtEntry, Disposition, NodeReport, RelayMessage, ResultMessage
+from .messages import ChtEntry, CloneBundle, Disposition, NodeReport, RelayMessage, ResultMessage
 from .plancache import PlanCache
-from .processing import Forward, process_node
+from .processing import Forward, process_frontier, process_node
 from .trace import Tracer
 from .webquery import QueryClone, QueryId, WebQuery
 
@@ -134,6 +146,12 @@ class QueryServer:
         if isinstance(payload, RelayMessage):
             self._relay(payload)
             return
+        if isinstance(payload, CloneBundle):
+            # Coalesced dispatch: unpack in order; each clone keeps its own
+            # dispatch identity, so accounting matches separate messages.
+            self._queue.extend(payload.clones)
+            self._pump()
+            return
         assert isinstance(payload, QueryClone), f"unexpected payload {payload!r}"
         self._queue.append(payload)
         self._pump()
@@ -164,18 +182,61 @@ class QueryServer:
 
     # -- sequential processing loop -----------------------------------------------
 
+    @property
+    def _frontier_enabled(self) -> bool:
+        """Frontier batching needs direct result return: a combined frontier
+        dispatch cannot carry one retrace trail per hop (§2.6 alternative)."""
+        return self.config.frontier_batching and self.config.direct_result_return
+
     def _pump(self) -> None:
         while self._queue and self._active_workers < self.config.server_threads:
             self._active_workers += 1
             clone = self._queue.popleft()
             self._maybe_purge_log()
-            reports, clones, service = self._process(clone)
+            if self._frontier_enabled:
+                reports, clones, service = self._process_frontier(clone)
+            else:
+                reports, clones, service = self._process(clone)
             self.stats.record_processing(self.site, service)
             epoch = self._epoch
             self.clock.schedule(
                 service,
                 lambda c=clone, r=reports, f=clones, e=epoch: self._complete(c, r, f, e),
             )
+
+    def _process_frontier(
+        self, head: QueryClone
+    ) -> tuple[list[NodeReport], list[QueryClone], float]:
+        """One frontier-batched pump step (EXP-P2).
+
+        Seeds the frontier with ``head`` plus every queued clone of the same
+        query (they would each have cost their own pump round trip), then
+        lets :func:`~repro.core.processing.process_frontier` run the
+        site-local BFS, absorbing Local/Interior hops synchronously.  One
+        combined report list and one remote-clone list come back; the
+        caller pays the summed service time with a single SimClock event.
+        """
+        seeds = [head]
+        qid = head.query.qid
+        if self._queue:
+            kept: deque[QueryClone] = deque()
+            for pending in self._queue:
+                (seeds if pending.query.qid == qid else kept).append(pending)
+            self._queue = kept
+        result = process_frontier(seeds, self.site, self._process)
+        if result.clones_processed > 1:
+            self.stats.frontier_batches += 1
+            self.stats.frontier_clones_batched += result.clones_processed
+            if self.tracer.enabled:
+                self.tracer.record(
+                    self.clock.now, "-", self.site, "-", "-", "frontier-batched",
+                    detail=(
+                        f"{result.clones_processed} clones"
+                        f" ({result.local_absorbed} local hops absorbed)"
+                    ),
+                )
+        self.stats.local_hops += result.local_absorbed
+        return result.reports, result.remote, result.service
 
     def _maybe_purge_log(self) -> None:
         interval = self.config.log_purge_interval
@@ -204,13 +265,23 @@ class QueryServer:
         plan_for = self._plan_for(clone.query)
         tracing = self.tracer.enabled
 
-        for node in clone.dest:
+        # Bulk admission: one log-table pass for the clone's whole node
+        # list (all nodes share the clone's state, so the pass can share
+        # its subsumption comparisons).  Node order — and therefore every
+        # drop/rewrite outcome — is the per-node sequence.
+        observations = (
+            self.log_table.observe_bulk(clone.dest, qid, clone.state, now)
+            if self.config.log_table_enabled
+            else None
+        )
+
+        for index, node in enumerate(clone.dest):
             entry = ChtEntry(node, clone.state)
             rem: Pre = clone.rem
             disposition = Disposition.PROCESSED
 
-            if self.config.log_table_enabled:
-                observation = self.log_table.observe(node, qid, clone.state, now)
+            if observations is not None:
+                observation = observations[index]
                 if observation.action is LogAction.DROP:
                     self.stats.duplicates_dropped += 1
                     service += self.config.node_service_time
@@ -448,8 +519,7 @@ class QueryServer:
         if epoch != self._epoch or outcome is SendOutcome.ABANDONED:
             return
         if outcome.delivered:
-            for fclone in clones:
-                self._forward(fclone)
+            self._forward_all(clones)
             return
         if not outcome.refused:
             self._trace_transport("dispatch-exhausted", str(clone.query.qid))
@@ -477,6 +547,51 @@ class QueryServer:
         return self.channel.send(
             self.site, first_hop, QUERY_PORT, RelayMessage(rest, message), on_final
         )
+
+    def _forward_all(self, clones: list[QueryClone]) -> None:
+        """Forward a completed pump's clones — coalescing under batching.
+
+        With frontier batching on, every clone bound for one destination
+        site travels in a single :class:`CloneBundle` (optimization 4 of
+        §3.2 taken one step further: one *message* per site per frontier,
+        whatever mix of states it carries).  Same-site clones — frontier
+        overflow continuations — re-enter the local queue.  With batching
+        off the per-clone sends are preserved exactly.
+        """
+        if not self._frontier_enabled:
+            for fclone in clones:
+                self._forward(fclone)
+            return
+        groups: dict[str, list[QueryClone]] = {}
+        for fclone in clones:
+            if fclone.site == self.site:
+                self.enqueue_local(fclone)
+            else:
+                groups.setdefault(fclone.site, []).append(fclone)
+        for group in groups.values():
+            if len(group) == 1:
+                self._forward(group[0])
+            else:
+                self._forward_bundle(CloneBundle(tuple(group)))
+
+    def _forward_bundle(self, bundle: CloneBundle) -> None:
+        epoch = self._epoch
+
+        def after_forward(outcome: SendOutcome) -> None:
+            if epoch != self._epoch or outcome is SendOutcome.ABANDONED:
+                return
+            if outcome.delivered:
+                self.stats.clones_forwarded += len(bundle.clones)
+                self.stats.clone_bundles_sent += 1
+                self.stats.clones_bundled += len(bundle.clones)
+            else:
+                # Per-clone failure handling: retractions (or the central
+                # fallback) resolve each inner clone's entries exactly as a
+                # separately-travelling clone's failure would.
+                for fclone in bundle.clones:
+                    self._forward_failed(fclone)
+
+        self.channel.send(self.site, bundle.site, QUERY_PORT, bundle, after_forward)
 
     def _forward(self, fclone: QueryClone) -> None:
         if fclone.site == self.site:

@@ -79,7 +79,8 @@ class SimClock:
         """Execute events until the queue drains (or ``until``/``max_events``).
 
         Returns the final virtual time.  ``max_events`` is a runaway guard:
-        exceeding it raises :class:`SimulationError`, which in practice means
+        exactly ``max_events`` events may execute; attempting one more raises
+        :class:`SimulationError` *before* running it, which in practice means
         an engine is forwarding clones in an unbounded loop.
         """
         if self._running:
@@ -92,15 +93,15 @@ class SimClock:
                 if until is not None and time > until:
                     self._now = until
                     break
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; suspected unbounded forwarding loop"
+                    )
                 heapq.heappop(self._heap)
                 self._now = time
                 callback()
                 executed += 1
                 self.events_executed += 1
-                if executed > max_events:
-                    raise SimulationError(
-                        f"exceeded {max_events} events; suspected unbounded forwarding loop"
-                    )
             else:
                 if until is not None and until > self._now:
                     self._now = until

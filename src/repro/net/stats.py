@@ -66,6 +66,31 @@ class TrafficStats:
     local_hops: int = 0
     processing_by_site: Counter = field(default_factory=Counter)
 
+    # Frontier batching (EXP-P2).
+    #: Pump steps that coalesced more than one clone into a frontier.
+    frontier_batches: int = 0
+    #: Clones processed inside those frontiers (seeds + absorbed local
+    #: hops).  Each beyond the first per frontier is a saved SimClock
+    #: schedule/complete round trip.
+    frontier_clones_batched: int = 0
+    #: Coalesced clone-forward messages (one CloneBundle per destination
+    #: site per frontier) and the clones they carried; each bundle replaces
+    #: ``clones_bundled`` separate network messages with one.
+    clone_bundles_sent: int = 0
+    clones_bundled: int = 0
+
+    @property
+    def events_saved(self) -> int:
+        """SimClock events avoided by frontier batching (one schedule +
+        one completion callback per clone that rode along instead of being
+        pumped individually)."""
+        return 2 * (self.frontier_clones_batched - self.frontier_batches)
+
+    @property
+    def messages_saved(self) -> int:
+        """Network messages avoided by coalescing forwards into bundles."""
+        return self.clones_bundled - self.clone_bundles_sent
+
     def record_send(self, src_site: str, kind: str, size: int) -> None:
         """Account one successfully initiated message."""
         self.messages_sent += 1
@@ -111,4 +136,10 @@ class TrafficStats:
             "clones_forwarded": self.clones_forwarded,
             "dead_ends": self.dead_ends,
             "local_hops": self.local_hops,
+            "frontier_batches": self.frontier_batches,
+            "frontier_clones_batched": self.frontier_clones_batched,
+            "clone_bundles_sent": self.clone_bundles_sent,
+            "clones_bundled": self.clones_bundled,
+            "events_saved": self.events_saved,
+            "messages_saved": self.messages_saved,
         }

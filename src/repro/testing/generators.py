@@ -143,12 +143,14 @@ def generate_case(seed: int, schedule_seed: int | None = None) -> Spec:
         src = rng.choice(site_names)
         latency.append([src, "user.example", round(rng.uniform(1.0, 3.0), 3)])
 
-    # compiled_plans is drawn *last* so adding the knob left every earlier
-    # draw — and therefore every existing seed's web/query/faults — intact.
+    # Newer knobs are drawn *last* (in introduction order) so adding each
+    # left every earlier draw — and therefore every existing seed's
+    # web/query/faults — intact.
     config = {
         "log_subsumption": "language" if rng.random() < 0.2 else "paper",
         "batch_per_site": rng.random() < 0.75,
         "compiled_plans": rng.random() < 0.5,
+        "frontier_batching": rng.random() < 0.5,
     }
     return {
         "seed": seed,

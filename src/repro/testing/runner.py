@@ -101,6 +101,7 @@ def _engine_config(spec: Spec, *, inject_bug: bool) -> EngineConfig:
         log_subsumption=config.get("log_subsumption", "paper"),
         batch_per_site=config.get("batch_per_site", True),
         compiled_plans=config.get("compiled_plans", True),
+        frontier_batching=config.get("frontier_batching", True),
         retry_policy=RetryPolicy(
             max_attempts=3, base_delay=0.2, multiplier=2.0, jitter=0.3,
             seed=spec["seed"],

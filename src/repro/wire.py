@@ -26,7 +26,14 @@ import json
 from typing import Any
 
 from .baselines.docservice import DocResponse, FetchRequest
-from .core.messages import ChtEntry, Disposition, NodeReport, RelayMessage, ResultMessage
+from .core.messages import (
+    ChtEntry,
+    CloneBundle,
+    Disposition,
+    NodeReport,
+    RelayMessage,
+    ResultMessage,
+)
 from .core.state import QueryState
 from .core.webquery import QueryClone, QueryId, WebQuery, WebQueryStep
 from .errors import WebDisError
@@ -278,10 +285,20 @@ _KIND_RESULT = "result"
 _KIND_RELAY = "relay"
 _KIND_FETCH = "fetch"
 _KIND_DOC = "doc"
+_KIND_BUNDLE = "clone-bundle"
 
 
 def encode_message(message: object) -> bytes:
     """Serialize any WEBDIS payload to wire bytes."""
+    if isinstance(message, CloneBundle):
+        body = {
+            "clones": [
+                json.loads(encode_message(clone).decode("utf-8"))["b"]
+                for clone in message.clones
+            ]
+        }
+        envelope = {"v": WIRE_VERSION, "k": _KIND_BUNDLE, "b": body}
+        return json.dumps(envelope, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
     if isinstance(message, QueryClone):
         body = {
             "query": _webquery_to_wire(message.query),
@@ -366,6 +383,18 @@ def decode_message(data: bytes) -> object:
         )
     if kind == _KIND_DOC:
         return DocResponse(parse_url(body["url"]), body["html"], body["id"])
+    if kind == _KIND_BUNDLE:
+        clones = []
+        for clone_body in body["clones"]:
+            inner_bytes = json.dumps(
+                {"v": WIRE_VERSION, "k": _KIND_CLONE, "b": clone_body},
+                separators=(",", ":"),
+                ensure_ascii=False,
+            ).encode("utf-8")
+            inner = decode_message(inner_bytes)
+            assert isinstance(inner, QueryClone)
+            clones.append(inner)
+        return CloneBundle(tuple(clones))
     raise WireError(f"unknown message kind {kind!r}")
 
 

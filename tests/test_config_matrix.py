@@ -20,6 +20,7 @@ _FLAG_AXES = {
     "batch_per_site": (True, False),
     "combine_results_and_cht": (True, False),
     "direct_result_return": (True, False),
+    "frontier_batching": (True, False),
 }
 
 _COMBOS = [
@@ -47,6 +48,8 @@ _EXTENSION_AXES = [
     EngineConfig(log_subsumption="language", server_threads=4, db_cache_size=16),
     EngineConfig(log_max_age=0.001, log_purge_interval=0.001),
     EngineConfig(strict_dead_end=False, server_threads=2, batch_per_site=False),
+    EngineConfig(frontier_batching=False, log_subsumption="language"),
+    EngineConfig(frontier_batching=True, batch_per_site=False, server_threads=2),
 ]
 
 

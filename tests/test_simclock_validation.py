@@ -68,6 +68,41 @@ class TestScheduleValidation:
         assert clock.events_executed == 2
 
 
+class TestMaxEventsGuard:
+    def test_exactly_max_events_is_allowed(self):
+        clock = SimClock()
+        for i in range(3):
+            clock.schedule(float(i), lambda: None)
+        clock.run(max_events=3)
+        assert clock.events_executed == 3
+
+    def test_one_event_over_budget_raises_without_executing_it(self):
+        clock = SimClock()
+        executed: list[int] = []
+        for i in range(4):
+            clock.schedule(float(i), lambda i=i: executed.append(i))
+        with pytest.raises(SimulationError, match="exceeded 3 events"):
+            clock.run(max_events=3)
+        # The guard fires at the attempt to run the 4th event, before it
+        # executes — not one event late.
+        assert executed == [0, 1, 2]
+        assert clock.events_executed == 3
+        assert clock.pending() == 1
+
+    def test_runaway_self_scheduling_loop_is_caught_at_the_budget(self):
+        clock = SimClock()
+        count = [0]
+
+        def reschedule():
+            count[0] += 1
+            clock.schedule(1.0, reschedule)
+
+        clock.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError, match="exceeded 10 events"):
+            clock.run(max_events=10)
+        assert count[0] == 10
+
+
 class TestTieBreaker:
     def test_fifo_by_default(self):
         assert _run_order(SimClock()) == [0, 1, 2, 3, 4, 5]

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""cProfile harness for the engine's hot paths (EXP-P1 / EXP-P2 workloads).
+
+Runs one of the perf-bench workloads under :mod:`cProfile` and prints the
+top-N functions by cumulative time, so a perf regression can be localized
+without wiring up an external profiler::
+
+    PYTHONPATH=src python tools/profile_hotpath.py                  # both
+    PYTHONPATH=src python tools/profile_hotpath.py --workload p1
+    PYTHONPATH=src python tools/profile_hotpath.py --workload p2 --top 40
+    PYTHONPATH=src python tools/profile_hotpath.py --sort tottime
+    PYTHONPATH=src python tools/profile_hotpath.py --out p2.pstats  # dump
+
+The workloads are imported from the benches themselves, so the profile
+always matches what ``BENCH_PERF.json`` measures:
+
+* ``p1`` — EXP-P1: every (node-query, node-database) pair of the hot-path
+  bench, evaluated with compiled plans and with the interpreter;
+* ``p2`` — EXP-P2: the frontier-batching drill-down workload, one full
+  engine run with the knob on and one with it off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+def _p1_pass() -> None:
+    """One full EXP-P1 pass: compiled and interpreted evaluation."""
+    from repro.relational.compile import compile_node_query
+    from repro.relational.query import evaluate_node_query
+
+    from bench_hotpath import _workload
+
+    __, node_queries, databases = _workload()
+    for __, query in node_queries:
+        plan = compile_node_query(query)
+        for database in databases:
+            plan.execute(database)
+            evaluate_node_query(query, database)
+
+
+def _p2_pass() -> None:
+    """One full EXP-P2 cell: the drill-down query, knob on and off."""
+    from bench_frontier import WORKLOADS, _run
+
+    __, template, pages = WORKLOADS[1]
+    _run(4, True, template, pages)
+    _run(4, False, template, pages)
+
+
+WORKLOAD_PASSES = {"p1": _p1_pass, "p2": _p2_pass}
+
+
+def profile_workload(name: str, sort: str, top: int, out: str | None) -> str:
+    """Profile one workload; returns the formatted stats text."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    WORKLOAD_PASSES[name]()
+    profiler.disable()
+
+    if out:
+        profiler.dump_stats(out)
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return buffer.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workload", choices=(*WORKLOAD_PASSES, "all"), default="all",
+        help="which perf workload to profile (default: all)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25, help="functions to print (default 25)"
+    )
+    parser.add_argument(
+        "--sort", choices=SORT_KEYS, default="cumulative",
+        help="pstats sort key (default cumulative)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="also dump raw pstats data to this path (snakeviz-compatible)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(WORKLOAD_PASSES) if args.workload == "all" else [args.workload]
+    for name in names:
+        out = None
+        if args.out:
+            out = args.out if len(names) == 1 else f"{name}-{args.out}"
+        print(f"== {name.upper()} workload — top {args.top} by {args.sort} ==")
+        print(profile_workload(name, args.sort, args.top, out))
+        if out:
+            print(f"raw profile dumped to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

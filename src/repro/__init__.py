@@ -23,7 +23,7 @@ paper-versus-measured record.
 
 from .core.config import EngineConfig
 from .core.client import QueryHandle, QueryStatus
-from .core.engine import WebDisEngine
+from .core.engine import WebDisEngine, build_engine
 from .core.supervisor import CoverageReport, QuerySupervisor, RecoveryPolicy
 from .core.webquery import QueryClone, QueryId, WebQuery, WebQueryStep
 from .disql import compile_disql, format_disql, parse_disql
@@ -57,6 +57,7 @@ __all__ = [
     "WebQueryStep",
     "__version__",
     "build_campus_web",
+    "build_engine",
     "build_synthetic_web",
     "compile_disql",
     "format_disql",

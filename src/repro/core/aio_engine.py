@@ -1,0 +1,214 @@
+"""The WEBDIS engine over real sockets.
+
+``AsyncioWebDisEngine`` assembles the same deployment as
+:class:`~repro.core.engine.WebDisEngine` — one
+:class:`~repro.core.server.QueryServer` per participating site plus a
+:class:`~repro.core.client.UserSiteClient` — but wires them to an
+:class:`~repro.net.aio.AsyncioTransport` instead of the simulator: every
+site listens on a real ``127.0.0.1`` TCP port, every clone forward and
+result report is a framed message over a real connection, and time is the
+event loop's wall clock (:class:`~repro.net.aio.LoopClock`).  The protocol
+objects are byte-for-byte the same classes the simulator runs; only the
+transport seam differs — which is the point: self-healing proved here is
+proved off the simulator.
+
+Must be constructed (and driven) inside a running event loop::
+
+    async def main():
+        engine = AsyncioWebDisEngine(build_campus_web())
+        handle = engine.submit_disql(CAMPUS_QUERY_DISQL)
+        await engine.run([handle])
+        await engine.aclose()
+
+Chaos goes in at construction (``chaos=ChaosRules.from_plan(plan)``) so
+every listener is behind an in-path :class:`~repro.net.chaos.ChaosProxy`;
+:meth:`apply_chaos_crashes` schedules the plan's kill/restart rules as real
+socket teardowns.  Unlike the simulator there is no global quiescence:
+:meth:`run` polls the handles to a terminal status under a wall-clock
+timeout, and a :class:`~repro.core.supervisor.QuerySupervisor` (same class,
+same policy) provides the re-forward→degrade path under real faults.
+
+Two simulator-only conveniences are rejected here rather than silently
+misbehaving: ``central_fallback`` (its legacy call site reads the
+*synchronous* send outcome, which a deferred transport cannot provide) and
+fault plans installed via ``apply_faults`` (use ``chaos=``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable
+
+from ..disql.translate import compile_disql
+from ..errors import SimulationError
+from ..net.aio import AsyncioTransport, LoopClock, PortMap
+from ..net.chaos import ChaosRules
+from ..net.network import NetworkConfig
+from ..net.stats import TrafficStats
+from ..web.web import Web
+from .client import QueryHandle, QueryStatus, UserSiteClient
+from .config import EngineConfig
+from .engine import DEFAULT_USER_SITE
+from .server import QueryServer
+from .trace import Tracer
+from .webquery import WebQuery
+
+__all__ = ["AsyncioWebDisEngine"]
+
+
+class AsyncioWebDisEngine:
+    """One runnable WEBDIS deployment over real asyncio sockets."""
+
+    def __init__(
+        self,
+        web: Web,
+        *,
+        config: EngineConfig | None = None,
+        net_config: NetworkConfig | None = None,
+        user_site: str = DEFAULT_USER_SITE,
+        user: str = "maya",
+        participating_sites: Iterable[str] | None = None,
+        trace: bool = False,
+        chaos: ChaosRules | None = None,
+        port_map: PortMap | None = None,
+    ) -> None:
+        self.web = web
+        self.config = config if config is not None else EngineConfig()
+        if self.config.central_fallback:
+            raise SimulationError(
+                "central_fallback reads the synchronous send outcome and is "
+                "not supported on the asyncio transport"
+            )
+        self.clock = LoopClock()
+        self.stats = TrafficStats()
+        self.tracer = Tracer(enabled=trace)
+        self.network = AsyncioTransport(
+            self.clock, self.stats, net_config, chaos=chaos, port_map=port_map
+        )
+        self.chaos = chaos
+        self.user_site = user_site
+
+        participating = (
+            set(web.site_names)
+            if participating_sites is None
+            else {name.lower() for name in participating_sites}
+        )
+        self.network.register_site(user_site)
+        self.servers: dict[str, QueryServer] = {}
+        for site in web.site_names:
+            self.network.register_site(site)
+            if site in participating:
+                self.servers[site] = QueryServer(
+                    site, web, self.network, self.clock, self.config, self.stats, self.tracer
+                )
+        self.client = UserSiteClient(
+            user_site, self.network, self.clock, self.stats, self.tracer, self.config, user
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, query: WebQuery, on_result=None, on_complete=None) -> QueryHandle:
+        return self.client.submit(query, on_result, on_complete)
+
+    def submit_disql(
+        self, text: str, on_result=None, on_complete=None, search_index=None
+    ) -> QueryHandle:
+        return self.submit(
+            compile_disql(text, search_index=search_index), on_result, on_complete
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    async def run(
+        self,
+        handles: Iterable[QueryHandle],
+        *,
+        timeout: float = 60.0,
+        poll: float = 0.02,
+    ) -> float:
+        """Wait until every handle reaches a terminal status.
+
+        There is no quiescence signal on real sockets, so this polls (the
+        terminal transition itself is event-driven — completion fires on
+        the report that exactly empties the CHT, escalation on a
+        supervisor timer).  Raises :class:`SimulationError` with the stuck
+        handles after ``timeout`` wall seconds — a run that trips it
+        without a supervisor usually just needs one.  Returns elapsed
+        wall-clock seconds.
+        """
+        pending = list(handles)
+        started = self.clock.now
+        deadline = started + timeout
+        while True:
+            pending = [h for h in pending if h.status is QueryStatus.RUNNING]
+            if not pending:
+                return self.clock.now - started
+            if self.clock.now >= deadline:
+                stuck = ", ".join(str(h.qid) for h in pending)
+                raise SimulationError(
+                    f"run timed out after {timeout}s; still RUNNING: {stuck}"
+                )
+            await asyncio.sleep(poll)
+
+    def cancel(self, handle: QueryHandle, at: float | None = None) -> None:
+        if at is None:
+            self.client.cancel(handle)
+        else:
+            self.clock.schedule_at(at, lambda: self.client.cancel(handle))
+
+    # -- crash / recovery ----------------------------------------------------
+
+    def crash_server(self, site: str, at: float | None = None) -> None:
+        """Crash ``site`` now (or at clock time ``at``): every socket the
+        site holds is torn down for real and its volatile state is lost."""
+        site = site.lower()
+        server = self._server_or_raise(site)
+        if at is not None:
+            self.clock.schedule_at(at, lambda: self.crash_server(site))
+            return
+        self.network.crash_site(site)
+        server.crash()
+
+    def restart_server(self, site: str, at: float | None = None) -> None:
+        """Restart a crashed server: re-bind its query port (a fresh real
+        port — the port map re-points, like a restarted process)."""
+        site = site.lower()
+        server = self._server_or_raise(site)
+        if at is not None:
+            self.clock.schedule_at(at, lambda: self.restart_server(site))
+            return
+        server.restart()
+
+    def _server_or_raise(self, site: str) -> QueryServer:
+        server = self.servers.get(site)
+        if server is None:
+            raise SimulationError(f"no query-server at {site!r}")
+        return server
+
+    def apply_faults(self, plan) -> None:
+        raise SimulationError(
+            "FaultPlan.install targets the simulator; pass "
+            "chaos=ChaosRules.from_plan(plan) at construction and call "
+            "apply_chaos_crashes() instead"
+        )
+
+    def apply_chaos_crashes(self) -> None:
+        """Schedule the chaos rules' crash/restart draws as real teardowns."""
+        if self.chaos is None:
+            return
+        for site, kill_at, restart_at in self.chaos.crash_schedule():
+            self.crash_server(site, at=kill_at)
+            if restart_at is not None:
+                self.restart_server(site, at=restart_at)
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    def server_for(self, site: str) -> QueryServer:
+        return self.servers[site.lower()]
+
+    def total_log_entries(self) -> int:
+        return sum(server.log_table.entry_count() for server in self.servers.values())
+
+    async def aclose(self) -> None:
+        """Close every socket and cancel in-flight transport tasks."""
+        await self.network.aclose()

@@ -22,7 +22,13 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import QueryLifecycleError
-from ..net.network import HELPER_PORT, QUERY_PORT, Network, SendOutcome
+from ..net.network import (
+    FIRST_RESULT_PORT,
+    HELPER_PORT,
+    QUERY_PORT,
+    Network,
+    SendOutcome,
+)
 from ..net.reliable import ReliableChannel
 from ..net.simclock import SimClock
 from ..net.stats import TrafficStats
@@ -35,8 +41,6 @@ from .trace import START_NODE, Tracer
 from .webquery import QueryClone, QueryId, WebQuery
 
 __all__ = ["QueryStatus", "QueryHandle", "UserSiteClient"]
-
-_FIRST_RESULT_PORT = 5000
 
 
 class QueryStatus(enum.Enum):
@@ -196,7 +200,7 @@ class UserSiteClient:
             name=f"client:{site}", trace=self._trace_transport,
         )
         self._query_numbers = itertools.count(1)
-        self._ports = itertools.count(_FIRST_RESULT_PORT)
+        self._ports = itertools.count(FIRST_RESULT_PORT)
         self._handles: dict[QueryId, QueryHandle] = {}
         self._dispatch_serial = itertools.count(1)
 

@@ -71,6 +71,13 @@ class EngineConfig:
     #: single-attempt transport exactly.
     retry_policy: RetryPolicy | None = None
 
+    #: Which transport backend :func:`~repro.core.engine.build_engine`
+    #: assembles: ``"sim"`` (the deterministic SimClock simulator — the
+    #: default, and what tier-1 tests and DST run on) or ``"asyncio"``
+    #: (real TCP sockets on an asyncio event loop,
+    #: :class:`~repro.core.aio_engine.AsyncioWebDisEngine`).
+    transport: str = "sim"
+
     #: DEBUG ONLY — re-introduces the pre-epoch-fence recovery bug for the
     #: DST shrinker demo: ``reforward_pending`` re-dispatches pending stamped
     #: instances as *unstamped legacy* clones without superseding them, so

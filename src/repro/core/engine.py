@@ -34,9 +34,31 @@ from .server import QueryServer
 from .trace import Tracer
 from .webquery import WebQuery
 
-__all__ = ["WebDisEngine", "DEFAULT_USER_SITE"]
+__all__ = ["WebDisEngine", "DEFAULT_USER_SITE", "build_engine"]
 
 DEFAULT_USER_SITE = "user.example"
+
+
+def build_engine(web: Web, *, config: EngineConfig | None = None, **kwargs):
+    """Assemble an engine for ``config.transport``.
+
+    ``"sim"`` (default) returns the deterministic :class:`WebDisEngine`;
+    ``"asyncio"`` returns an
+    :class:`~repro.core.aio_engine.AsyncioWebDisEngine` — which must be
+    constructed inside a running event loop and accepts the extra
+    ``chaos=`` / ``port_map=`` keywords.  Extra keyword arguments pass
+    through to the chosen engine class.
+    """
+    config = config if config is not None else EngineConfig()
+    if config.transport == "sim":
+        return WebDisEngine(web, config=config, **kwargs)
+    if config.transport == "asyncio":
+        from .aio_engine import AsyncioWebDisEngine
+
+        return AsyncioWebDisEngine(web, config=config, **kwargs)
+    raise SimulationError(
+        f"unknown transport {config.transport!r}; expected 'sim' or 'asyncio'"
+    )
 
 
 class WebDisEngine:

@@ -1,0 +1,581 @@
+"""Real TCP transport: the WEBDIS protocols over asyncio sockets.
+
+This is the second implementation of the :class:`~repro.net.transport.Transport`
+seam.  Sites live on ``127.0.0.1`` with one real TCP listening socket per
+``(site, logical_port)``; a :class:`PortMap` translates the protocol's
+logical ports (:data:`~repro.net.network.QUERY_PORT`, per-query result
+ports, ...) into distinct real ports so any number of sites share one
+loopback interface — within one process (sites as asyncio tasks) or across
+OS processes (:class:`StaticPortMap` + ``tools/socket_cluster.py``).
+
+Wire format and delivery contract
+---------------------------------
+
+Each message is one length-prefixed frame (:func:`repro.wire.encode_frame`)
+carrying a source-stamped envelope (:func:`repro.wire.encode_envelope`)
+over a persistent per-``(src, dst, port)`` connection.  After the receiving
+listener has *processed* a frame the receiver writes back a one-byte ack
+(:data:`ACK_BYTE`); the sender reports ``DELIVERED`` only on that ack, so —
+exactly as on the simulator, where ``DELIVERED`` means the delivery event
+is scheduled and listeners never observe a vanished delivered message —
+a delivered send has really been handled.  Sends on one link are
+serialized by an (FIFO-fair) ``asyncio.Lock``, preserving the simulator's
+per-edge FIFO ordering.  A write or ack failure on a *reused* connection is
+retried once on a fresh connection (the peer may simply have closed an
+idle keep-alive); the retry can duplicate a processed-but-unacked message,
+which is safe because the protocols are idempotent — the CHT's
+dispatch-identity accounting absorbs duplicate reports, the log table
+absorbs duplicate clones.  That is the same at-least-once envelope the
+:class:`~repro.net.reliable.ReliableChannel` already imposes.
+
+Outcome mapping (see :func:`repro.net.transport.refusal_outcome` for the
+REFUSED/HOST_DOWN split on refused connects):
+
+=============================  ==========================================
+real-socket event              ``SendOutcome``
+=============================  ==========================================
+frame written, ack received    DELIVERED
+ECONNREFUSED, result port      REFUSED (deliberate close = termination)
+ECONNREFUSED, daemon port      HOST_DOWN (server process is down)
+connect timeout / no route     HOST_DOWN
+ack timeout / reset / EOF      FAULT (transient wire fault)
+destination never registered   HOST_DOWN (DNS failure analogue)
+=============================  ==========================================
+
+All outcomes settle through the deferred ``on_outcome`` callback;
+``send`` itself returns :data:`~repro.net.network.SendOutcome.IN_FLIGHT`
+(or, for failures decidable without touching the network, the final
+outcome directly, with ``on_outcome`` invoked inline like the simulator).
+
+Everything runs on one event loop: listeners are invoked synchronously
+from receive coroutines, settle callbacks from send tasks, and
+:class:`LoopClock` timers from ``loop.call_later`` — so the protocol code
+(written for the single-threaded simulator) needs no locks.  The shared
+:class:`~repro.net.stats.TrafficStats` is bound to the loop thread
+(:meth:`~repro.net.stats.TrafficStats.bind_owner`) to enforce that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from ..errors import NetworkError, SimulationError
+from ..wire import (
+    WireError,
+    FrameDecoder,
+    decode_envelope,
+    encode_envelope,
+    encode_frame,
+)
+from .network import (
+    QUERY_PORT,
+    Listener,
+    NetworkConfig,
+    Payload,
+    SendOutcome,
+)
+from .stats import TrafficStats
+from .transport import refusal_outcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .chaos import ChaosRules
+
+__all__ = ["ACK_BYTE", "LoopClock", "PortMap", "StaticPortMap", "AsyncioTransport"]
+
+#: Written by the receiver after its listener has processed one frame.
+ACK_BYTE = b"\x06"
+
+_READ_CHUNK = 65536
+
+
+class LoopClock:
+    """:class:`~repro.net.transport.Clock` over the event loop's wall clock.
+
+    ``now`` starts at 0.0 when the clock is constructed, so protocol
+    timestamps (CHT add/retire times, supervisor timeouts) look like the
+    simulator's — seconds since the run began — just measured by
+    ``loop.time()`` instead of virtual time.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+
+    @property
+    def now(self) -> float:
+        return self._loop.time() - self._t0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        self._loop.call_later(max(delay, 0.0), callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        self._loop.call_at(self._t0 + time, callback)
+
+
+class PortMap:
+    """Dynamic ``(site, logical_port) -> real port`` registry (in-process).
+
+    ``bind`` allocates an ephemeral real port and records it; ``lookup``
+    answers senders.  Entries survive :meth:`AsyncioTransport.close` on
+    purpose: connecting to the *closed* real socket yields a genuine
+    ``ECONNREFUSED``, which is exactly the signal the refusal-classification
+    policy feeds on.  Rebinding after a crash allocates a fresh port and
+    replaces the entry.
+    """
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self._map: dict[tuple[str, int], int] = {}
+
+    def bind(self, site: str, logical_port: int) -> socket.socket:
+        """Bind (and start listening on) the real socket for a logical port."""
+        sock = self._bound_socket(0)
+        self._map[(site, logical_port)] = sock.getsockname()[1]
+        return sock
+
+    def lookup(self, site: str, logical_port: int) -> int | None:
+        """The real port to connect to, or None if it was never bound."""
+        return self._map.get((site, logical_port))
+
+    def _bound_socket(self, real_port: int) -> socket.socket:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((self.host, real_port))
+            sock.listen(128)
+        except OSError:
+            sock.close()
+            raise
+        sock.setblocking(False)
+        return sock
+
+
+class StaticPortMap(PortMap):
+    """Arithmetic port map shared by cooperating OS processes.
+
+    Every process derives the same mapping from the same ordered site list,
+    with no registry to synchronize: site ``i`` owns the real-port range
+    ``[first_base + i*SPAN, first_base + (i+1)*SPAN)`` and logical port
+    ``p`` lands on ``base + (p - QUERY_PORT)``.  ``SPAN = 2000`` leaves
+    room for the daemon ports (offsets 0 and 500) plus ~1000 per-query
+    result ports per site.
+    """
+
+    SPAN = 2000
+
+    def __init__(
+        self,
+        sites: Iterable[str],
+        host: str = "127.0.0.1",
+        first_base: int = 20000,
+    ) -> None:
+        super().__init__(host)
+        self._bases = {
+            site: first_base + index * self.SPAN
+            for index, site in enumerate(sorted(sites))
+        }
+
+    def bind(self, site: str, logical_port: int) -> socket.socket:
+        real = self.lookup(site, logical_port)
+        if real is None:
+            raise SimulationError(
+                f"no static port mapping for {site!r}:{logical_port}"
+            )
+        sock = self._bound_socket(real)
+        self._map[(site, logical_port)] = real
+        return sock
+
+    def lookup(self, site: str, logical_port: int) -> int | None:
+        base = self._bases.get(site)
+        offset = logical_port - QUERY_PORT
+        if base is None or not 0 <= offset < self.SPAN:
+            return None
+        return base + offset
+
+
+class _Link:
+    """One persistent outbound connection, serialized by a FIFO lock."""
+
+    __slots__ = ("lock", "reader", "writer")
+
+    def __init__(self) -> None:
+        self.lock = asyncio.Lock()
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+
+class AsyncioTransport:
+    """Real TCP sockets on one asyncio event loop (see module docstring).
+
+    Must be constructed on a running loop.  ``local_sites`` restricts which
+    sites may :meth:`listen` here — ``None`` (in-process mode) allows all;
+    a multi-process worker passes its own site so a misrouted listen fails
+    loudly instead of silently binding the wrong process.
+
+    ``chaos`` threads every *inbound* connection through an in-path
+    :class:`~repro.net.chaos.ChaosProxy` applying the rules at the socket
+    layer (see :mod:`repro.net.chaos`).
+    """
+
+    synchronous = False
+
+    def __init__(
+        self,
+        clock: LoopClock | None = None,
+        stats: TrafficStats | None = None,
+        config: NetworkConfig | None = None,
+        *,
+        port_map: PortMap | None = None,
+        local_sites: Iterable[str] | None = None,
+        chaos: "ChaosRules | None" = None,
+    ) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.clock = clock if clock is not None else LoopClock(self._loop)
+        self.stats = stats if stats is not None else TrafficStats()
+        self.stats.bind_owner()
+        self.config = config if config is not None else NetworkConfig()
+        self.port_map = port_map if port_map is not None else PortMap()
+        self.chaos = chaos
+        self._local_sites = (
+            None if local_sites is None else {site.lower() for site in local_sites}
+        )
+        self._sites: set[str] = set()
+        self._listeners: dict[tuple[str, int], Listener] = {}
+        self._servers: dict[tuple[str, int], asyncio.AbstractServer] = {}
+        self._proxies: dict[tuple[str, int], object] = {}
+        self._inbound: dict[tuple[str, int], set[asyncio.StreamWriter]] = {}
+        self._links: dict[tuple[str, str, int], _Link] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._taps: list[Callable[[float, str, str, int, Payload], None]] = []
+        self._chaos_totals: dict[str, int] = {}
+        self._closed = False
+
+    # -- observation (same surface as the simulator) ------------------------
+
+    def set_tap(
+        self, tap: Callable[[float, str, str, int, Payload], None] | None
+    ) -> None:
+        self._taps = [tap] if tap is not None else []
+
+    def add_tap(self, tap: Callable[[float, str, str, int, Payload], None]) -> None:
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[float, str, str, int, Payload], None]) -> None:
+        self._taps = [t for t in self._taps if t is not tap]
+
+    # -- topology -----------------------------------------------------------
+
+    def register_site(self, site: str) -> None:
+        self._sites.add(site)
+
+    @property
+    def sites(self) -> frozenset[str]:
+        return frozenset(self._sites)
+
+    # -- listeners ----------------------------------------------------------
+
+    def listen(self, site: str, port: int, listener: Listener) -> None:
+        """Bind ``site:port`` for real and start accepting.
+
+        The OS socket is bound *synchronously* — connects succeed (queueing
+        in the backlog) from this call on, killing the race between a
+        result-port listen and the first server's result dispatch — while
+        the asyncio accept loop attaches as a task moments later.
+        """
+        if site not in self._sites:
+            raise SimulationError(f"unknown site {site!r}; register it first")
+        if self._local_sites is not None and site not in self._local_sites:
+            raise SimulationError(
+                f"site {site!r} is not hosted by this process"
+            )
+        key = (site, port)
+        if key in self._listeners:
+            raise NetworkError(f"port {port} already bound at {site}")
+        advertised = self.port_map.bind(site, port)  # may raise: nothing to undo yet
+        self._listeners[key] = listener
+        self._inbound[key] = set()
+        if self.chaos is not None:
+            # In-path proxy: the advertised socket is served by the chaos
+            # proxy, which forwards (seeded drop/delay/partition/reset) to
+            # an inner socket served by the real handler.  One lifecycle:
+            # close/crash tears both down, so refused connects stay honest.
+            from .chaos import ChaosProxy
+
+            inner = PortMap(self.port_map.host)
+            inner_sock = inner.bind(site, port)
+            inner_port = inner.lookup(site, port)
+            assert inner_port is not None
+            proxy = ChaosProxy(
+                self.chaos, self.clock, site, port,
+                upstream_host=self.port_map.host, upstream_port=inner_port,
+            )
+            self._proxies[key] = proxy
+            self._spawn(self._start_server(key, inner_sock))
+            self._spawn(proxy.start(advertised))
+        else:
+            self._spawn(self._start_server(key, advertised))
+
+    async def _start_server(self, key: tuple[str, int], sock: socket.socket) -> None:
+        server = await asyncio.start_server(
+            lambda reader, writer: self._serve_connection(key, reader, writer),
+            sock=sock,
+        )
+        if key in self._listeners and not self._closed:
+            self._servers[key] = server
+        else:
+            server.close()  # closed before the accept loop attached
+
+    async def _serve_connection(
+        self,
+        key: tuple[str, int],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        peers = self._inbound.get(key)
+        if peers is None:  # listener closed while the connect was in flight
+            _abort(writer)
+            return
+        peers.add(writer)
+        decoder = FrameDecoder(self.config.max_frame_bytes)
+        try:
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                try:
+                    frames = decoder.feed(chunk)
+                except WireError:
+                    self.stats.frames_rejected += 1
+                    _abort(writer)
+                    return
+                for body in frames:
+                    try:
+                        src, message = decode_envelope(body)
+                    except WireError:
+                        self.stats.frames_rejected += 1
+                        _abort(writer)
+                        return
+                    listener = self._listeners.get(key)
+                    if listener is None:
+                        # Port closed mid-stream: refuse (no ack) so the
+                        # sender's retry meets the real refused connect.
+                        _abort(writer)
+                        return
+                    listener(src, message)
+                    writer.write(ACK_BYTE)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Loop shutdown (aclose / asyncio.run teardown): end the
+            # handler quietly; the socket is aborted below either way.
+            pass
+        finally:
+            if peers is not None:
+                peers.discard(writer)
+            _abort(writer)
+
+    def close(self, site: str, port: int) -> None:
+        """Close the listener; later connects are refused for real.
+
+        The port-map entry survives, so senders still find the (now
+        closed) real port and get ``ECONNREFUSED`` — which
+        :func:`~repro.net.transport.refusal_outcome` turns into the
+        termination signal on result ports.
+        """
+        key = (site, port)
+        self._listeners.pop(key, None)
+        server = self._servers.pop(key, None)
+        if server is not None:
+            server.close()
+        proxy = self._proxies.pop(key, None)
+        if proxy is not None:
+            proxy.stop()  # type: ignore[attr-defined]
+            for name, value in proxy.summary().items():  # type: ignore[attr-defined]
+                self._chaos_totals[name] = self._chaos_totals.get(name, 0) + value
+        for writer in self._inbound.pop(key, set()):
+            _abort(writer)
+
+    def is_listening(self, site: str, port: int) -> bool:
+        return (site, port) in self._listeners
+
+    # -- whole-site failures ------------------------------------------------
+
+    def crash_site(self, site: str) -> None:
+        """Kill every socket the site's process would hold.
+
+        Listeners close (connects now refused), inbound connections are
+        reset, and the site's *outbound* links are torn down too — a dead
+        process keeps nothing open.  ``QueryServer.restart`` re-binds via
+        :meth:`listen`, which allocates a fresh real port.
+        """
+        for key in [key for key in self._listeners if key[0] == site]:
+            self.close(*key)
+        for lkey in [lkey for lkey, _ in self._links.items() if lkey[0] == site]:
+            link = self._links.pop(lkey)
+            _drop_link(link)
+
+    def set_site_up(self, site: str) -> None:
+        """No-op on real sockets: a site is 'up' once its ports re-bind."""
+
+    def chaos_summary(self) -> dict[str, int]:
+        """Aggregated chaos-proxy counters, live listeners plus closed ones."""
+        totals = dict(self._chaos_totals)
+        for proxy in self._proxies.values():
+            for name, value in proxy.summary().items():  # type: ignore[attr-defined]
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    # -- transfer -----------------------------------------------------------
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        port: int,
+        payload: Payload,
+        *,
+        on_outcome: Callable[[SendOutcome], None] | None = None,
+    ) -> SendOutcome:
+        if src not in self._sites:
+            raise SimulationError(f"send from unregistered site {src!r}")
+        if dst not in self._sites:
+            self.stats.unknown_host_sends += 1
+            if on_outcome is not None:
+                on_outcome(SendOutcome.HOST_DOWN)
+            return SendOutcome.HOST_DOWN
+        self._spawn(self._send_task(src, dst, port, payload, on_outcome))
+        return SendOutcome.IN_FLIGHT
+
+    async def _send_task(
+        self,
+        src: str,
+        dst: str,
+        port: int,
+        payload: Payload,
+        on_outcome: Callable[[SendOutcome], None] | None,
+    ) -> None:
+        outcome = await self._attempt(src, dst, port, payload)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    async def _attempt(
+        self, src: str, dst: str, port: int, payload: Payload
+    ) -> SendOutcome:
+        try:
+            frame = encode_frame(
+                encode_envelope(src, payload), self.config.max_frame_bytes
+            )
+        except WireError:
+            self.stats.frames_rejected += 1
+            return SendOutcome.FAULT
+        key = (src, dst, port)
+        link = self._links.get(key)
+        if link is None:
+            link = self._links[key] = _Link()
+        async with link.lock:
+            reused_first = link.writer is not None
+            attempt = 0
+            while True:
+                attempt += 1
+                if link.writer is None:
+                    outcome = await self._connect(link, dst, port)
+                    if outcome is not None:
+                        return outcome
+                try:
+                    assert link.writer is not None and link.reader is not None
+                    link.writer.write(frame)
+                    await asyncio.wait_for(
+                        link.writer.drain(), self.config.read_timeout
+                    )
+                    ack = await asyncio.wait_for(
+                        link.reader.readexactly(1), self.config.read_timeout
+                    )
+                except (
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    OSError,
+                ):
+                    _drop_link(link)
+                    if reused_first and attempt == 1:
+                        # A stale keep-alive the peer closed: one internal
+                        # retry on a fresh connection.  May duplicate a
+                        # processed-but-unacked frame; the protocols are
+                        # idempotent (module docstring).
+                        continue
+                    self.stats.failed_sends += 1
+                    return SendOutcome.FAULT
+                if ack != ACK_BYTE:
+                    _drop_link(link)
+                    self.stats.failed_sends += 1
+                    return SendOutcome.FAULT
+                size = payload.size_bytes() + self.config.envelope_bytes
+                self.stats.record_send(src, payload.kind, size)
+                for tap in self._taps:
+                    tap(self.clock.now, src, dst, port, payload)
+                return SendOutcome.DELIVERED
+
+    async def _connect(
+        self, link: _Link, dst: str, port: int
+    ) -> SendOutcome | None:
+        """Populate ``link``; None on success, else the failure outcome."""
+        real = self.port_map.lookup(dst, port)
+        if real is None:
+            # Never bound: same classification a refused connect would get.
+            outcome = refusal_outcome(port)
+        else:
+            try:
+                link.reader, link.writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.port_map.host, real),
+                    self.config.connect_timeout,
+                )
+                return None
+            except ConnectionRefusedError:
+                outcome = refusal_outcome(port)
+            except (asyncio.TimeoutError, OSError):
+                self.stats.down_sends += 1
+                return SendOutcome.HOST_DOWN
+        if outcome is SendOutcome.REFUSED:
+            self.stats.refused_sends += 1
+        else:
+            self.stats.down_sends += 1
+        return outcome
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _spawn(self, coro) -> None:
+        task = self._loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def aclose(self) -> None:
+        """Tear everything down (tests and runners call this on exit)."""
+        self._closed = True
+        for key in list(self._listeners):
+            self.close(*key)
+        for link in self._links.values():
+            _drop_link(link)
+        self._links.clear()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self.stats.unbind_owner()
+
+
+def _abort(writer: asyncio.StreamWriter) -> None:
+    """Hard-close a stream (RST if data is pending), swallowing raciness."""
+    try:
+        writer.transport.abort()
+    except Exception:
+        pass
+
+
+def _drop_link(link: _Link) -> None:
+    if link.writer is not None:
+        _abort(link.writer)
+    link.reader = None
+    link.writer = None

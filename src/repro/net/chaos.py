@@ -1,0 +1,283 @@
+"""Wire-level chaos: the FaultPlan DSL mapped onto real sockets.
+
+On the simulator a :class:`~repro.net.faults.FaultPlan` installs a fault
+injector that breaks connects before they happen.  Real sockets offer no
+such hook, so the asyncio backend threads every inbound connection through
+an **in-path proxy**: the advertised port for a listener is served by a
+:class:`ChaosProxy`, which parses the sender's frames and — per frame,
+seeded — forwards, drops, delays or resets at the socket layer before the
+real handler ever sees a byte.  The fault *mechanisms* are therefore the
+real ones the transport must survive:
+
+=================  =====================================================
+plan rule          wire behaviour (sender's view)
+=================  =====================================================
+``drop`` (p)       frame swallowed → delivery-ack timeout → ``FAULT``;
+                   or connection reset mid-exchange → ``FAULT``
+                   (a seeded coin picks which, both happen in the wild)
+``partition``      every frame whose envelope source is across the cut
+                   is dropped while the window is open — connects still
+                   succeed, bytes die, exactly like a blackhole route
+``crash``          not the proxy's job: the engine/runner kills the
+                   site's sockets (and process) and restarts it —
+                   see ``AsyncioWebDisEngine.apply_chaos`` and
+                   ``tools/socket_cluster.py``
+delay (extra)      frame held for a seeded interval before forwarding —
+                   real reordering across links (no FaultPlan analogue
+                   because the simulator models latency directly)
+=================  =====================================================
+
+Windows in plan rules are *plan seconds*; ``time_scale`` (wall seconds per
+plan second) maps them onto the wall clock, so a DST repro whose faults
+fire at sim-time 3.0 can replay with the same shape in a faster or slower
+real run.  Decisions draw from one ``random.Random(seed)`` — seeded, but
+(unlike the simulator) not bit-reproducible, because real arrival order is
+not: the point here is a reproducible *distribution* of chaos, while
+bit-level determinism stays the simulator's job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+from typing import TYPE_CHECKING, Sequence
+
+from ..wire import WireError, FrameDecoder, encode_frame, envelope_source
+from .faults import CrashRule, DropRule, PartitionRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultPlan
+    from .transport import Clock
+
+__all__ = ["ChaosRules", "ChaosProxy"]
+
+_READ_CHUNK = 65536
+
+
+class ChaosRules:
+    """Seeded per-frame fault decisions shared by all of a run's proxies.
+
+    Built directly or from a :class:`~repro.net.faults.FaultPlan` via
+    :meth:`from_plan` (which carries over the plan's message rules; crash
+    rules are returned separately by :meth:`crash_schedule` for the
+    engine/runner to enact with real kills).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drops: Sequence[DropRule] = (),
+        partitions: Sequence[PartitionRule] = (),
+        *,
+        time_scale: float = 1.0,
+        delay_range: tuple[float, float] = (0.0, 0.0),
+        delay_probability: float = 0.0,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self.seed = seed
+        self.drops = tuple(drops)
+        self.partitions = tuple(partitions)
+        self.time_scale = time_scale
+        self.delay_range = delay_range
+        self.delay_probability = delay_probability
+        self._rng = random.Random(seed)
+        self._crashes: tuple[CrashRule, ...] = ()
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: "FaultPlan",
+        *,
+        time_scale: float = 1.0,
+        delay_range: tuple[float, float] = (0.0, 0.0),
+        delay_probability: float = 0.0,
+    ) -> "ChaosRules":
+        rules = cls(
+            plan.seed,
+            plan.drops,
+            plan.partitions,
+            time_scale=time_scale,
+            delay_range=delay_range,
+            delay_probability=delay_probability,
+        )
+        rules._crashes = plan.crashes
+        return rules
+
+    def crash_schedule(self) -> tuple[tuple[str, float, float | None], ...]:
+        """``(site, wall_kill_at, wall_restart_at)`` rows, time-scaled."""
+        return tuple(
+            (
+                rule.site,
+                rule.at * self.time_scale,
+                None if rule.restart_at is None else rule.restart_at * self.time_scale,
+            )
+            for rule in self._crashes
+        )
+
+    def plan_now(self, wall_now: float) -> float:
+        return wall_now / self.time_scale
+
+    def verdict(self, src: str, dst: str, port: int, wall_now: float) -> str | None:
+        """``"swallow"``, ``"reset"`` or None (forward) for one frame."""
+        now = self.plan_now(wall_now)
+        dropped = any(rule.severs(src, dst, now) for rule in self.partitions)
+        if not dropped:
+            for rule in self.drops:
+                if rule.matches(src, dst, port, now) and (
+                    rule.probability >= 1.0 or self._rng.random() < rule.probability
+                ):
+                    dropped = True
+                    break
+        if not dropped:
+            return None
+        return "reset" if self._rng.random() < 0.5 else "swallow"
+
+    def delay_draw(self) -> float:
+        """Extra forwarding delay for one frame (0.0 = none)."""
+        lo, hi = self.delay_range
+        if hi <= 0.0 or self.delay_probability <= 0.0:
+            return 0.0
+        if self._rng.random() >= self.delay_probability:
+            return 0.0
+        return self._rng.uniform(lo, hi)
+
+
+class ChaosProxy:
+    """In-path frame-level proxy for one listener (see module docstring).
+
+    Serves the listener's *advertised* socket; each inbound connection gets
+    a matching upstream connection to the real handler.  Downstream bytes
+    (delivery acks) pass through verbatim; upstream frames are re-framed
+    individually so a swallowed frame leaves the stream aligned.
+    """
+
+    def __init__(
+        self,
+        rules: ChaosRules,
+        clock: "Clock",
+        site: str,
+        port: int,
+        *,
+        upstream_host: str,
+        upstream_port: int,
+    ) -> None:
+        self.rules = rules
+        self.clock = clock
+        self.site = site
+        self.port = port
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.frames_forwarded = 0
+        self.frames_swallowed = 0
+        self.frames_delayed = 0
+        self.connections_reset = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self._stopped = False
+
+    async def start(self, sock: socket.socket) -> None:
+        server = await asyncio.start_server(self._handle, sock=sock)
+        if self._stopped:
+            server.close()
+            return
+        self._server = server
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for writer in list(self._writers):
+            _abort(writer)
+        self._writers.clear()
+        for task in list(self._tasks):
+            task.cancel()
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            _abort(client_writer)
+            return
+        self._writers.add(client_writer)
+        self._writers.add(upstream_writer)
+        loop = asyncio.get_running_loop()
+        ack_pump = loop.create_task(self._pump_acks(upstream_reader, client_writer))
+        self._tasks.add(ack_pump)
+        ack_pump.add_done_callback(self._tasks.discard)
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await client_reader.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                try:
+                    frames = decoder.feed(chunk)
+                except WireError:
+                    break
+                for body in frames:
+                    try:
+                        src = envelope_source(body)
+                    except WireError:
+                        src = ""
+                    action = self.rules.verdict(
+                        src, self.site, self.port, self.clock.now
+                    )
+                    if action == "reset":
+                        self.connections_reset += 1
+                        return
+                    if action == "swallow":
+                        self.frames_swallowed += 1
+                        continue
+                    delay = self.rules.delay_draw()
+                    if delay > 0.0:
+                        self.frames_delayed += 1
+                        await asyncio.sleep(delay)
+                    self.frames_forwarded += 1
+                    upstream_writer.write(encode_frame(body))
+                    await upstream_writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # loop shutdown: both sockets are aborted below
+        finally:
+            ack_pump.cancel()
+            self._writers.discard(client_writer)
+            self._writers.discard(upstream_writer)
+            _abort(client_writer)
+            _abort(upstream_writer)
+
+    async def _pump_acks(
+        self, upstream_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                chunk = await upstream_reader.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                client_writer.write(chunk)
+                await client_writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "frames_forwarded": self.frames_forwarded,
+            "frames_swallowed": self.frames_swallowed,
+            "frames_delayed": self.frames_delayed,
+            "connections_reset": self.connections_reset,
+        }
+
+
+def _abort(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.transport.abort()
+    except Exception:
+        pass

@@ -152,6 +152,22 @@ class FaultPlan:
         self._crashes.append(CrashRule(site, at, restart_at))
         return self
 
+    # -- rule inspection -----------------------------------------------------
+    # Read-only views used by the real-socket backend to translate the plan
+    # into chaos-proxy rules and kill/restart schedules (repro.net.chaos).
+
+    @property
+    def drops(self) -> tuple[DropRule, ...]:
+        return tuple(self._drops)
+
+    @property
+    def partitions(self) -> tuple[PartitionRule, ...]:
+        return tuple(self._partitions)
+
+    @property
+    def crashes(self) -> tuple[CrashRule, ...]:
+        return tuple(self._crashes)
+
     # -- installation --------------------------------------------------------
 
     def install(self, network: Network, engine: _CrashableEngine | None = None) -> None:

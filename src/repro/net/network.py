@@ -38,6 +38,8 @@ __all__ = [
     "Network",
     "SendOutcome",
     "QUERY_PORT",
+    "HELPER_PORT",
+    "FIRST_RESULT_PORT",
 ]
 
 #: The "common pre-specified port number" all query-servers listen on (§4.4).
@@ -45,6 +47,12 @@ QUERY_PORT = 4000
 
 #: Port of the user-site central helper (hybrid engine, paper §7.1).
 HELPER_PORT = 4500
+
+#: First per-query result port the user-site client allocates (Figure 2's
+#: ``receive_results`` socket).  Everything at or above this is an
+#: ephemeral, query-scoped port; the real transport's refusal
+#: classification (:func:`repro.net.transport.refusal_outcome`) keys on it.
+FIRST_RESULT_PORT = 5000
 
 
 class SendOutcome(enum.Enum):
@@ -69,6 +77,11 @@ class SendOutcome(enum.Enum):
     #: channel was reset (process crash, query cancellation).  Terminal:
     #: the payload was never delivered and no further attempt will be made.
     ABANDONED = "abandoned"
+    #: Returned (never delivered to callbacks) by *deferred* transports —
+    #: real sockets cannot know the connect outcome synchronously, so
+    #: ``send`` returns this placeholder and the final outcome arrives via
+    #: the ``on_outcome`` callback.  The simulator never returns it.
+    IN_FLIGHT = "in-flight"
 
     def __bool__(self) -> bool:
         return self is SendOutcome.DELIVERED
@@ -115,6 +128,16 @@ class NetworkConfig:
     ``(src, dst)`` pairs — the knob for modelling WAN/LAN asymmetry and for
     forcing *message reordering* in protocol tests (a slow path's report
     can then arrive after its children's reports).
+
+    The timeout fields are the **one policy surface shared by both
+    transport backends** (they used to live as scattered literals).  The
+    simulator resolves connects synchronously and ignores them; the real
+    asyncio backend (:mod:`repro.net.aio`) bounds every TCP connect with
+    ``connect_timeout`` and every framed write's delivery ack with
+    ``read_timeout`` (both wall-clock seconds), surfacing expiry as the
+    transient ``SendOutcome`` the :class:`~repro.net.reliable.RetryPolicy`
+    then retries.  ``max_frame_bytes`` caps one framed message on the wire
+    (oversized frames abort the connection, see :mod:`repro.wire`).
     """
 
     latency_base: float = 0.050
@@ -122,6 +145,14 @@ class NetworkConfig:
     intra_site_latency: float = 0.001
     envelope_bytes: int = 64
     latency_overrides: Mapping[tuple[str, str], float] | None = None
+    #: TCP connect budget on the real backend (wall seconds); expiry is
+    #: HOST_DOWN, exactly like the simulator's crashed-site connects.
+    connect_timeout: float = 1.0
+    #: Delivery-ack budget per framed message on the real backend (wall
+    #: seconds); expiry is FAULT — a transient wire fault, retryable.
+    read_timeout: float = 2.0
+    #: Per-frame size ceiling on the real backend.
+    max_frame_bytes: int = 8 * 1024 * 1024
 
     def transfer_time(self, src: str, dst: str, size: int) -> float:
         if src == dst:
@@ -134,6 +165,10 @@ class NetworkConfig:
 
 class Network:
     """Message fabric between sites."""
+
+    #: The simulator resolves every connect before ``send`` returns; real
+    #: transports set this ``False`` and settle through ``on_outcome``.
+    synchronous = True
 
     def __init__(
         self,
@@ -261,7 +296,15 @@ class Network:
 
     # -- transfer -----------------------------------------------------------
 
-    def send(self, src: str, dst: str, port: int, payload: Payload) -> SendOutcome:
+    def send(
+        self,
+        src: str,
+        dst: str,
+        port: int,
+        payload: Payload,
+        *,
+        on_outcome: Callable[[SendOutcome], None] | None = None,
+    ) -> SendOutcome:
         """Attempt a connect + transfer of ``payload`` from ``src`` to ``dst:port``.
 
         Returns the connect's :class:`SendOutcome`.  On DELIVERED, delivery
@@ -271,7 +314,18 @@ class Network:
         means; for WEBDIS, REFUSED means "do not forward" / "purge the
         query", while transient outcomes may be retried by a
         :class:`repro.net.reliable.ReliableChannel`.
+
+        ``on_outcome`` is the backend-agnostic way to learn the outcome
+        (see :class:`repro.net.transport.Transport`): the simulator invokes
+        it inline with the same value it returns, so callers written
+        against the deferred contract behave identically here.
         """
+        outcome = self._send_impl(src, dst, port, payload)
+        if on_outcome is not None:
+            on_outcome(outcome)
+        return outcome
+
+    def _send_impl(self, src: str, dst: str, port: int, payload: Payload) -> SendOutcome:
         if src not in self._sites:
             raise SimulationError(f"send from unregistered site {src!r}")
         if dst not in self._sites:

@@ -17,17 +17,26 @@ per-hop retry/timeout layers in distributed XQuery network specs:
 
 Everything is deterministic: jitter comes from a ``random.Random`` seeded
 from the policy seed plus the channel's name, and retries are ordinary
-``SimClock`` events.
+clock events.
+
+The channel runs over any :class:`~repro.net.transport.Transport`.  On the
+synchronous simulator each attempt's outcome is known when ``send``
+returns; on a deferred backend (real sockets) the outcome arrives through
+the transport's ``on_outcome`` callback and ``send`` returns
+:data:`~repro.net.network.SendOutcome.IN_FLIGHT` — either way the retry
+loop and the caller's ``on_final`` behave identically.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-from .network import Network, Payload, SendOutcome
-from .simclock import SimClock
+from .network import Payload, SendOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .transport import Clock, Transport
 
 __all__ = ["RetryPolicy", "ReliableChannel"]
 
@@ -72,14 +81,16 @@ class RetryPolicy:
 
 
 class ReliableChannel:
-    """Connect-with-retry over one :class:`Network`.
+    """Connect-with-retry over one :class:`~repro.net.transport.Transport`.
 
-    ``send`` performs the first connect synchronously and returns its
-    outcome, so existing dispatch-before-forward ordering still observes
-    immediate REFUSED/DELIVERED results.  When the outcome is transient and
-    the policy allows, retries are scheduled on the clock; ``on_final``
-    fires exactly once with the final outcome (synchronously when no retry
-    is needed).
+    On the simulator ``send`` performs the first connect synchronously and
+    returns its outcome, so existing dispatch-before-forward ordering still
+    observes immediate REFUSED/DELIVERED results.  On a deferred backend
+    ``send`` returns :data:`~repro.net.network.SendOutcome.IN_FLIGHT` and
+    settles later.  Either way, when the outcome is transient and the
+    policy allows, retries are scheduled on the clock; ``on_final`` fires
+    exactly once with the final outcome (synchronously when the backend is
+    synchronous and no retry is needed).
 
     With ``policy=None`` the channel is a passthrough — a single attempt
     whose transient failure is immediately final — which reproduces the
@@ -88,8 +99,8 @@ class ReliableChannel:
 
     def __init__(
         self,
-        network: Network,
-        clock: SimClock,
+        network: "Transport",
+        clock: "Clock",
         policy: RetryPolicy | None = None,
         *,
         name: str = "",
@@ -102,12 +113,16 @@ class ReliableChannel:
         self._rng = random.Random(f"{policy.seed if policy is not None else 0}:{name}")
         self._trace = trace
         self._send_serial = 0
-        #: Sends with a retry in flight: key -> (on_final, tag).  A key
-        #: removed by :meth:`reset` makes the scheduled retry a no-op.
+        #: Unsettled sends: key -> (on_final, tag).  Registered *before*
+        #: the transport attempt (a deferred backend may settle — or the
+        #: channel may be reset — while the connect is in flight) and
+        #: removed on the final outcome.  A key removed by :meth:`reset`
+        #: makes any scheduled retry or late transport callback a no-op.
         self._pending: dict[int, tuple[FinalCallback | None, object]] = {}
 
     def pending_sends(self, tag: object | None = None) -> int:
-        """Sends currently waiting on a scheduled retry (optionally by tag)."""
+        """Sends not yet settled — awaiting a scheduled retry or, on a
+        deferred backend, an in-flight connect (optionally by tag)."""
         if tag is None:
             return len(self._pending)
         return sum(1 for __, t in self._pending.values() if t == tag)
@@ -147,7 +162,8 @@ class ReliableChannel:
         *,
         tag: object | None = None,
     ) -> SendOutcome:
-        """Reliably send ``payload``; returns the *first* attempt's outcome.
+        """Reliably send ``payload``; returns the *first* attempt's outcome
+        (or :data:`SendOutcome.IN_FLIGHT` on a deferred backend).
 
         ``tag`` labels the send for selective :meth:`reset` (e.g. the qid of
         the query the send belongs to).
@@ -172,7 +188,37 @@ class ReliableChannel:
         key: int,
         tag: object | None,
     ) -> SendOutcome:
-        outcome = self.network.send(src, dst, port, payload)
+        # Register the pending entry *before* the transport attempt: on a
+        # deferred backend the connect may still be in flight when a crash
+        # or cancellation calls reset(), and the entry is what lets the
+        # abandonment win (the late transport callback then no-ops).
+        self._pending[key] = (on_final, tag)
+        first: list[SendOutcome] = []
+
+        def settle(outcome: SendOutcome) -> None:
+            first.append(outcome)
+            self._settle(
+                src, dst, port, payload, on_final, attempt, started, key, tag, outcome
+            )
+
+        self.network.send(src, dst, port, payload, on_outcome=settle)
+        return first[0] if first else SendOutcome.IN_FLIGHT
+
+    def _settle(
+        self,
+        src: str,
+        dst: str,
+        port: int,
+        payload: Payload,
+        on_final: FinalCallback | None,
+        attempt: int,
+        started: float,
+        key: int,
+        tag: object | None,
+        outcome: SendOutcome,
+    ) -> None:
+        if key not in self._pending:
+            return  # reset() abandoned this send mid-connect: on_final fired
         if not outcome.transient:
             # DELIVERED or REFUSED: final either way.  REFUSED is the
             # termination/participation signal and is deliberately never
@@ -182,7 +228,7 @@ class ReliableChannel:
                 self._trace("retry-delivered", f"{dst}:{port} attempt {attempt}")
             if on_final is not None:
                 on_final(outcome)
-            return outcome
+            return
         if self._retry_allowed(attempt, started):
             delay = self.policy.backoff(attempt, self._rng)
             if (
@@ -196,14 +242,13 @@ class ReliableChannel:
                         f"{dst}:{port} attempt {attempt + 1} in {delay:.3f}s"
                         f" ({outcome.value})",
                     )
-                self._pending[key] = (on_final, tag)
                 self.clock.schedule(
                     delay,
                     lambda: self._fire(
                         src, dst, port, payload, on_final, attempt + 1, started, key, tag
                     ),
                 )
-                return outcome
+                return
         self._pending.pop(key, None)
         if self.policy is not None:
             self.stats.retries_exhausted += 1
@@ -214,7 +259,6 @@ class ReliableChannel:
                 )
         if on_final is not None:
             on_final(outcome)
-        return outcome
 
     def _retry_allowed(self, attempt: int, started: float) -> bool:
         return self.policy is not None and attempt < self.policy.max_attempts

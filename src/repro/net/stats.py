@@ -3,10 +3,25 @@
 A single :class:`TrafficStats` instance is shared by the network and every
 engine in a run, so query-shipping and data-shipping executions of the same
 workload produce directly comparable numbers (EXP-C1, EXP-C6 in DESIGN.md).
+
+Concurrency rule
+----------------
+
+The counters are plain ints updated with read-modify-write — safe on the
+single-threaded simulator, and equally safe on the asyncio backend
+*provided every update happens on one event loop's thread*: asyncio tasks
+only interleave at ``await`` points, so ``self.x += 1`` is atomic with
+respect to other tasks on the same loop.  What would silently corrupt the
+numbers is updates from a second loop or a worker thread.  Call
+:meth:`bind_owner` (the asyncio backend does) to *enforce* that rule:
+after binding, any counter write from a different thread raises instead of
+racing, so backend stats are trustworthy by construction rather than by
+convention.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -24,6 +39,9 @@ class TrafficStats:
     messages_by_site: Counter = field(default_factory=Counter)
     #: Injected transient connect faults (SendOutcome.FAULT).
     failed_sends: int = 0
+    #: Wire frames rejected by the real-socket backend (oversized frame or
+    #: an undecodable body); the offending connection is aborted.
+    frames_rejected: int = 0
     #: Active refusals — the destination host is up but nothing listens on
     #: the port (closed result socket, non-participating site).
     refused_sends: int = 0
@@ -91,6 +109,34 @@ class TrafficStats:
         """Network messages avoided by coalescing forwards into bundles."""
         return self.clones_bundled - self.clone_bundles_sent
 
+    def bind_owner(self, thread_id: int | None = None) -> None:
+        """Restrict counter writes to one thread (default: the caller's).
+
+        The asyncio backend binds its event-loop thread so that any stray
+        update from another loop or worker thread raises immediately
+        instead of silently losing increments to a read-modify-write race.
+        Scalar counter writes are checked in ``__setattr__``; the Counter
+        fields are only mutated through :meth:`record_send` /
+        :meth:`record_processing`, whose scalar twins trip the same check.
+        """
+        self.__dict__["_owner_thread"] = (
+            threading.get_ident() if thread_id is None else thread_id
+        )
+
+    def unbind_owner(self) -> None:
+        """Lift the :meth:`bind_owner` restriction (single-threaded again)."""
+        self.__dict__.pop("_owner_thread", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        owner = self.__dict__.get("_owner_thread")
+        if owner is not None and threading.get_ident() != owner:
+            raise RuntimeError(
+                f"TrafficStats.{name} written from thread {threading.get_ident()}"
+                f" but the stats are owned by thread {owner}; counters are not"
+                " thread-safe — route updates through the owning event loop"
+            )
+        object.__setattr__(self, name, value)
+
     def record_send(self, src_site: str, kind: str, size: int) -> None:
         """Account one successfully initiated message."""
         self.messages_sent += 1
@@ -116,6 +162,7 @@ class TrafficStats:
             "messages": self.messages_sent,
             "bytes": self.bytes_sent,
             "failed_sends": self.failed_sends,
+            "frames_rejected": self.frames_rejected,
             "refused_sends": self.refused_sends,
             "down_sends": self.down_sends,
             "unknown_host_sends": self.unknown_host_sends,

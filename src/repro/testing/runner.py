@@ -22,6 +22,8 @@ bit-identical run" is checkable by plain string equality.
 
 from __future__ import annotations
 
+import asyncio
+import dataclasses
 import hashlib
 from dataclasses import dataclass, field
 
@@ -42,7 +44,15 @@ from .generators import (
 from .invariants import Violation, check_run, reference_rows
 from .oracle import Reference, check_clean, check_faulted, reference_run
 
-__all__ = ["CaseResult", "SeedResult", "run_case", "run_seed", "case_fails", "POLICY"]
+__all__ = [
+    "CaseResult",
+    "SeedResult",
+    "run_case",
+    "run_case_asyncio",
+    "run_seed",
+    "case_fails",
+    "POLICY",
+]
 
 #: Generous recovery budgets: a *clean* run must always reach COMPLETE, so
 #: slow-but-alive paths (latency overrides up to ~3 s) must never exhaust
@@ -178,6 +188,61 @@ def _run_faulted(
         recovery_epoch=handle.recovery_epoch,
         violations=violations,
         fingerprint=fingerprint,
+    )
+
+
+def run_case_asyncio(
+    spec: Spec, *, time_scale: float = 1.0, timeout: float = 120.0
+) -> CaseResult:
+    """Replay one spec's faulted run over real asyncio sockets.
+
+    This is an *approximate* replay, by design: the spec's fault windows
+    map onto the wall clock (scaled by ``time_scale`` wall-seconds per
+    sim-second) through the in-path chaos proxy, and crash rules become
+    real socket teardowns — but arrival order is whatever the kernel
+    produces, so the question answered is "does the shrunk scenario still
+    self-heal on real sockets", not "is the run bit-identical".
+    Correspondingly the checks are the invariant battery plus terminal
+    status (no fingerprint, no row-multiset reference — a different
+    interleaving can legitimately change DUPLICATE/REWRITE multiplicities),
+    and latency overrides (a simulator cost-model knob) are not applied.
+    """
+    return asyncio.run(_run_case_asyncio(spec, time_scale, timeout))
+
+
+async def _run_case_asyncio(
+    spec: Spec, time_scale: float, timeout: float
+) -> CaseResult:
+    from ..core.aio_engine import AsyncioWebDisEngine
+    from ..net.chaos import ChaosRules
+
+    config = dataclasses.replace(
+        _engine_config(spec, inject_bug=False), transport="asyncio"
+    )
+    plan = build_fault_plan(spec)
+    chaos = None if plan is None else ChaosRules.from_plan(plan, time_scale=time_scale)
+    engine = AsyncioWebDisEngine(build_web(spec), config=config, trace=True, chaos=chaos)
+    try:
+        supervisor = QuerySupervisor(engine.client, POLICY)
+        handle = engine.submit_disql(query_text(spec))
+        supervisor.supervise(handle)
+        engine.apply_chaos_crashes()
+        violations: list[Violation] = []
+        try:
+            await engine.run([handle], timeout=timeout)
+        except SimulationError as exc:
+            violations.append(Violation("terminal", str(handle.qid), str(exc)))
+        violations += check_run(engine, [handle])
+    finally:
+        await engine.aclose()
+    return CaseResult(
+        spec=spec,
+        status=handle.status.value,
+        clean_status="",
+        rows=len(handle.results),
+        recovery_epoch=handle.recovery_epoch,
+        violations=violations,
+        fingerprint="",
     )
 
 

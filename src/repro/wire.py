@@ -18,11 +18,23 @@ Uses:
 
 Security note: :func:`decode_message` only constructs the library's own
 frozen dataclasses — no arbitrary object instantiation.
+
+Real-transport framing (the asyncio backend, :mod:`repro.net.aio`): the
+simulator hands payload *objects* to listeners, but a TCP stream needs
+explicit message boundaries.  :func:`encode_frame` / :class:`FrameDecoder`
+implement length-prefixed framing (4-byte big-endian length, then the body)
+with an oversized-frame guard, and :func:`encode_envelope` /
+:func:`decode_envelope` stamp each framed message with its *source site* —
+the one piece of addressing information a raw socket does not carry but
+every :data:`~repro.net.network.Listener` receives.  The chaos proxy reads
+just the source stamp (:func:`envelope_source`) to apply partition rules
+without paying a full decode.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any
 
 from .baselines.docservice import DocResponse, FetchRequest
@@ -54,6 +66,7 @@ from .urlutils import parse_url
 
 __all__ = [
     "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
     "WireError",
     "encode_message",
     "decode_message",
@@ -62,9 +75,21 @@ __all__ = [
     "pre_from_wire",
     "expr_to_wire",
     "expr_from_wire",
+    "encode_frame",
+    "FrameDecoder",
+    "encode_envelope",
+    "decode_envelope",
+    "envelope_source",
 ]
 
 WIRE_VERSION = 1
+
+#: Hard ceiling on one framed message.  A length prefix beyond this is
+#: treated as protocol corruption (or an attack) and the connection is
+#: aborted rather than buffering unbounded data.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_FRAME_HEADER = struct.Struct(">I")
 
 
 class WireError(WebDisError):
@@ -401,3 +426,98 @@ def decode_message(data: bytes) -> object:
 def wire_size(message: object) -> int:
     """Exact encoded size in bytes."""
     return len(encode_message(message))
+
+
+# --- stream framing (real transports) ----------------------------------------
+
+
+def encode_frame(body: bytes, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Prefix ``body`` with its 4-byte big-endian length."""
+    if len(body) > max_frame_bytes:
+        raise WireError(
+            f"frame of {len(body)} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    return _FRAME_HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental inverse of :func:`encode_frame` over an arbitrary chunking.
+
+    Feed raw stream chunks as they arrive — any split is legal: one byte at
+    a time, several concatenated frames in one read, a header straddling two
+    chunks.  Complete frame bodies come back in order.  A length prefix
+    larger than ``max_frame_bytes`` raises :class:`WireError` immediately
+    (the caller must abort the connection: the stream cannot be re-synced).
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    @property
+    def pending(self) -> bool:
+        """True when the stream ended (or paused) mid-frame.
+
+        At a clean point between frames the buffer is empty; bytes left
+        over after the peer closed mean the connection was reset mid-frame
+        and the partial message must be discarded, never delivered.
+        """
+        return bool(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Consume ``chunk``; return every frame body it completed."""
+        self._buffer.extend(chunk)
+        frames: list[bytes] = []
+        while len(self._buffer) >= _FRAME_HEADER.size:
+            (length,) = _FRAME_HEADER.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise WireError(
+                    f"incoming frame of {length} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            end = _FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            frames.append(bytes(self._buffer[_FRAME_HEADER.size:end]))
+            del self._buffer[:end]
+        return frames
+
+
+# --- source-stamped envelopes (frame bodies) ---------------------------------
+
+_ENVELOPE_SEPARATOR = b"\x00"
+
+
+def encode_envelope(src: str, message: object) -> bytes:
+    """One frame body: the source site, a NUL, then the encoded message.
+
+    The simulator's delivery callback receives ``(src_site, payload)``; a
+    TCP stream only carries bytes, so the source site travels in-band.  The
+    site name is UTF-8 and never contains NUL (site names are host names).
+    """
+    stamp = src.encode("utf-8")
+    if _ENVELOPE_SEPARATOR in stamp:
+        raise WireError(f"source site {src!r} contains NUL")
+    return stamp + _ENVELOPE_SEPARATOR + encode_message(message)
+
+
+def envelope_source(body: bytes) -> str:
+    """The source-site stamp of an envelope, without decoding the message.
+
+    The chaos proxy uses this to apply partition rules (which are keyed by
+    source site) while forwarding the message bytes untouched.
+    """
+    stamp, separator, __ = body.partition(_ENVELOPE_SEPARATOR)
+    if not separator:
+        raise WireError("envelope missing source stamp")
+    try:
+        return stamp.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"undecodable source stamp: {exc}") from exc
+
+
+def decode_envelope(body: bytes) -> tuple[str, object]:
+    """Inverse of :func:`encode_envelope`: ``(src_site, decoded message)``."""
+    src = envelope_source(body)
+    __, ___, message_bytes = body.partition(_ENVELOPE_SEPARATOR)
+    return src, decode_message(message_bytes)

@@ -1,0 +1,629 @@
+"""The asyncio transport: real sockets behind the simulator's seam.
+
+Everything here runs against ``127.0.0.1`` TCP — the same protocol objects
+the simulator drives, but framed over real connections with delivery acks.
+Covers outcome classification off the simulator (REFUSED vs HOST_DOWN from
+actual connect errors), the :class:`ReliableChannel` retry properties on a
+deferred backend (the satellite requirement: same semantics on *both*
+transports), wire-level chaos through the in-path proxy, and end-to-end
+engine runs including the sim-vs-socket equivalence check and crash
+recovery with real listener teardowns.
+
+No pytest-asyncio in the container: each test drives its own loop via
+``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.baselines.docservice import FetchRequest
+from repro.core.aio_engine import AsyncioWebDisEngine
+from repro.core.client import QueryStatus
+from repro.core.engine import WebDisEngine, build_engine
+from repro.core.config import EngineConfig
+from repro.core.supervisor import QuerySupervisor, RecoveryPolicy
+from repro.errors import SimulationError
+from repro.net import (
+    FIRST_RESULT_PORT,
+    HELPER_PORT,
+    QUERY_PORT,
+    Network,
+    NetworkConfig,
+    SendOutcome,
+    SimClock,
+    TrafficStats,
+    refusal_outcome,
+)
+from repro.net.aio import AsyncioTransport, StaticPortMap
+from repro.net.chaos import ChaosProxy, ChaosRules
+from repro.net.faults import FaultPlan
+from repro.net.reliable import ReliableChannel, RetryPolicy
+from repro.testing.invariants import check_run
+from repro.urlutils import parse_url
+from repro.web.builders import WebBuilder
+
+
+def _payload(request_id: int = 1) -> FetchRequest:
+    return FetchRequest(
+        url=parse_url("http://a.example/doc"),
+        reply_site="user.example",
+        reply_port=FIRST_RESULT_PORT,
+        request_id=request_id,
+    )
+
+
+async def _transport(*sites: str, **kwargs) -> AsyncioTransport:
+    transport = AsyncioTransport(**kwargs)
+    for site in sites:
+        transport.register_site(site)
+    return transport
+
+
+async def _send(transport: AsyncioTransport, *args) -> SendOutcome:
+    """Send and await the settled outcome (inline or deferred)."""
+    loop = asyncio.get_running_loop()
+    fut: asyncio.Future = loop.create_future()
+    first = transport.send(*args, on_outcome=fut.set_result)
+    if first is not SendOutcome.IN_FLIGHT:
+        return first
+    return await asyncio.wait_for(fut, 10.0)
+
+
+class TestRefusalClassification:
+    def test_daemon_ports_mean_host_down(self):
+        assert refusal_outcome(QUERY_PORT) is SendOutcome.HOST_DOWN
+        assert refusal_outcome(HELPER_PORT) is SendOutcome.HOST_DOWN
+
+    def test_result_ports_mean_refused(self):
+        assert refusal_outcome(FIRST_RESULT_PORT) is SendOutcome.REFUSED
+        assert refusal_outcome(FIRST_RESULT_PORT + 37) is SendOutcome.REFUSED
+
+
+class TestStaticPortMap:
+    def test_same_mapping_in_every_process(self):
+        sites = ["b.example", "a.example", "user.example"]
+        one = StaticPortMap(sites, first_base=21000)
+        # A cooperating process builds its own instance from the same list
+        # (different order — the map sorts) and must agree byte-for-byte.
+        two = StaticPortMap(sorted(sites), first_base=21000)
+        for site in sites:
+            for port in (QUERY_PORT, HELPER_PORT, FIRST_RESULT_PORT + 3):
+                assert one.lookup(site, port) == two.lookup(site, port)
+
+    def test_ranges_do_not_overlap(self):
+        ports = StaticPortMap(["a", "b"], first_base=21000)
+        assert ports.lookup("a", QUERY_PORT) == 21000
+        assert ports.lookup("b", QUERY_PORT) == 21000 + StaticPortMap.SPAN
+
+    def test_unknown_site_or_out_of_range_port(self):
+        ports = StaticPortMap(["a"], first_base=21000)
+        assert ports.lookup("ghost", QUERY_PORT) is None
+        assert ports.lookup("a", QUERY_PORT - 1) is None
+        assert ports.lookup("a", QUERY_PORT + StaticPortMap.SPAN) is None
+
+
+class TestTrafficStatsOwnership:
+    def test_cross_thread_write_rejected(self):
+        stats = TrafficStats()
+        stats.bind_owner()
+        stats.messages_sent += 1  # owner thread: fine
+        errors: list[BaseException] = []
+
+        def intrude():
+            try:
+                stats.messages_sent += 1
+            except BaseException as exc:  # noqa: BLE001 - asserting the type below
+                errors.append(exc)
+
+        thread = threading.Thread(target=intrude)
+        thread.start()
+        thread.join()
+        assert len(errors) == 1 and isinstance(errors[0], RuntimeError)
+
+    def test_unbind_restores_free_writes(self):
+        stats = TrafficStats()
+        stats.bind_owner()
+        stats.unbind_owner()
+        done = threading.Event()
+
+        def write():
+            stats.messages_sent += 1
+            done.set()
+
+        thread = threading.Thread(target=write)
+        thread.start()
+        thread.join()
+        assert done.is_set() and stats.messages_sent == 1
+
+
+class TestAsyncioTransportSends:
+    def test_delivered_means_processed(self):
+        async def main():
+            transport = await _transport("a.example", "b.example")
+            try:
+                seen = []
+                transport.listen(
+                    "b.example", QUERY_PORT, lambda src, msg: seen.append((src, msg))
+                )
+                outcome = await _send(
+                    transport, "a.example", "b.example", QUERY_PORT, _payload()
+                )
+                assert outcome is SendOutcome.DELIVERED
+                # The ack is written after the listener ran: processed, not
+                # merely buffered somewhere in the kernel.
+                assert seen == [("a.example", _payload())]
+                assert transport.stats.messages_sent == 1
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_unknown_destination_settles_inline(self):
+        async def main():
+            transport = await _transport("a.example")
+            try:
+                outcome = transport.send(
+                    "a.example", "ghost.example", QUERY_PORT, _payload()
+                )
+                assert outcome is SendOutcome.HOST_DOWN
+                assert transport.stats.unknown_host_sends == 1
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_unregistered_source_raises(self):
+        async def main():
+            transport = await _transport("a.example")
+            try:
+                with pytest.raises(SimulationError, match="unregistered"):
+                    transport.send("ghost.example", "a.example", QUERY_PORT, _payload())
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_closed_result_port_is_genuinely_refused(self):
+        # The §2.8 termination signal: the port-map entry survives close(),
+        # so a send hits a real ECONNREFUSED and classifies as REFUSED.
+        async def main():
+            transport = await _transport("a.example", "b.example")
+            try:
+                transport.listen("b.example", FIRST_RESULT_PORT, lambda s, m: None)
+                transport.close("b.example", FIRST_RESULT_PORT)
+                outcome = await _send(
+                    transport, "a.example", "b.example", FIRST_RESULT_PORT, _payload()
+                )
+                assert outcome is SendOutcome.REFUSED
+                assert transport.stats.refused_sends == 1
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_never_listening_daemon_port_is_host_down(self):
+        async def main():
+            transport = await _transport("a.example", "b.example")
+            try:
+                outcome = await _send(
+                    transport, "a.example", "b.example", QUERY_PORT, _payload()
+                )
+                assert outcome is SendOutcome.HOST_DOWN
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_crash_site_tears_down_for_real(self):
+        async def main():
+            transport = await _transport("a.example", "b.example")
+            try:
+                transport.listen("b.example", QUERY_PORT, lambda s, m: None)
+                transport.crash_site("b.example")
+                assert not transport.is_listening("b.example", QUERY_PORT)
+                outcome = await _send(
+                    transport, "a.example", "b.example", QUERY_PORT, _payload()
+                )
+                assert outcome is SendOutcome.HOST_DOWN
+                # Re-listen = recovery: the very next send goes through.
+                transport.listen("b.example", QUERY_PORT, lambda s, m: None)
+                outcome = await _send(
+                    transport, "a.example", "b.example", QUERY_PORT, _payload()
+                )
+                assert outcome is SendOutcome.DELIVERED
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_oversized_payload_rejected_before_the_wire(self):
+        async def main():
+            transport = await _transport(
+                "a.example", "b.example",
+                config=NetworkConfig(max_frame_bytes=64),
+            )
+            try:
+                transport.listen("b.example", QUERY_PORT, lambda s, m: None)
+                outcome = await _send(
+                    transport, "a.example", "b.example", QUERY_PORT, _payload()
+                )
+                assert outcome is SendOutcome.FAULT
+                assert transport.stats.frames_rejected == 1
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+
+class _RecordingClock:
+    """Clock wrapper that records every retry delay it is asked to schedule."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.delays: list[float] = []
+
+    @property
+    def now(self):
+        return self.inner.now
+
+    def schedule(self, delay, callback):
+        self.delays.append(round(delay, 9))
+        self.inner.schedule(delay, callback)
+
+    def schedule_at(self, time, callback):
+        self.inner.schedule_at(time, callback)
+
+
+POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.02, multiplier=2.0, max_delay=0.1,
+    jitter=0.5, seed=42,
+)
+
+
+class TestReliableChannelOnAsyncio:
+    """DESIGN.md §4.6 retry semantics must hold identically off the simulator."""
+
+    async def _final(self, channel, *args) -> SendOutcome:
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        channel.send(*args, on_final=fut.set_result)
+        return await asyncio.wait_for(fut, 10.0)
+
+    def test_refused_never_retried(self):
+        async def main():
+            transport = await _transport("a.example", "b.example")
+            try:
+                channel = ReliableChannel(transport, transport.clock, POLICY, name="t")
+                outcome = await self._final(
+                    channel, "a.example", "b.example", FIRST_RESULT_PORT, _payload()
+                )
+                assert outcome is SendOutcome.REFUSED
+                assert transport.stats.retried_sends == 0
+                assert channel.pending_sends() == 0
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_exhaustion_is_terminal(self):
+        async def main():
+            transport = await _transport("a.example", "b.example")
+            try:
+                channel = ReliableChannel(transport, transport.clock, POLICY, name="t")
+                outcome = await self._final(
+                    channel, "a.example", "b.example", QUERY_PORT, _payload()
+                )
+                assert outcome is SendOutcome.HOST_DOWN
+                assert transport.stats.retried_sends == POLICY.max_attempts - 1
+                assert transport.stats.retries_exhausted == 1
+                assert channel.pending_sends() == 0
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_retry_recovers_after_restart(self):
+        async def main():
+            transport = await _transport("a.example", "b.example")
+            try:
+                generous = RetryPolicy(
+                    max_attempts=6, base_delay=0.05, multiplier=1.5,
+                    max_delay=0.3, jitter=0.0, seed=1,
+                )
+                channel = ReliableChannel(transport, transport.clock, generous, name="t")
+                loop = asyncio.get_running_loop()
+                fut: asyncio.Future = loop.create_future()
+                channel.send(
+                    "a.example", "b.example", QUERY_PORT, _payload(),
+                    on_final=fut.set_result,
+                )
+                # The site comes up while retries are in flight.
+                await asyncio.sleep(0.08)
+                transport.listen("b.example", QUERY_PORT, lambda s, m: None)
+                assert await asyncio.wait_for(fut, 10.0) is SendOutcome.DELIVERED
+                assert transport.stats.retried_sends >= 1
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_seeded_backoff_identical_on_both_transports(self):
+        """Same policy seed + channel name ⇒ the same backoff schedule,
+        whether the transport is the simulator or real sockets."""
+        # Simulator: the destination is down, every attempt is HOST_DOWN.
+        sim_clock = SimClock()
+        sim_net = Network(sim_clock, TrafficStats())
+        sim_net.register_site("a.example")
+        sim_net.register_site("b.example")
+        sim_net.set_site_down("b.example")
+        recording_sim = _RecordingClock(sim_clock)
+        sim_channel = ReliableChannel(sim_net, recording_sim, POLICY, name="t")
+        sim_channel.send("a.example", "b.example", QUERY_PORT, _payload())
+        sim_clock.run()
+
+        # Asyncio: the daemon port is never bound — also HOST_DOWN each try.
+        async def main() -> list[float]:
+            transport = await _transport("a.example", "b.example")
+            try:
+                recording = _RecordingClock(transport.clock)
+                channel = ReliableChannel(transport, recording, POLICY, name="t")
+                loop = asyncio.get_running_loop()
+                fut: asyncio.Future = loop.create_future()
+                channel.send(
+                    "a.example", "b.example", QUERY_PORT, _payload(),
+                    on_final=fut.set_result,
+                )
+                await asyncio.wait_for(fut, 10.0)
+                return recording.delays
+            finally:
+                await transport.aclose()
+
+        aio_delays = asyncio.run(main())
+        assert recording_sim.delays == aio_delays
+        assert len(aio_delays) == POLICY.max_attempts - 1
+
+
+class TestChaosRules:
+    def test_guaranteed_drop_window(self):
+        plan = FaultPlan(seed=9).drop(1.0, start=1.0, end=2.0)
+        rules = ChaosRules.from_plan(plan)
+        assert rules.verdict("a", "b", QUERY_PORT, 0.5) is None
+        assert rules.verdict("a", "b", QUERY_PORT, 1.5) in ("swallow", "reset")
+        assert rules.verdict("a", "b", QUERY_PORT, 2.5) is None
+
+    def test_partition_severs_by_envelope_source(self):
+        plan = FaultPlan(seed=9).partition(["a"], ["b"], start=0.0, end=5.0)
+        rules = ChaosRules.from_plan(plan)
+        assert rules.verdict("a", "b", QUERY_PORT, 1.0) in ("swallow", "reset")
+        assert rules.verdict("c", "b", QUERY_PORT, 1.0) is None
+
+    def test_time_scale_maps_plan_windows_to_wall_clock(self):
+        plan = (
+            FaultPlan(seed=9)
+            .drop(1.0, start=1.0, end=2.0)
+            .crash("x", at=2.0, restart_at=3.0)
+        )
+        rules = ChaosRules.from_plan(plan, time_scale=0.5)
+        # Wall 0.75s = plan 1.5s: inside the window.
+        assert rules.verdict("a", "b", QUERY_PORT, 0.75) is not None
+        assert rules.verdict("a", "b", QUERY_PORT, 1.25) is None
+        assert rules.crash_schedule() == (("x", 1.0, 1.5),)
+
+    def test_seeded_verdicts_reproducible(self):
+        plan = FaultPlan(seed=7).drop(0.5, end=10.0)
+        draws = [
+            tuple(
+                ChaosRules.from_plan(plan).verdict("a", "b", QUERY_PORT, 1.0)
+                for __ in range(32)
+            )
+            for __ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+
+class TestChaosProxyWire:
+    def test_swallowed_frame_times_out_then_heals(self):
+        """A frame the proxy eats never acks (FAULT at the sender); once
+        the window closes the same link delivers."""
+
+        async def main():
+            plan = FaultPlan(seed=3).drop(1.0, end=0.35)
+            transport = await _transport(
+                "a.example", "b.example",
+                config=NetworkConfig(read_timeout=0.25, connect_timeout=0.5),
+                chaos=ChaosRules.from_plan(plan),
+            )
+            try:
+                seen = []
+                transport.listen(
+                    "b.example", QUERY_PORT, lambda src, msg: seen.append(msg)
+                )
+                first = await _send(
+                    transport, "a.example", "b.example", QUERY_PORT, _payload(1)
+                )
+                assert first in (SendOutcome.FAULT, SendOutcome.HOST_DOWN)
+                assert seen == []
+                await asyncio.sleep(0.4)  # window closes
+                second = await _send(
+                    transport, "a.example", "b.example", QUERY_PORT, _payload(2)
+                )
+                assert second is SendOutcome.DELIVERED
+                assert seen == [_payload(2)]
+                summary = transport.chaos_summary()
+                assert summary["frames_swallowed"] + summary["connections_reset"] >= 1
+                assert summary["frames_forwarded"] >= 1
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_clean_rules_pass_everything_through(self):
+        async def main():
+            transport = await _transport(
+                "a.example", "b.example", chaos=ChaosRules(seed=0)
+            )
+            try:
+                transport.listen("b.example", QUERY_PORT, lambda s, m: None)
+                for i in range(3):
+                    assert (
+                        await _send(
+                            transport, "a.example", "b.example", QUERY_PORT, _payload(i)
+                        )
+                        is SendOutcome.DELIVERED
+                    )
+                summary = transport.chaos_summary()
+                assert summary["frames_forwarded"] == 3
+                assert summary["frames_swallowed"] == 0
+                assert summary["connections_reset"] == 0
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_proxy_is_in_path(self):
+        # The advertised port and the inner upstream port must differ —
+        # otherwise chaos could be bypassed by the transport dialing direct.
+        async def main():
+            transport = await _transport(
+                "a.example", "b.example", chaos=ChaosRules(seed=0)
+            )
+            try:
+                transport.listen("b.example", QUERY_PORT, lambda s, m: None)
+                proxy = transport._proxies[("b.example", QUERY_PORT)]
+                assert isinstance(proxy, ChaosProxy)
+                advertised = transport.port_map.lookup("b.example", QUERY_PORT)
+                assert advertised is not None
+                assert advertised != proxy.upstream_port
+            finally:
+                await transport.aclose()
+
+        asyncio.run(main())
+
+
+def _small_web():
+    builder = WebBuilder()
+    builder.site("root.example").page(
+        "/", title="root",
+        links=[("one", "http://one.example/"), ("two", "http://two.example/")],
+    )
+    builder.site("one.example").page("/", title="one", emphasized=[("b", "answer 1")])
+    builder.site("two.example").page("/", title="two", emphasized=[("b", "answer 2")])
+    return builder.build()
+
+
+SMALL_QUERY = (
+    'select d.url, r.text\n'
+    'from document d such that "http://root.example/" G d,\n'
+    '     relinfon r such that r.delimiter = "b"\n'
+    'where r.text contains "answer"'
+)
+
+
+def _retrying_config(seed: int = 0) -> EngineConfig:
+    return EngineConfig(
+        transport="asyncio",
+        retry_policy=RetryPolicy(
+            max_attempts=5, base_delay=0.05, multiplier=1.8, max_delay=0.5,
+            jitter=0.3, seed=seed,
+        ),
+    )
+
+
+def _distinct(handle) -> set:
+    return {(label, row.header, row.values) for label, row, __ in handle.results}
+
+
+class TestAsyncioEngine:
+    def test_fault_free_run_matches_simulator(self):
+        sim = WebDisEngine(_small_web(), config=EngineConfig())
+        sim_handle = sim.submit_disql(SMALL_QUERY)
+        sim.run()
+        assert sim_handle.status is QueryStatus.COMPLETE
+
+        async def main():
+            engine = AsyncioWebDisEngine(
+                _small_web(), config=_retrying_config(), trace=True
+            )
+            try:
+                handle = engine.submit_disql(SMALL_QUERY)
+                await engine.run([handle], timeout=30.0)
+                assert handle.status is QueryStatus.COMPLETE
+                assert check_run(engine, [handle]) == []
+                return _distinct(handle)
+            finally:
+                await engine.aclose()
+
+        assert asyncio.run(main()) == _distinct(sim_handle)
+
+    def test_build_engine_dispatches_on_transport(self):
+        assert isinstance(build_engine(_small_web()), WebDisEngine)
+
+        async def main():
+            engine = build_engine(_small_web(), config=_retrying_config())
+            assert isinstance(engine, AsyncioWebDisEngine)
+            await engine.aclose()
+
+        asyncio.run(main())
+
+    def test_central_fallback_rejected(self):
+        async def main():
+            with pytest.raises(SimulationError, match="central_fallback"):
+                AsyncioWebDisEngine(
+                    _small_web(),
+                    config=EngineConfig(transport="asyncio", central_fallback=True),
+                )
+
+        asyncio.run(main())
+
+    def test_crash_and_restart_recovers(self):
+        """A leaf's sockets die for real mid-run; the supervisor re-forwards
+        after restart and the query still completes with full rows."""
+
+        async def main():
+            engine = AsyncioWebDisEngine(
+                _small_web(), config=_retrying_config(seed=1), trace=True
+            )
+            try:
+                supervisor = QuerySupervisor(
+                    engine.client,
+                    RecoveryPolicy(
+                        quiet_timeout=0.4, max_recoveries=5,
+                        backoff_multiplier=1.3, deadline=25.0,
+                    ),
+                )
+                engine.crash_server("one.example")
+                handle = engine.submit_disql(SMALL_QUERY)
+                supervisor.supervise(handle)
+                engine.restart_server("one.example", at=engine.clock.now + 0.5)
+                await engine.run([handle], timeout=30.0)
+                assert handle.status in (QueryStatus.COMPLETE, QueryStatus.PARTIAL)
+                assert check_run(engine, [handle]) == []
+                if handle.status is QueryStatus.PARTIAL:
+                    coverage = supervisor.coverage(handle)
+                    assert coverage.unreachable_sites
+                return handle.recovery_epoch, _distinct(handle)
+
+            finally:
+                await engine.aclose()
+
+        __, rows = asyncio.run(main())
+        # Soundness either way: nothing invented beyond the reference rows.
+        sim = WebDisEngine(_small_web(), config=EngineConfig())
+        sim_handle = sim.submit_disql(SMALL_QUERY)
+        sim.run()
+        assert rows <= _distinct(sim_handle)
+
+    def test_apply_faults_directs_to_chaos(self):
+        async def main():
+            engine = AsyncioWebDisEngine(_small_web(), config=_retrying_config())
+            try:
+                with pytest.raises(SimulationError, match="chaos"):
+                    engine.apply_faults(FaultPlan(seed=0).drop(0.5))
+            finally:
+                await engine.aclose()
+
+        asyncio.run(main())

@@ -1,0 +1,163 @@
+"""Stream framing and envelopes: any chunking, hostile prefixes, resets.
+
+The message codec itself is covered by ``test_wire.py`` / ``test_wire_fuzz``;
+this file covers the layer below it — the 4-byte length prefix that turns a
+TCP byte stream back into discrete messages (``encode_frame`` /
+``FrameDecoder``) and the source-stamped envelope that is each frame's body.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wire import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    WireError,
+    decode_envelope,
+    encode_envelope,
+    encode_frame,
+    envelope_source,
+)
+
+
+class TestEncodeFrame:
+    def test_prefix_is_big_endian_length(self):
+        assert encode_frame(b"abc") == b"\x00\x00\x00\x03abc"
+
+    def test_empty_body_allowed(self):
+        assert encode_frame(b"") == b"\x00\x00\x00\x00"
+
+    def test_oversized_body_rejected(self):
+        with pytest.raises(WireError, match="exceeds"):
+            encode_frame(b"x" * 11, max_frame_bytes=10)
+
+    def test_default_limit_is_module_constant(self):
+        # At the boundary the frame is legal; one past it is not.
+        assert len(encode_frame(b"x" * 64, max_frame_bytes=64)) == 68
+        with pytest.raises(WireError):
+            encode_frame(b"x" * 65, max_frame_bytes=64)
+        assert MAX_FRAME_BYTES == 8 * 1024 * 1024
+
+
+class TestFrameDecoder:
+    def test_single_frame_round_trip(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+        assert not decoder.pending
+
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        frames = []
+        for byte in encode_frame(b"trickle"):
+            frames += decoder.feed(bytes([byte]))
+        assert frames == [b"trickle"]
+        assert not decoder.pending
+
+    def test_concatenated_frames_in_one_chunk(self):
+        bodies = [b"one", b"", b"three" * 100]
+        chunk = b"".join(encode_frame(body) for body in bodies)
+        assert FrameDecoder().feed(chunk) == bodies
+
+    def test_header_straddles_chunks(self):
+        wire = encode_frame(b"split")
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:2]) == []
+        assert decoder.pending
+        assert decoder.feed(wire[2:]) == [b"split"]
+
+    def test_pending_flags_mid_frame_reset(self):
+        # A peer that dies mid-frame leaves bytes in the buffer; the
+        # receiver must detect this and discard, never deliver, the tail.
+        wire = encode_frame(b"whole") + encode_frame(b"cut off")[:-3]
+        decoder = FrameDecoder()
+        assert decoder.feed(wire) == [b"whole"]
+        assert decoder.pending
+
+    def test_oversized_prefix_rejected_before_buffering(self):
+        # The hostile case: a 4-byte header claiming a huge frame must
+        # raise on sight — the decoder never waits for the body.
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(WireError, match="exceeds"):
+            decoder.feed(struct.pack(">I", 1025))
+
+    def test_limit_boundary_accepted(self):
+        decoder = FrameDecoder(max_frame_bytes=8)
+        assert decoder.feed(encode_frame(b"x" * 8, max_frame_bytes=8)) == [b"x" * 8]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    bodies=st.lists(st.binary(max_size=200), max_size=8),
+    data=st.data(),
+)
+def test_fuzz_any_chunking_reassembles_exactly(bodies, data):
+    """Property: an arbitrary re-chunking of concatenated frames yields the
+    original bodies, in order, with nothing pending at a clean boundary."""
+    stream = b"".join(encode_frame(body) for body in bodies)
+    cuts = sorted(
+        data.draw(
+            st.lists(st.integers(0, len(stream)), max_size=20), label="cuts"
+        )
+    )
+    decoder = FrameDecoder()
+    out = []
+    last = 0
+    for cut in cuts + [len(stream)]:
+        out += decoder.feed(stream[last:cut])
+        last = cut
+    assert out == bodies
+    assert not decoder.pending
+
+
+@settings(max_examples=100, deadline=None)
+@given(junk=st.binary(min_size=4, max_size=64))
+def test_fuzz_decoder_never_hangs_on_junk(junk):
+    """Random bytes either decode into some frames or raise WireError —
+    the decoder must not loop or accept a frame larger than its limit."""
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    try:
+        frames = decoder.feed(junk)
+    except WireError:
+        return
+    assert all(len(frame) <= 1024 for frame in frames)
+
+
+class TestEnvelope:
+    def _message(self):
+        from repro.baselines.docservice import FetchRequest
+        from repro.urlutils import parse_url
+
+        return FetchRequest(
+            url=parse_url("http://a.example/doc"),
+            reply_site="user.example",
+            reply_port=5001,
+            request_id=7,
+        )
+
+    def test_round_trip(self):
+        body = encode_envelope("sité-α.example", self._message())
+        src, message = decode_envelope(body)
+        assert src == "sité-α.example"
+        assert message == self._message()
+
+    def test_source_peek_does_not_decode_message(self):
+        body = encode_envelope("a.example", self._message())
+        # Corrupt the message part: the peek must still work (the chaos
+        # proxy routes on the stamp without parsing the payload).
+        assert envelope_source(body[: body.index(b"\x00") + 1] + b"garbage") == "a.example"
+
+    def test_missing_stamp_rejected(self):
+        with pytest.raises(WireError, match="source stamp"):
+            envelope_source(b"no separator here")
+
+    def test_nul_in_site_name_rejected(self):
+        with pytest.raises(WireError, match="NUL"):
+            encode_envelope("evil\x00host", self._message())
+
+    def test_undecodable_stamp_rejected(self):
+        with pytest.raises(WireError, match="undecodable"):
+            envelope_source(b"\xff\xfe\x00payload")

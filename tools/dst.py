@@ -30,6 +30,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.testing import case_fails, run_case, run_seed, shrink, spec_size  # noqa: E402
+from repro.testing.runner import run_case_asyncio  # noqa: E402
 from repro.testing.shrink import from_json, to_json  # noqa: E402
 
 
@@ -96,12 +97,24 @@ def sweep(args: argparse.Namespace) -> int:
 
 def replay(args: argparse.Namespace) -> int:
     spec, inject_bug = from_json(Path(args.file).read_text())
-    result = run_case(spec, inject_bug=inject_bug)
-    print(
-        f"replay: clean={result.clean_status} faulted={result.status} "
-        f"rows={result.rows} epoch={result.recovery_epoch} "
-        f"fingerprint={result.fingerprint[:16]}"
-    )
+    if args.transport == "asyncio":
+        # Approximate replay on real sockets: same web/query/fault shape,
+        # wall-clock timing, invariant checks only (no fingerprint — real
+        # arrival order is not deterministic).
+        if inject_bug:
+            print("note: --inject-bug repros replay on the simulator only")
+        result = run_case_asyncio(spec, time_scale=args.time_scale)
+        print(
+            f"replay[asyncio]: faulted={result.status} rows={result.rows} "
+            f"epoch={result.recovery_epoch}"
+        )
+    else:
+        result = run_case(spec, inject_bug=inject_bug)
+        print(
+            f"replay: clean={result.clean_status} faulted={result.status} "
+            f"rows={result.rows} epoch={result.recovery_epoch} "
+            f"fingerprint={result.fingerprint[:16]}"
+        )
     if result.violations:
         for violation in result.violations:
             print(f"  {violation}")
@@ -131,6 +144,15 @@ def main(argv: list[str] | None = None) -> int:
 
     replay_parser = sub.add_parser("replay", help="re-run a shrunk repro JSON")
     replay_parser.add_argument("file")
+    replay_parser.add_argument(
+        "--transport", choices=("sim", "asyncio"), default="sim",
+        help="sim = deterministic replay; asyncio = approximate replay on "
+             "real sockets through the chaos proxy",
+    )
+    replay_parser.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="wall seconds per sim second for asyncio fault windows",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "replay":

@@ -87,6 +87,10 @@ class QueryHandle:
     row_sources: set = field(default_factory=set)
     #: Why the query finished PARTIAL (empty otherwise).
     partial_reason: str = ""
+    #: Nodes whose pending clones a saturated server shed (OVERLOADED
+    #: retractions).  Non-empty at quiescence ⇒ the query's coverage has a
+    #: hole, so completion finishes it PARTIAL, never COMPLETE.
+    shed_nodes: set = field(default_factory=set)
 
     @property
     def stalled(self) -> bool:
@@ -319,6 +323,11 @@ class UserSiteClient:
         handle.last_message_time = now
         for report in payload.reports:
             if report.disposition is not Disposition.DATA_ONLY:
+                if report.disposition is Disposition.OVERLOADED:
+                    # A saturated server shed this pending clone: its entry
+                    # retires like any retraction, but the coverage hole is
+                    # remembered — completion degrades to PARTIAL.
+                    handle.shed_nodes.add(report.entry.node)
                 outcome = handle.cht.mark_deleted(
                     report.entry, now, dispatch_id=report.dispatch_id or None
                 )
@@ -386,7 +395,21 @@ class UserSiteClient:
 
     def _check_completion(self, handle: QueryHandle) -> None:
         if handle.status is QueryStatus.RUNNING and handle.cht.all_deleted():
-            handle.status = QueryStatus.COMPLETE
+            if handle.shed_nodes:
+                # Every entry resolved, but some were resolved by overload
+                # shedding — coverage has a known hole, so this is the
+                # graceful-degradation outcome, not completion.
+                handle.status = QueryStatus.PARTIAL
+                handle.partial_reason = (
+                    f"overload-shed ({len(handle.shed_nodes)} node(s))"
+                )
+                self.stats.queries_partial += 1
+                self._trace_transport(
+                    "finished-partial",
+                    f"{handle.qid}: {len(handle.shed_nodes)} node(s) shed",
+                )
+            else:
+                handle.status = QueryStatus.COMPLETE
             handle.completion_time = self.clock.now
             self.network.close(self.site, handle.qid.port)
             if handle.on_complete is not None:

@@ -99,6 +99,34 @@ class EngineConfig:
     #: thread that "sequentially processes the queue of pending web-queries"
     #: (§4.4); >1 is an ablation of that choice (bench EXP-X4).
     server_threads: int = 1
+
+    # --- multi-tenant scheduling / admission control (EXP-P3) -----------------
+    #: How a server orders its pending clones: ``"fair"`` keeps one
+    #: run-queue per query and round-robins across queries, so a hot
+    #: query's backlog cannot head-of-line-block other tenants; ``"fifo"``
+    #: is the paper's §4.4 single sequential queue.  With a single query
+    #: (or clones of only one query queued) the two are order-identical,
+    #: so single-tenant runs are unaffected by the default.
+    scheduler: str = "fair"
+    #: Work-budget per pump step: at most this many clones of one query are
+    #: processed (frontier-batched or not) before the scheduler moves on to
+    #: the next query's run-queue.  Overflow clones go back on their own
+    #: run-queue (``clones_requeued``).  None = unbounded (a frontier runs
+    #: to exhaustion, as EXP-P2 measures).
+    pump_budget: int | None = None
+    #: Ceiling on one query's run-queue depth at one server.  Arriving
+    #: clones that would exceed it are refused admission with the transient
+    #: OVERLOADED outcome (sender backs off and retries).  None = unbounded.
+    per_query_queue_limit: int | None = None
+    #: Ceiling on the sum of all run-queue depths at one server.  Also the
+    #: saturation threshold for load shedding.  None = unbounded.
+    server_queue_limit: int | None = None
+    #: Load shedding: if a server stays at/over ``server_queue_limit``
+    #: continuously for this many simulated seconds, it evicts the query
+    #: with the deepest run-queue, retracting its entries so the user-site
+    #: degrades that query to PARTIAL instead of letting the site stall.
+    #: None = never shed.
+    shed_after: float | None = None
     #: Node databases retained per site (footnote 3); 0 = build-use-purge.
     db_cache_size: int = 0
     #: Purge log entries older than this many simulated seconds (None = keep).

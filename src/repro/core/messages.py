@@ -40,6 +40,7 @@ class Disposition(enum.Enum):
     MISSING = "missing"  # node does not exist at this site (floating link)
     UNREACHABLE = "unreachable"  # forward of this entry's clone failed
     PURGED = "purged"  # query purged at the server (termination)
+    OVERLOADED = "overloaded"  # clone shed by a saturated server (load shedding)
 
 
 @dataclass(frozen=True, slots=True)

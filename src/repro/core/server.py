@@ -2,8 +2,24 @@
 
 Implements the algorithms of Figures 3 and 4 plus the optimizations of
 Section 3: the node-query log table, per-site clone batching, combined
-result + CHT shipping, and passive termination.  Each server processes its
-queue *sequentially* (paper Section 4.4) under the engine's CPU cost model.
+result + CHT shipping, and passive termination.  Each server processes one
+clone (or frontier) at a time under the engine's CPU cost model; *which*
+pending clone runs next is the scheduler's choice
+(:mod:`repro.core.scheduler`): the paper's §4.4 single FIFO under
+``scheduler="fifo"``, or per-query run-queues served round-robin under
+``"fair"`` (the default) so one hot query cannot head-of-line-block other
+tenants at the site.
+
+Multi-tenant overload control (EXP-P3): per-query and per-server queue
+ceilings (``per_query_queue_limit`` / ``server_queue_limit``) are enforced
+twice — once at the transport layer via an admission probe, where an
+over-limit clone message is refused with the transient OVERLOADED outcome
+(the sender's ReliableChannel backs off and retries: backpressure), and
+once at delivery, where a clone losing the admission race is shed with an
+OVERLOADED retraction.  A server continuously saturated for ``shed_after``
+seconds evicts the query with the deepest run-queue the same way, so the
+victim degrades to PARTIAL with per-node coverage attribution instead of
+starving every other tenant.
 
 Frontier batching (EXP-P2, ``EngineConfig.frontier_batching``): a pump step
 gathers every queued clone of one query and traverses the site-local
@@ -41,7 +57,7 @@ the query port with a blank process state.
 from __future__ import annotations
 
 import itertools
-from collections import deque
+from collections import Counter
 from dataclasses import replace
 
 from ..model.database import DatabaseConstructor, build_documents_table
@@ -57,6 +73,7 @@ from .logtable import LogAction, NodeQueryLogTable
 from .messages import ChtEntry, CloneBundle, Disposition, NodeReport, RelayMessage, ResultMessage
 from .plancache import PlanCache
 from .processing import Forward, process_frontier, process_node
+from .scheduler import make_scheduler
 from .trace import Tracer
 from .webquery import QueryClone, QueryId, WebQuery
 
@@ -92,11 +109,17 @@ class QueryServer:
             network, clock, config.retry_policy,
             name=f"server:{site}", trace=self._trace_transport,
         )
-        self._queue: deque[QueryClone] = deque()
+        #: Pending clones, behind the scheduler seam: per-query run-queues
+        #: round-robined under ``scheduler="fair"``, the paper's single
+        #: FIFO under ``"fifo"`` — both enforcing the same queue ceilings.
+        self._scheduler = make_scheduler(config)
         self._site_documents = None  # lazy §7.1 multi-document table
         self._active_workers = 0
         self._purged: set[QueryId] = set()
         self._last_purge = 0.0
+        #: When the queue total first reached ``server_queue_limit`` and has
+        #: stayed there since; None while below the limit.  Drives shedding.
+        self._saturated_since: float | None = None
         #: Bumped by crash(): callbacks scheduled by a dead process must not
         #: touch the reborn one's state.
         self._epoch = 0
@@ -106,6 +129,16 @@ class QueryServer:
         #: collides with a pre-crash dispatch still tracked by a user-site.
         self._dispatch_serial = itertools.count(1)
         network.listen(site, QUERY_PORT, self._on_message)
+        if (
+            config.per_query_queue_limit is not None
+            or config.server_queue_limit is not None
+        ):
+            # Admission control: refuse clone traffic at the transport layer
+            # (OVERLOADED, retryable-with-backoff) before it is delivered.
+            # Guarded getattr: minimal Transport fakes need not implement it.
+            set_admission = getattr(network, "set_admission", None)
+            if set_admission is not None:
+                set_admission(site, QUERY_PORT, self._admission_probe)
 
     def _mint_dispatch_id(self) -> str:
         return f"s{next(self._dispatch_serial)}@{self.site}"
@@ -121,7 +154,12 @@ class QueryServer:
         network side: marking the site down and dropping its sockets.
         """
         self._epoch += 1
-        self._queue.clear()
+        lost = self._scheduler.drain()
+        if lost:
+            # Queued clones from *every* tenant die with the process; the
+            # count lets the oracle attribute PARTIAL coverage afterwards.
+            self.stats.clones_lost_in_crash += len(lost)
+        self._saturated_since = None
         self._active_workers = 0
         self.log_table = NodeQueryLogTable(self.config.log_subsumption)
         self.constructor = DatabaseConstructor(self.config.db_cache_size)
@@ -149,11 +187,12 @@ class QueryServer:
         if isinstance(payload, CloneBundle):
             # Coalesced dispatch: unpack in order; each clone keeps its own
             # dispatch identity, so accounting matches separate messages.
-            self._queue.extend(payload.clones)
+            for clone in payload.clones:
+                self._admit(clone)
             self._pump()
             return
         assert isinstance(payload, QueryClone), f"unexpected payload {payload!r}"
-        self._queue.append(payload)
+        self._admit(payload)
         self._pump()
 
     def _relay(self, message: RelayMessage) -> None:
@@ -173,14 +212,49 @@ class QueryServer:
     def enqueue_local(self, clone: QueryClone) -> None:
         """Accept a clone forwarded within this site (no network message)."""
         self.stats.local_hops += 1
-        self._queue.append(clone)
+        self._admit(clone)
         self._pump()
+
+    def _admit(self, clone: QueryClone) -> None:
+        """Queue one arriving clone, or shed it if a ceiling refuses it.
+
+        The transport-level admission probe keeps most over-limit traffic
+        from ever being delivered; this delivery-time re-check catches the
+        race where the queue filled between connect and delivery (and
+        local enqueues, which never cross the transport).  A refused clone
+        is shed with a retraction so its CHT entries retire instead of
+        hanging the query.
+        """
+        if self._scheduler.push(clone):
+            self._update_saturation()
+            return
+        self._shed_clones(clone.query.qid, [clone])
+
+    def _admission_probe(self, __: str, payload: object) -> bool:
+        """Transport admission probe for :data:`QUERY_PORT` (see __init__)."""
+        if isinstance(payload, CloneBundle):
+            counts: Counter = Counter(clone.query.qid for clone in payload.clones)
+        elif isinstance(payload, QueryClone):
+            counts = Counter((payload.query.qid,))
+        else:
+            return True  # relay/control traffic is never refused admission
+        return self._scheduler.would_admit(counts)
 
     @property
     def queue_depth(self) -> int:
-        return len(self._queue)
+        return self._scheduler.total
 
-    # -- sequential processing loop -----------------------------------------------
+    def queue_depths(self) -> dict[QueryId, int]:
+        """Per-query run-queue depths (only queries with queued clones)."""
+        return self._scheduler.depths()
+
+    @property
+    def peak_query_queue_depth(self) -> int:
+        """High-water mark of any one query's run-queue depth — audited by
+        the DST ceiling invariant against ``per_query_queue_limit``."""
+        return self._scheduler.max_query_depth_seen
+
+    # -- scheduled processing loop -----------------------------------------------
 
     @property
     def _frontier_enabled(self) -> bool:
@@ -189,9 +263,11 @@ class QueryServer:
         return self.config.frontier_batching and self.config.direct_result_return
 
     def _pump(self) -> None:
-        while self._queue and self._active_workers < self.config.server_threads:
+        while self._active_workers < self.config.server_threads:
+            clone = self._scheduler.pop()
+            if clone is None:
+                break
             self._active_workers += 1
-            clone = self._queue.popleft()
             self._maybe_purge_log()
             if self._frontier_enabled:
                 reports, clones, service = self._process_frontier(clone)
@@ -203,6 +279,7 @@ class QueryServer:
                 service,
                 lambda c=clone, r=reports, f=clones, e=epoch: self._complete(c, r, f, e),
             )
+        self._update_saturation()
 
     def _process_frontier(
         self, head: QueryClone
@@ -215,15 +292,23 @@ class QueryServer:
         site-local BFS, absorbing Local/Interior hops synchronously.  One
         combined report list and one remote-clone list come back; the
         caller pays the summed service time with a single SimClock event.
+
+        ``pump_budget`` bounds the whole frontier — seeds taken plus hops
+        absorbed — so under multi-tenant load one query's frontier cannot
+        monopolize the pump; overflow continuations come back as same-site
+        remote clones and re-enter this query's run-queue behind the other
+        tenants' turns.
         """
-        seeds = [head]
+        budget = self.config.pump_budget
         qid = head.query.qid
-        if self._queue:
-            kept: deque[QueryClone] = deque()
-            for pending in self._queue:
-                (seeds if pending.query.qid == qid else kept).append(pending)
-            self._queue = kept
-        result = process_frontier(seeds, self.site, self._process)
+        seeds = [head]
+        seeds.extend(
+            self._scheduler.take_same_query(qid, None if budget is None else budget - 1)
+        )
+        if budget is not None:
+            result = process_frontier(seeds, self.site, self._process, max_clones=budget)
+        else:
+            result = process_frontier(seeds, self.site, self._process)
         if result.clones_processed > 1:
             self.stats.frontier_batches += 1
             self.stats.frontier_clones_batched += result.clones_processed
@@ -427,7 +512,17 @@ class QueryServer:
     def _build_clones(
         self, clone: QueryClone, forwards: list[Forward]
     ) -> list[QueryClone]:
-        """Group forwards into clones (optimization 4: one per site & state)."""
+        """Group forwards into clones (optimization 4: one per site & state).
+
+        With a ``pump_budget`` configured, each group's node list is further
+        chunked to at most ``pump_budget`` nodes per clone: a whole BFS
+        layer coalesced into one fat clone would otherwise be indivisible —
+        one pump would process every node of the layer no matter the
+        budget, and the fair scheduler would have nothing to interleave.
+        Chunks keep the (site, state) grouping, travel in the same bundle,
+        and each carries its own dispatch identity, so CHT accounting is
+        exactly as without chunking.
+        """
         groups: dict[tuple[str, int, Pre], list[Url]] = {}
         for forward in forwards:
             if self.config.batch_per_site:
@@ -441,10 +536,20 @@ class QueryServer:
             history = clone.history  # local hop: the retrace chain is unchanged
         else:
             history = clone.history + (self.site,)
+        budget = self.config.pump_budget
         clones = []
         for (__, step_index, rem), targets in groups.items():
             deduped = tuple(dict.fromkeys(targets))
-            clones.append(QueryClone(clone.query, step_index, rem, deduped, history))
+            if budget is None or len(deduped) <= budget:
+                clones.append(QueryClone(clone.query, step_index, rem, deduped, history))
+            else:
+                for start in range(0, len(deduped), budget):
+                    clones.append(
+                        QueryClone(
+                            clone.query, step_index, rem,
+                            deduped[start:start + budget], history,
+                        )
+                    )
         return clones
 
     # -- completion: dispatch results first, then forward (Figure 3, 17-20) ----
@@ -565,6 +670,9 @@ class QueryServer:
         groups: dict[str, list[QueryClone]] = {}
         for fclone in clones:
             if fclone.site == self.site:
+                # Frontier overflow continuation (pump_budget exhausted):
+                # back onto its own run-queue, behind other tenants' turns.
+                self.stats.clones_requeued += 1
                 self.enqueue_local(fclone)
             else:
                 groups.setdefault(fclone.site, []).append(fclone)
@@ -641,7 +749,70 @@ class QueryServer:
         self._purged.add(qid)
         self._trace_nodes(clone, "purged", Disposition.PURGED)
         # Drop any queued clones of the same query right away.
-        self._queue = deque(c for c in self._queue if c.query.qid != qid)
+        self._scheduler.drop_query(qid)
+        self._update_saturation()
+
+    # -- overload shedding (graceful degradation under saturation) ---------------
+
+    def _update_saturation(self) -> None:
+        """Track time-at-ceiling; arm the shed timer on entering saturation."""
+        limit = self.config.server_queue_limit
+        if limit is None or self.config.shed_after is None:
+            return
+        if self._scheduler.total >= limit:
+            if self._saturated_since is None:
+                self._saturated_since = self.clock.now
+                epoch, started = self._epoch, self._saturated_since
+                self.clock.schedule(
+                    self.config.shed_after, lambda: self._shed_check(epoch, started)
+                )
+        else:
+            self._saturated_since = None
+
+    def _shed_check(self, epoch: int, started: float) -> None:
+        """Fires ``shed_after`` after saturation began: still saturated ⇒ shed.
+
+        Stale guards: the timer belongs to one (epoch, saturation episode);
+        a crash or any dip below the limit in between voids it — a new
+        episode arms its own timer.
+        """
+        if epoch != self._epoch or self._saturated_since != started:
+            return
+        victim = self._scheduler.victim()
+        if victim is not None:
+            dropped = self._scheduler.drop_query(victim)
+            if dropped:
+                self.stats.queries_shed += 1
+                self._shed_clones(victim, dropped)
+        # Re-evaluate: if the server is *still* at the ceiling, this starts
+        # a fresh saturation episode (and timer) for the next victim.
+        self._saturated_since = None
+        self._update_saturation()
+
+    def _shed_clones(self, qid: QueryId, clones: list[QueryClone]) -> None:
+        """Drop queued clones of one query, retracting their CHT entries.
+
+        The retraction echoes each clone's own dispatch identity with the
+        OVERLOADED disposition, so the user-site retires exactly the
+        pending instances this server was holding — the query degrades to
+        PARTIAL with per-node attribution instead of hanging.
+        """
+        self.stats.clones_shed += len(clones)
+        retractions = []
+        for clone in clones:
+            for url in clone.dest:
+                retractions.append(
+                    NodeReport(
+                        ChtEntry(url, clone.state), Disposition.OVERLOADED,
+                        dispatch_id=clone.dispatch_id, epoch=clone.epoch,
+                    )
+                )
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        self.clock.now, str(url), self.site, clone.state, "-",
+                        "overload-shed",
+                    )
+        self._send_to_user(qid, ResultMessage(qid, tuple(retractions), kind="cht"))
 
     # -- tracing ----------------------------------------------------------------
 

@@ -81,9 +81,11 @@ class AbandonedDispatch:
 class CoverageReport:
     """What a supervised query actually covered when it finished.
 
-    A COMPLETE query has full coverage (``abandoned`` empty).  A PARTIAL
-    query lists every dispatch that was written off, the sites judged
-    unreachable, and how hard recovery tried before giving up.
+    A COMPLETE query has full coverage (``abandoned`` and ``shed_nodes``
+    empty).  A PARTIAL query lists every dispatch that was written off,
+    the sites judged unreachable, the nodes shed by overloaded servers
+    (load shedding — the coverage hole is the *server's* doing, not a
+    fault), and how hard recovery tried before giving up.
     """
 
     qid: QueryId
@@ -94,20 +96,26 @@ class CoverageReport:
     recovery_epoch: int
     abandoned: tuple[AbandonedDispatch, ...]
     unreachable_sites: tuple[str, ...]
+    shed_nodes: tuple[str, ...] = ()
 
     @property
     def complete(self) -> bool:
-        return not self.abandoned and self.status is QueryStatus.COMPLETE
+        return (
+            not self.abandoned
+            and not self.shed_nodes
+            and self.status is QueryStatus.COMPLETE
+        )
 
     def summary(self) -> str:
         if self.complete:
             return f"{self.qid}: complete, {self.rows_collected} row(s)"
         sites = ", ".join(self.unreachable_sites) or "-"
+        shed = f", {len(self.shed_nodes)} node(s) shed" if self.shed_nodes else ""
         return (
             f"{self.qid}: {self.status.value} ({self.reason}); "
             f"{self.rows_collected} row(s) collected, "
             f"{len(self.abandoned)} dispatch(es) abandoned, "
-            f"unreachable: {sites}, "
+            f"unreachable: {sites}{shed}, "
             f"{self.recoveries_attempted} recovery round(s)"
         )
 
@@ -185,6 +193,7 @@ class QuerySupervisor:
             unreachable_sites=tuple(
                 sorted({dispatch.node.host for dispatch in abandoned})
             ),
+            shed_nodes=tuple(sorted(str(node) for node in handle.shed_nodes)),
         )
 
     def supervised(self) -> list[QueryHandle]:

@@ -35,12 +35,22 @@ REFUSED/HOST_DOWN split on refused connects):
 real-socket event              ``SendOutcome``
 =============================  ==========================================
 frame written, ack received    DELIVERED
+frame written, nak received    OVERLOADED (admission refused; back off)
 ECONNREFUSED, result port      REFUSED (deliberate close = termination)
 ECONNREFUSED, daemon port      HOST_DOWN (server process is down)
 connect timeout / no route     HOST_DOWN
 ack timeout / reset / EOF      FAULT (transient wire fault)
 destination never registered   HOST_DOWN (DNS failure analogue)
 =============================  ==========================================
+
+The nak (:data:`NAK_BYTE`) carries admission control across the wire: a
+listener guarded by an admission probe (:meth:`AsyncioTransport.set_admission`)
+that declines a frame never sees it — the receiver answers one nak byte on
+the same healthy connection, the sender reports the transient
+``OVERLOADED`` outcome, and the :class:`~repro.net.reliable.ReliableChannel`
+backs off and retries.  Distinct on purpose from a refused connect (§2.8
+termination, never retried) and from a missing ack (FAULT — the frame may
+or may not have been processed; a nak'd frame definitely was not).
 
 All outcomes settle through the deferred ``on_outcome`` callback;
 ``send`` itself returns :data:`~repro.net.network.SendOutcome.IN_FLIGHT`
@@ -82,10 +92,22 @@ from .transport import refusal_outcome
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .chaos import ChaosRules
 
-__all__ = ["ACK_BYTE", "LoopClock", "PortMap", "StaticPortMap", "AsyncioTransport"]
+__all__ = [
+    "ACK_BYTE",
+    "NAK_BYTE",
+    "LoopClock",
+    "PortMap",
+    "StaticPortMap",
+    "AsyncioTransport",
+]
 
 #: Written by the receiver after its listener has processed one frame.
 ACK_BYTE = b"\x06"
+
+#: Written by the receiver when an admission probe declines a frame: the
+#: frame was *not* processed and the sender should back off and retry
+#: (SendOutcome.OVERLOADED).  The connection itself stays healthy.
+NAK_BYTE = b"\x15"
 
 _READ_CHUNK = 65536
 
@@ -243,6 +265,7 @@ class AsyncioTransport:
         )
         self._sites: set[str] = set()
         self._listeners: dict[tuple[str, int], Listener] = {}
+        self._admission: dict[tuple[str, int], Callable[[str, Payload], bool]] = {}
         self._servers: dict[tuple[str, int], asyncio.AbstractServer] = {}
         self._proxies: dict[tuple[str, int], object] = {}
         self._inbound: dict[tuple[str, int], set[asyncio.StreamWriter]] = {}
@@ -363,6 +386,10 @@ class AsyncioTransport:
                         # sender's retry meets the real refused connect.
                         _abort(writer)
                         return
+                    probe = self._admission.get(key)
+                    if probe is not None and not probe(src, message):
+                        writer.write(NAK_BYTE)
+                        continue
                     listener(src, message)
                     writer.write(ACK_BYTE)
                 await writer.drain()
@@ -400,6 +427,21 @@ class AsyncioTransport:
 
     def is_listening(self, site: str, port: int) -> bool:
         return (site, port) in self._listeners
+
+    def set_admission(
+        self, site: str, port: int, probe: Callable[[str, Payload], bool] | None
+    ) -> None:
+        """Install (or clear) an admission probe guarding ``site:port``.
+
+        A declined frame is answered with :data:`NAK_BYTE` instead of being
+        delivered to the listener; the sender observes the transient
+        ``OVERLOADED`` outcome (see module docstring).
+        """
+        key = (site, port)
+        if probe is None:
+            self._admission.pop(key, None)
+        else:
+            self._admission[key] = probe
 
     # -- whole-site failures ------------------------------------------------
 
@@ -508,6 +550,12 @@ class AsyncioTransport:
                         continue
                     self.stats.failed_sends += 1
                     return SendOutcome.FAULT
+                if ack == NAK_BYTE:
+                    # Admission refused: the frame was definitely not
+                    # processed and the connection is still good — report
+                    # the transient OVERLOADED so the channel backs off.
+                    self.stats.overloaded_sends += 1
+                    return SendOutcome.OVERLOADED
                 if ack != ACK_BYTE:
                     _drop_link(link)
                     self.stats.failed_sends += 1

@@ -73,6 +73,13 @@ class SendOutcome(enum.Enum):
     HOST_DOWN = "host-down"
     #: A transient network fault broke this particular connect.
     FAULT = "fault"
+    #: The destination accepted the connect but refused to *admit* the
+    #: payload: its queues are at their configured ceiling (admission
+    #: control).  Transient — the sender's reliability layer retries with
+    #: backoff, which is the backpressure.  Distinct from REFUSED: an
+    #: overloaded server is alive and still working the query; a refused
+    #: connect is the §2.8 termination signal and must never be retried.
+    OVERLOADED = "overloaded"
     #: The sending process gave the send up before it could settle — its
     #: channel was reset (process crash, query cancellation).  Terminal:
     #: the payload was never delivered and no further attempt will be made.
@@ -97,7 +104,7 @@ class SendOutcome(enum.Enum):
     @property
     def transient(self) -> bool:
         """True for outcomes a retry could plausibly fix."""
-        return self in (SendOutcome.HOST_DOWN, SendOutcome.FAULT)
+        return self in (SendOutcome.HOST_DOWN, SendOutcome.FAULT, SendOutcome.OVERLOADED)
 
 
 class Payload(Protocol):
@@ -110,6 +117,10 @@ class Payload(Protocol):
 
 
 Listener = Callable[[str, "Payload"], None]  # (src_site, payload) -> None
+
+#: ``probe(src, payload) -> bool`` — True admits the payload; False turns the
+#: connect into :attr:`SendOutcome.OVERLOADED` (admission control).
+AdmissionProbe = Callable[[str, "Payload"], bool]
 
 #: ``injector(src, dst, port, now) -> bool`` — True breaks the connect.
 FaultInjector = Callable[[str, str, int, float], bool]
@@ -180,6 +191,7 @@ class Network:
         self.stats = stats if stats is not None else TrafficStats()
         self.config = config if config is not None else NetworkConfig()
         self._listeners: dict[tuple[str, int], Listener] = {}
+        self._admission: dict[tuple[str, int], AdmissionProbe] = {}
         self._sites: set[str] = set()
         self._fail_once: list[tuple[str, str, int | None]] = []
         self._fault_injector: FaultInjector | None = None
@@ -236,6 +248,20 @@ class Network:
 
     def is_listening(self, site: str, port: int) -> bool:
         return (site, port) in self._listeners
+
+    def set_admission(self, site: str, port: int, probe: AdmissionProbe | None) -> None:
+        """Install (or clear) an admission probe guarding ``site:port``.
+
+        The probe is consulted after a connect reaches a live listener and
+        before any bytes are accounted; rejecting returns
+        :attr:`SendOutcome.OVERLOADED` to the sender, whose
+        :class:`~repro.net.reliable.ReliableChannel` backs off and retries.
+        """
+        key = (site, port)
+        if probe is None:
+            self._admission.pop(key, None)
+        else:
+            self._admission[key] = probe
 
     # -- failure injection --------------------------------------------------
 
@@ -350,6 +376,10 @@ class Network:
         if listener is None:
             self.stats.refused_sends += 1
             return SendOutcome.REFUSED
+        probe = self._admission.get((dst, port))
+        if probe is not None and not probe(src, payload):
+            self.stats.overloaded_sends += 1
+            return SendOutcome.OVERLOADED
         size = payload.size_bytes() + self.config.envelope_bytes
         self.stats.record_send(src, payload.kind, size)
         for tap in self._taps:

@@ -10,10 +10,13 @@ per-hop retry/timeout layers in distributed XQuery network specs:
   signal passive termination (§2.8) and the §7.1 participation test are
   built on; retrying it would turn "the user cancelled" into "try again
   later" and break both protocols;
-* HOST_DOWN / FAULT — transient: retried with exponential backoff and
-  seeded jitter on the simulation clock, up to the policy's attempt budget
-  and deadline.  Exhaustion is reported to the caller, who falls back to
-  the protocol's existing failure paths (CHT retraction, purge).
+* HOST_DOWN / FAULT / OVERLOADED — transient: retried with exponential
+  backoff and seeded jitter on the simulation clock, up to the policy's
+  attempt budget and deadline.  OVERLOADED (admission control: the
+  receiver is alive but its queues are full) additionally counts as a
+  *deferral* — the backoff is the backpressure.  Exhaustion is reported to
+  the caller, who falls back to the protocol's existing failure paths
+  (CHT retraction, purge).
 
 Everything is deterministic: jitter comes from a ``random.Random`` seeded
 from the policy seed plus the channel's name, and retries are ordinary
@@ -236,6 +239,10 @@ class ReliableChannel:
                 or (self.clock.now + delay) - started <= self.policy.deadline
             ):
                 self.stats.retried_sends += 1
+                if outcome is SendOutcome.OVERLOADED:
+                    # Backpressure: the receiver is alive but full, so this
+                    # backoff is a deferral, not a fault recovery.
+                    self.stats.sends_deferred += 1
                 if self._trace is not None:
                     self._trace(
                         "retry-scheduled",

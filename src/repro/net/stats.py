@@ -57,6 +57,25 @@ class TrafficStats:
     #: cancellation) before they could settle — reported as ABANDONED.
     sends_abandoned: int = 0
 
+    # Multi-tenant overload control (scheduler + admission + shedding).
+    #: Connects rejected by an admission probe (SendOutcome.OVERLOADED) —
+    #: the receiver is alive but its queues are at a configured ceiling.
+    overloaded_sends: int = 0
+    #: Reliable sends deferred (backed off for retry) specifically because
+    #: the receiver answered OVERLOADED; a subset of ``retried_sends``.
+    sends_deferred: int = 0
+    #: Clones dropped by overload shedding, with retractions sent so the
+    #: CHT retires their entries and the query degrades to PARTIAL.
+    clones_shed: int = 0
+    #: Queries evicted from a saturated server's run-queues by shedding.
+    queries_shed: int = 0
+    #: Frontier-overflow clones put back on their own run-queue instead of
+    #: being processed in the same pump (pump_budget backpressure).
+    clones_requeued: int = 0
+    #: Queued clones lost when a server crashed (all run-queues drain);
+    #: lets the oracle attribute PARTIAL coverage under multi-tenant load.
+    clones_lost_in_crash: int = 0
+
     # Completion-protocol idempotence counters (incremented by the client).
     #: Reports retiring a CHT entry instance that was already retired —
     #: absorbed harmlessly by dispatch-identity accounting.
@@ -169,6 +188,12 @@ class TrafficStats:
             "retried_sends": self.retried_sends,
             "retries_exhausted": self.retries_exhausted,
             "sends_abandoned": self.sends_abandoned,
+            "overloaded_sends": self.overloaded_sends,
+            "sends_deferred": self.sends_deferred,
+            "clones_shed": self.clones_shed,
+            "queries_shed": self.queries_shed,
+            "clones_requeued": self.clones_requeued,
+            "clones_lost_in_crash": self.clones_lost_in_crash,
             "duplicate_reports_absorbed": self.duplicate_reports_absorbed,
             "stale_reports_absorbed": self.stale_reports_absorbed,
             "duplicate_rows_dropped": self.duplicate_rows_dropped,

@@ -124,6 +124,10 @@ class Transport(Protocol):
 
     def is_listening(self, site: str, port: int) -> bool: ...
 
+    def set_admission(
+        self, site: str, port: int, probe: Callable[[str, Payload], bool] | None
+    ) -> None: ...
+
     def send(
         self,
         src: str,

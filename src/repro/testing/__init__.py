@@ -10,11 +10,19 @@ failure to a small JSON repro replayable via ``tools/dst.py replay``.
 See ``docs/testing.md`` for the workflow.
 """
 
-from .generators import build_fault_plan, build_web, generate_case, query_text
+from .generators import (
+    build_fault_plan,
+    build_web,
+    generate_case,
+    query_specs,
+    query_text,
+    query_texts,
+)
 from .invariants import (
     Violation,
     check_handle,
     check_no_refused_retry,
+    check_queue_ceilings,
     check_run,
     reference_rows,
 )
@@ -34,9 +42,12 @@ __all__ = [
     "check_faulted",
     "check_handle",
     "check_no_refused_retry",
+    "check_queue_ceilings",
     "check_run",
     "generate_case",
+    "query_specs",
     "query_text",
+    "query_texts",
     "reference_rows",
     "reference_run",
     "run_case",

@@ -48,6 +48,8 @@ __all__ = [
     "generate_case",
     "build_web",
     "query_text",
+    "query_specs",
+    "query_texts",
     "build_fault_plan",
     "latency_overrides",
     "pre_from_tree",
@@ -152,10 +154,51 @@ def generate_case(seed: int, schedule_seed: int | None = None) -> Spec:
         "compiled_plans": rng.random() < 0.5,
         "frontier_batching": rng.random() < 0.5,
     }
+    config["scheduler"] = "fifo" if rng.random() < 0.25 else "fair"
+    config["pump_budget"] = rng.choice((None, None, None, 2, 4, 8))
+
+    # Extra tenants: 0–2 more queries on the same web, so fair scheduling
+    # and the cross-query isolation oracle see real interleavings.  Drawn
+    # after every single-query knob (ordering rule above).
+    queries: list[dict] = []
+    for __ in range(rng.choice((0, 1, 1, 2))):
+        start_site = rng.choice(site_names)
+        if rng.random() < 0.5:
+            extra_tree: Any = {
+                "rep": {"alt": ["L", "G"]}, "bound": rng.choice((1, 2, 3))
+            }
+        else:
+            extra_tree = _gen_pre_tree(rng, depth=2)
+        if segments and rng.random() < 0.8:
+            extra_delimiter, extra_contains = rng.choice(segments)
+        else:
+            extra_delimiter = rng.choice(DELIMITERS)
+            extra_contains = rng.choice(WORDS)
+        queries.append(
+            {
+                "start": f"http://{start_site}/",
+                "pre": extra_tree,
+                "relinfon": rng.random() < 0.5,
+                "delimiter": extra_delimiter,
+                "contains": extra_contains,
+            }
+        )
+
+    # Overload-pressure knobs only on faulted cases: a clean case must
+    # finish COMPLETE with the exact reference rows, which admission
+    # refusals and load shedding would (by design) break.
+    if faults:
+        if rng.random() < 0.25:
+            config["per_query_queue_limit"] = rng.choice((8, 12, 16))
+        if rng.random() < 0.2:
+            config["server_queue_limit"] = rng.choice((16, 24, 32))
+            config["shed_after"] = round(rng.uniform(0.5, 2.0), 3)
+
     return {
         "seed": seed,
         "web": {"sites": sites},
         "query": query,
+        "queries": queries,
         "faults": faults,
         "latency": latency,
         "schedule_seed": schedule_seed,
@@ -279,9 +322,8 @@ def build_web(spec: Spec) -> Web:
     return builder.build()
 
 
-def query_text(spec: Spec) -> str:
-    """Render the spec's query as DISQL text."""
-    query = spec["query"]
+def _render_query(query: dict) -> str:
+    """Render one query dict as DISQL text."""
     pre = pre_from_tree(query["pre"])
     if query["relinfon"]:
         return (
@@ -291,6 +333,23 @@ def query_text(spec: Spec) -> str:
             f'where r.text contains "{query["contains"]}"'
         )
     return f'select d.url, d.title\nfrom document d such that "{query["start"]}" {pre} d'
+
+
+def query_specs(spec: Spec) -> list[dict]:
+    """All of the spec's query dicts: the main query, then the extra
+    tenants (``queries`` is absent in pre-multi-tenant repro files)."""
+    return [spec["query"], *spec.get("queries", ())]
+
+
+def query_text(spec: Spec) -> str:
+    """Render the spec's main query as DISQL text."""
+    return _render_query(spec["query"])
+
+
+def query_texts(spec: Spec) -> list[str]:
+    """Render every query of the spec, in submission order (the main query
+    first — so index ``i`` here matches ``qid.number`` order at runtime)."""
+    return [_render_query(query) for query in query_specs(spec)]
 
 
 def build_fault_plan(spec: Spec) -> FaultPlan | None:

@@ -38,6 +38,14 @@ alive?*  Six invariants, each a direct consequence of the design:
     collected exactly the reference answer set (no loss, nothing invented),
     and any query's rows are a sub-multiset of what fault-free processing
     could produce — re-processed work was deduplicated, not double-counted.
+    In a multi-query run each query is checked against its *own* solo
+    reference, so an invented row is cross-query contamination.
+
+``queue-ceiling``
+    When ``per_query_queue_limit`` is configured, no server's per-query
+    run-queue ever exceeded it (high-water audit of
+    :attr:`~repro.core.server.QueryServer.peak_query_queue_depth`) — the
+    admission control actually held the line it advertises.
 
 All checks are read-only and deterministic.
 """
@@ -54,6 +62,7 @@ __all__ = [
     "Violation",
     "check_handle",
     "check_no_refused_retry",
+    "check_queue_ceilings",
     "check_run",
     "reference_rows",
 ]
@@ -179,6 +188,33 @@ def check_no_refused_retry(tracer) -> list[Violation]:
     return violations
 
 
+def check_queue_ceilings(engine) -> list[Violation]:
+    """No server's per-query run-queue ever exceeded the configured ceiling.
+
+    Audits each server's high-water mark after the run; engines without
+    per-site servers (the asyncio engine exposes the same attribute, the
+    data-shipping baseline has none) are skipped.  Run-level check.
+    """
+    servers = getattr(engine, "servers", None)
+    if not servers:
+        return []
+    violations = []
+    for site, server in servers.items():
+        limit = server.config.per_query_queue_limit
+        if limit is None:
+            continue
+        peak = server.peak_query_queue_depth
+        if peak > limit:
+            violations.append(
+                Violation(
+                    "queue-ceiling", "-",
+                    f"server {site} per-query queue peaked at {peak} "
+                    f"(> limit {limit})",
+                )
+            )
+    return violations
+
+
 def _check_rows(
     handle: QueryHandle, reference: Counter | None, expect_full: bool
 ) -> list[Violation]:
@@ -268,4 +304,5 @@ def check_run(
             expect_full=expect_full,
         )
     violations += check_no_refused_retry(engine.tracer)
+    violations += check_queue_ceilings(engine)
     return violations

@@ -36,14 +36,21 @@ from dataclasses import dataclass
 
 from ..baselines.datashipping import DataShippingEngine
 from ..core.client import QueryHandle, QueryStatus
-from .generators import Spec, build_web, query_text
+from .generators import Spec, build_web, query_texts
 from .invariants import Violation
 
 __all__ = ["Reference", "reference_run", "check_clean", "check_faulted"]
 
-#: Trace actions marking a node written off by a failed (re-)dispatch.
+#: Trace actions marking a node written off by a failed (re-)dispatch or
+#: shed by a saturated server (``overload-shed`` — load shedding retracts
+#: the node's pending clone, so its subtree is an attributable hole).
 _WRITE_OFF_ACTIONS = frozenset(
-    {"unreachable-start", "unreachable-reforward", "unreachable-site"}
+    {
+        "unreachable-start",
+        "unreachable-reforward",
+        "unreachable-site",
+        "overload-shed",
+    }
 )
 
 RowKey = tuple[str, tuple[str, ...], tuple[object, ...]]
@@ -66,10 +73,15 @@ class Reference:
     forwards: dict[str, tuple[str, ...]]
 
 
-def reference_run(spec: Spec) -> Reference:
-    """Evaluate the spec's query centrally, fault-free, with provenance."""
+def reference_run(spec: Spec, index: int = 0) -> Reference:
+    """Evaluate one of the spec's queries centrally, fault-free, with
+    provenance.  ``index`` selects the query (0 = the main query; extras
+    follow in submission order) — each query gets its own *solo* reference,
+    which is what makes the multi-query comparison an isolation oracle:
+    an interleaved run must match what every query computes alone.
+    """
     engine = DataShippingEngine(build_web(spec), record_journal=True)
-    result = engine.run_query(query_text(spec))
+    result = engine.run_query(query_texts(spec)[index])
     assert result.completion_time is not None, "reference run did not quiesce"
     producers: dict[RowKey, set[str]] = {}
     forwards: dict[str, tuple[str, ...]] = {}
@@ -146,11 +158,15 @@ def write_off_nodes(handle: QueryHandle, tracer, coverage=None) -> set[str]:
     Abandoned dispatch instances (recovery escalation) plus every node a
     failed dispatch retracted — ``unreachable-start`` (initial clone),
     ``unreachable-reforward`` (recovery re-dispatch) and
-    ``unreachable-site`` (server-side forward failure).
+    ``unreachable-site`` (server-side forward failure) — plus the nodes a
+    saturated server shed (``overload-shed`` retractions / the handle's
+    ``shed_nodes``).
     """
     nodes = {_norm(str(inst.node)) for inst in handle.cht.abandoned_instances()}
+    nodes.update(_norm(str(node)) for node in getattr(handle, "shed_nodes", ()))
     if coverage is not None:
         nodes.update(_norm(str(dispatch.node)) for dispatch in coverage.abandoned)
+        nodes.update(_norm(str(node)) for node in coverage.shed_nodes)
     if tracer is not None and getattr(tracer, "enabled", False):
         for event in tracer.events:
             if event.action in _WRITE_OFF_ACTIONS:

@@ -3,21 +3,25 @@
 One *case* drives three simulations:
 
 1. **Reference** — the data-shipping baseline, fault-free, with a
-   provenance journal (:func:`repro.testing.oracle.reference_run`).
-2. **Clean control** — WEBDIS on the same web/query with no faults and
-   FIFO scheduling.  Must finish COMPLETE with exactly the reference rows
-   (:func:`check_clean`); its row multiset also becomes the ``rows-sound``
-   ground truth for the faulted run.
+   provenance journal (:func:`repro.testing.oracle.reference_run`), run
+   once per query: each query's reference is its *solo* answer.
+2. **Clean control** — WEBDIS with every query of the spec submitted
+   together, no faults, no queue pressure.  Each query must finish
+   COMPLETE with exactly its solo reference rows (:func:`check_clean`) —
+   this is the cross-query isolation oracle: interleaving tenants must
+   not change any tenant's answer.  Each query's row multiset also
+   becomes its ``rows-sound`` ground truth for the faulted run.
 3. **Run under test** — WEBDIS with the spec's fault schedule, latency
-   overrides and tie-break schedule seed, driven by a
-   :class:`~repro.core.supervisor.QuerySupervisor`.  Checked against the
-   full invariant battery (:mod:`repro.testing.invariants`) and the
-   coverage-aware oracle (:func:`check_faulted`).
+   overrides, scheduler/admission knobs and tie-break schedule seed, all
+   queries driven by a :class:`~repro.core.supervisor.QuerySupervisor`.
+   Checked against the full invariant battery
+   (:mod:`repro.testing.invariants`) and the coverage-aware oracle
+   (:func:`check_faulted`), per query against its own solo reference.
 
-Every faulted run also produces a **fingerprint** — a hash over the final
-status, rows, recovery epoch, completion time and the complete network
-message log ``(time, src, dst, port, kind)`` — so "same seed ⇒
-bit-identical run" is checkable by plain string equality.
+Every faulted run also produces a **fingerprint** — a hash over each
+query's final status, rows, recovery epoch and completion time plus the
+complete network message log ``(time, src, dst, port, kind)`` — so "same
+seed ⇒ bit-identical run" is checkable by plain string equality.
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ from .generators import (
     build_web,
     generate_case,
     latency_overrides,
-    query_text,
+    query_texts,
 )
 from .invariants import Violation, check_run, reference_rows
 from .oracle import Reference, check_clean, check_faulted, reference_run
@@ -105,13 +109,24 @@ class SeedResult:
         return found
 
 
-def _engine_config(spec: Spec, *, inject_bug: bool) -> EngineConfig:
+def _engine_config(
+    spec: Spec, *, inject_bug: bool, pressure: bool = True
+) -> EngineConfig:
+    """The spec's engine knobs.  ``pressure=False`` strips the admission
+    ceilings and shed timer: a run the oracle requires to be COMPLETE and
+    exact (the clean control, or a faulted run whose plan shrank away)
+    must never legitimately shed coverage."""
     config = spec.get("config", {})
     return EngineConfig(
         log_subsumption=config.get("log_subsumption", "paper"),
         batch_per_site=config.get("batch_per_site", True),
         compiled_plans=config.get("compiled_plans", True),
         frontier_batching=config.get("frontier_batching", True),
+        scheduler=config.get("scheduler", "fair"),
+        pump_budget=config.get("pump_budget"),
+        per_query_queue_limit=config.get("per_query_queue_limit") if pressure else None,
+        server_queue_limit=config.get("server_queue_limit") if pressure else None,
+        shed_after=config.get("shed_after") if pressure else None,
         retry_policy=RetryPolicy(
             max_attempts=3, base_delay=0.2, multiplier=2.0, jitter=0.3,
             seed=spec["seed"],
@@ -120,25 +135,37 @@ def _engine_config(spec: Spec, *, inject_bug: bool) -> EngineConfig:
     )
 
 
-def _run_clean(spec: Spec, reference: Reference) -> tuple[list[Violation], object]:
-    """The fault-free WEBDIS control run; returns (violations, handle)."""
+def _run_clean(
+    spec: Spec, references: list[Reference]
+) -> tuple[list[Violation], list]:
+    """The fault-free WEBDIS control run — every query submitted together;
+    returns (violations, handles).  Per-query exactness against the solo
+    references is the cross-query isolation oracle on the clean path."""
     engine = WebDisEngine(
-        build_web(spec), config=_engine_config(spec, inject_bug=False), trace=True
+        build_web(spec),
+        config=_engine_config(spec, inject_bug=False, pressure=False),
+        trace=True,
     )
-    handle = engine.submit_disql(query_text(spec))
+    handles = [engine.submit_disql(text) for text in query_texts(spec)]
     engine.run()
-    violations = check_clean(handle, reference)
-    violations += check_run(engine, [handle])
-    return violations, handle
+    violations = []
+    for handle, reference in zip(handles, references):
+        violations += check_clean(handle, reference)
+    violations += check_run(engine, handles)
+    return violations, handles
 
 
 def _run_faulted(
-    spec: Spec, reference: Reference, clean_rows, *, inject_bug: bool
+    spec: Spec, references: list[Reference], clean_rows: dict, *, inject_bug: bool
 ) -> CaseResult:
-    """The run under test: faults + schedule jitter + supervision."""
+    """The run under test: faults + schedule jitter + queue pressure +
+    supervision, all queries interleaved."""
+    plan = build_fault_plan(spec)
     engine = WebDisEngine(
         build_web(spec),
-        config=_engine_config(spec, inject_bug=inject_bug),
+        # Pressure knobs only apply when faults actually install: a run the
+        # oracle holds to clean exactness must not shed.
+        config=_engine_config(spec, inject_bug=inject_bug, pressure=plan is not None),
         net_config=NetworkConfig(latency_overrides=latency_overrides(spec)),
         trace=True,
     )
@@ -149,43 +176,48 @@ def _run_faulted(
             (round(time, 9), src, dst, port, payload.kind)
         )
     )
-    plan = build_fault_plan(spec)
     if plan is not None:
         engine.apply_faults(plan)
     supervisor = QuerySupervisor(engine.client, POLICY)
-    handle = engine.submit_disql(query_text(spec))
-    supervisor.supervise(handle)
+    handles = [engine.submit_disql(text) for text in query_texts(spec)]
+    for handle in handles:
+        supervisor.supervise(handle)
     engine.run()
 
-    violations = check_run(
-        engine, [handle], references={handle.qid.number: clean_rows}
-    )
-    coverage = supervisor.coverage(handle)
-    if plan is None:
-        # Only the schedule differs from the control run: still clean, so
-        # the oracle demands COMPLETE and exact equivalence.
-        violations += check_clean(handle, reference)
-    else:
-        violations += check_faulted(handle, engine.tracer, reference, coverage)
+    violations = check_run(engine, handles, references=clean_rows)
+    for handle, reference in zip(handles, references):
+        coverage = supervisor.coverage(handle)
+        if plan is None:
+            # Only the schedule differs from the control run: still clean,
+            # so the oracle demands COMPLETE and exact equivalence.
+            violations += check_clean(handle, reference)
+        else:
+            violations += check_faulted(handle, engine.tracer, reference, coverage)
 
     fingerprint = hashlib.sha256(
         repr(
             (
-                handle.status.value,
-                sorted(str((label, row.header, row.values))
-                       for label, row, __ in handle.results),
-                handle.recovery_epoch,
-                round(handle.completion_time or -1.0, 9),
+                tuple(
+                    (
+                        handle.status.value,
+                        sorted(str((label, row.header, row.values))
+                               for label, row, __ in handle.results),
+                        handle.recovery_epoch,
+                        round(handle.completion_time or -1.0, 9),
+                    )
+                    for handle in handles
+                ),
                 tuple(message_log),
             )
         ).encode()
     ).hexdigest()
+    main = handles[0]
     return CaseResult(
         spec=spec,
-        status=handle.status.value,
+        status=main.status.value,
         clean_status="",
-        rows=len(handle.results),
-        recovery_epoch=handle.recovery_epoch,
+        rows=len(main.results),
+        recovery_epoch=main.recovery_epoch,
         violations=violations,
         fingerprint=fingerprint,
     )
@@ -216,44 +248,53 @@ async def _run_case_asyncio(
     from ..core.aio_engine import AsyncioWebDisEngine
     from ..net.chaos import ChaosRules
 
-    config = dataclasses.replace(
-        _engine_config(spec, inject_bug=False), transport="asyncio"
-    )
     plan = build_fault_plan(spec)
+    config = dataclasses.replace(
+        _engine_config(spec, inject_bug=False, pressure=plan is not None),
+        transport="asyncio",
+    )
     chaos = None if plan is None else ChaosRules.from_plan(plan, time_scale=time_scale)
     engine = AsyncioWebDisEngine(build_web(spec), config=config, trace=True, chaos=chaos)
     try:
         supervisor = QuerySupervisor(engine.client, POLICY)
-        handle = engine.submit_disql(query_text(spec))
-        supervisor.supervise(handle)
+        handles = [engine.submit_disql(text) for text in query_texts(spec)]
+        for handle in handles:
+            supervisor.supervise(handle)
         engine.apply_chaos_crashes()
         violations: list[Violation] = []
         try:
-            await engine.run([handle], timeout=timeout)
+            await engine.run(handles, timeout=timeout)
         except SimulationError as exc:
-            violations.append(Violation("terminal", str(handle.qid), str(exc)))
-        violations += check_run(engine, [handle])
+            violations.append(Violation("terminal", str(handles[0].qid), str(exc)))
+        violations += check_run(engine, handles)
     finally:
         await engine.aclose()
+    main = handles[0]
     return CaseResult(
         spec=spec,
-        status=handle.status.value,
+        status=main.status.value,
         clean_status="",
-        rows=len(handle.results),
-        recovery_epoch=handle.recovery_epoch,
+        rows=len(main.results),
+        recovery_epoch=main.recovery_epoch,
         violations=violations,
         fingerprint="",
     )
 
 
+def _references(spec: Spec) -> list[Reference]:
+    """One solo reference per query of the spec, in submission order."""
+    return [reference_run(spec, index) for index in range(len(query_texts(spec)))]
+
+
 def run_case(spec: Spec, *, inject_bug: bool = False) -> CaseResult:
-    """Run one spec end to end (reference + clean control + faulted run)."""
-    reference = reference_run(spec)
-    clean_violations, clean_handle = _run_clean(spec, reference)
-    result = _run_faulted(
-        spec, reference, reference_rows(clean_handle), inject_bug=inject_bug
-    )
-    result.clean_status = clean_handle.status.value
+    """Run one spec end to end (references + clean control + faulted run)."""
+    references = _references(spec)
+    clean_violations, clean_handles = _run_clean(spec, references)
+    clean_rows = {
+        handle.qid.number: reference_rows(handle) for handle in clean_handles
+    }
+    result = _run_faulted(spec, references, clean_rows, inject_bug=inject_bug)
+    result.clean_status = clean_handles[0].status.value
     result.violations = clean_violations + result.violations
     return result
 
@@ -272,18 +313,20 @@ def run_seed(
     fingerprints — the "same seed ⇒ bit-identical" acceptance gate.
     """
     spec = generate_case(seed)
-    reference = reference_run(spec)
-    clean_violations, clean_handle = _run_clean(spec, reference)
-    clean_rows = reference_rows(clean_handle)
+    references = _references(spec)
+    clean_violations, clean_handles = _run_clean(spec, references)
+    clean_rows = {
+        handle.qid.number: reference_rows(handle) for handle in clean_handles
+    }
 
     cases = []
     for variant in range(max(1, schedules)):
         variant_spec = dict(spec)
         variant_spec["schedule_seed"] = None if variant == 0 else seed * 1000 + variant
         case = _run_faulted(
-            variant_spec, reference, clean_rows, inject_bug=inject_bug
+            variant_spec, references, clean_rows, inject_bug=inject_bug
         )
-        case.clean_status = clean_handle.status.value
+        case.clean_status = clean_handles[0].status.value
         if variant == 0:
             case.violations = clean_violations + case.violations
         cases.append(case)
@@ -291,7 +334,7 @@ def run_seed(
     deterministic = True
     if check_determinism and cases:
         rerun = _run_faulted(
-            cases[0].spec, reference, clean_rows, inject_bug=inject_bug
+            cases[0].spec, references, clean_rows, inject_bug=inject_bug
         )
         deterministic = rerun.fingerprint == cases[0].fingerprint
     return SeedResult(seed=seed, cases=cases, deterministic=deterministic)

@@ -35,6 +35,7 @@ def spec_size(spec: Spec) -> tuple[int, ...]:
     sites = spec["web"]["sites"]
     return (
         len(spec["faults"]),
+        len(spec.get("queries", ())),
         len(sites),
         sum(len(site["pages"]) for site in sites),
         sum(
@@ -84,6 +85,17 @@ def _candidates(spec: Spec) -> Iterator[Spec]:
         candidate = copy.deepcopy(spec)
         del candidate["faults"][index]
         yield candidate
+    # 1b. Drop extra tenant queries, one at a time (older repro files have
+    # no "queries" key), and relax the overload-pressure knobs.
+    for index in range(len(spec.get("queries", ()))):
+        candidate = copy.deepcopy(spec)
+        del candidate["queries"][index]
+        yield candidate
+    for knob in ("per_query_queue_limit", "server_queue_limit", "shed_after"):
+        if spec.get("config", {}).get(knob) is not None:
+            candidate = copy.deepcopy(spec)
+            candidate["config"][knob] = None
+            yield candidate
     # 2. Disable schedule jitter.
     if spec.get("schedule_seed") is not None:
         candidate = copy.deepcopy(spec)
@@ -94,11 +106,16 @@ def _candidates(spec: Spec) -> Iterator[Spec]:
         candidate = copy.deepcopy(spec)
         del candidate["latency"][index]
         yield candidate
-    # 4. Remove whole sites (never the start site).
+    # 4. Remove whole sites (never any query's start site — a dangling
+    # start would fail on setup, not on the protocol).
+    start_hosts = {
+        query["start"].split("//", 1)[1].split("/", 1)[0]
+        for query in (spec["query"], *spec.get("queries", ()))
+    }
     start_host = spec["query"]["start"].split("//", 1)[1].split("/", 1)[0]
     sites = spec["web"]["sites"]
     for index, site in enumerate(sites):
-        if site["name"] == start_host:
+        if site["name"] in start_hosts:
             continue
         candidate = copy.deepcopy(spec)
         del candidate["web"]["sites"][index]

@@ -21,6 +21,7 @@ _FLAG_AXES = {
     "combine_results_and_cht": (True, False),
     "direct_result_return": (True, False),
     "frontier_batching": (True, False),
+    "scheduler": ("fair", "fifo"),
 }
 
 _COMBOS = [
@@ -29,9 +30,13 @@ _COMBOS = [
 ]
 
 
-@pytest.mark.parametrize(
-    "combo", _COMBOS, ids=lambda c: ",".join(k for k, v in c.items() if not v) or "all-on"
-)
+def _combo_id(combo: dict) -> str:
+    parts = [k for k, v in combo.items() if v is False]
+    parts += [v for v in combo.values() if isinstance(v, str)]
+    return ",".join(parts) or "all-on"
+
+
+@pytest.mark.parametrize("combo", _COMBOS, ids=_combo_id)
 def test_figure8_invariant_under_flags(campus_web, combo):
     engine = WebDisEngine(campus_web, config=EngineConfig(**combo))
     handle = engine.run_query(CAMPUS_QUERY_DISQL)
@@ -50,6 +55,14 @@ _EXTENSION_AXES = [
     EngineConfig(strict_dead_end=False, server_threads=2, batch_per_site=False),
     EngineConfig(frontier_batching=False, log_subsumption="language"),
     EngineConfig(frontier_batching=True, batch_per_site=False, server_threads=2),
+    # Multi-tenancy knobs: bounded pump budgets chunk the frontier but must
+    # not change answers; generous ceilings must never shed the campus query.
+    EngineConfig(pump_budget=1),
+    EngineConfig(scheduler="fifo", pump_budget=3),
+    EngineConfig(pump_budget=2, per_query_queue_limit=64, server_queue_limit=128,
+                 shed_after=30.0),
+    EngineConfig(scheduler="fifo", pump_budget=4, per_query_queue_limit=64,
+                 log_subsumption="language", server_threads=2),
 ]
 
 

@@ -99,7 +99,12 @@ def _run(scale: int, frontier: bool, template: str, pages: int):
     config = _web_config(scale, pages)
     web = build_synthetic_web(config)
     disql = template.format(start=synthetic_start_url(config))
-    engine = WebDisEngine(web, config=EngineConfig(frontier_batching=frontier))
+    # Memo off: this gate isolates frontier batching, not cross-query reuse
+    # (that is EXP-P4 in bench_cross_query.py).
+    engine = WebDisEngine(
+        web,
+        config=EngineConfig(frontier_batching=frontier, cross_query_caching=False),
+    )
     begin = time.perf_counter()
     handle = engine.run_query(disql)
     wall = time.perf_counter() - begin

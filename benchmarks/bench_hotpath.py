@@ -130,7 +130,9 @@ def check_engine_identical() -> int:
     for compiled in (True, False):
         engine = WebDisEngine(
             build_synthetic_web(WEB_CONFIG),
-            config=EngineConfig(compiled_plans=compiled),
+            # Memo off: this gate isolates compilation, not cross-query reuse
+            # (that is EXP-P4 in bench_cross_query.py).
+            config=EngineConfig(compiled_plans=compiled, cross_query_caching=False),
         )
         handle = engine.submit_disql(disql)
         done_at = engine.run()

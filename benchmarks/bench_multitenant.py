@@ -125,7 +125,13 @@ def _run(scale: int, scheduler: str) -> dict:
     texts, hot = _queries(scale)
     engine = WebDisEngine(
         build_synthetic_web(_web_config()),
-        config=EngineConfig(scheduler=scheduler, pump_budget=PUMP_BUDGET),
+        # Memo off: the repeated point queries would otherwise be served from
+        # the cross-query memo and the latency distribution would measure
+        # EXP-P4's reuse instead of the queue discipline under real load.
+        config=EngineConfig(
+            scheduler=scheduler, pump_budget=PUMP_BUDGET,
+            cross_query_caching=False,
+        ),
     )
     handles: list = [None] * len(texts)
     submitted: list[float] = [0.0] * len(texts)

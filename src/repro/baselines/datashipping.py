@@ -143,7 +143,7 @@ class DataShippingEngine:
         )
         self.constructor = DatabaseConstructor(self.config.db_cache_size)
         self.log_table = NodeQueryLogTable(self.config.log_subsumption)
-        self.plans = PlanCache()
+        self.plans = PlanCache(stats=self.stats)
         self._site_documents: dict[str, object] = {}
         self._request_ids = itertools.count(1)
         self._frontier: deque[_Work] = deque()
@@ -303,7 +303,7 @@ class DataShippingEngine:
         qid = query.qid
         steps = query.steps
         cache = self.plans
-        return lambda k: cache.plan_for(qid, k, steps[k].query)
+        return lambda k: cache.plan_for(steps[k].query, qid)
 
     def _site_documents_for(self, query: WebQuery, site_name: str):
         """Site-spanning DOCUMENT table for §7.1 multi-document queries.

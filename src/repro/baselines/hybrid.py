@@ -82,7 +82,7 @@ class CentralProcessor:
         )
         self.constructor = DatabaseConstructor(config.db_cache_size)
         self.log_table = NodeQueryLogTable(config.log_subsumption)
-        self.plans = PlanCache()
+        self.plans = PlanCache(stats=stats)
         self._queue: deque[QueryClone] = deque()
         self._busy = False
         self._purged: set[QueryId] = set()
@@ -242,7 +242,7 @@ class CentralProcessor:
         qid = query.qid
         steps = query.steps
         cache = self.plans
-        return lambda k: cache.plan_for(qid, k, steps[k].query)
+        return lambda k: cache.plan_for(steps[k].query, qid)
 
     def _site_documents_for(self, query, site_name: str):
         """Site-spanning DOCUMENT table for §7.1 multi-document queries."""

@@ -22,6 +22,7 @@ from .client import QueryHandle, UserSiteClient
 from .engine import WebDisEngine
 from .messages import NodeReport, ResultMessage
 from .plancache import PlanCache
+from .resultmemo import ResultMemo
 from .state import QueryState
 from .trace import TraceEvent, Tracer
 from .webquery import QueryClone, QueryId, WebQuery, WebQueryStep
@@ -34,6 +35,7 @@ __all__ = [
     "QueryHandle",
     "QueryId",
     "QueryState",
+    "ResultMemo",
     "ResultMessage",
     "TraceEvent",
     "Tracer",

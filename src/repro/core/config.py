@@ -60,6 +60,22 @@ class EngineConfig:
     #: frontier dispatch cannot.
     frontier_batching: bool = True
 
+    #: Cross-query result caching (EXP-P4): each server keeps a
+    #: :class:`~repro.core.resultmemo.ResultMemo` of ``(node, node-query
+    #: structural hash) → rows`` and ``(node, PRE state) → forward fan-out``,
+    #: consulted before evaluation so overlapping queries — the
+    #: millions-of-users traffic shape — reuse each other's per-node work
+    #: instead of re-parsing and re-evaluating the same popular pages.
+    #: Reuse is subsumption-aware (an entry for a more general A*m·B state
+    #: serves a contained one after a residual filter) and invalidation is
+    #: explicit: a crash clears the memo with the rest of the process
+    #: state, and the versioned epoch hook
+    #: (:meth:`~repro.core.resultmemo.ResultMemo.advance_epoch`) is the
+    #: seam for live-web mutation.  Answers are identical with the knob on
+    #: or off (hypothesis equivalence suite + DST draw it per case); only
+    #: costs change.
+    cross_query_caching: bool = True
+
     #: §7.1 migration path: when a clone's destination site refuses the
     #: query connection (not participating in WEBDIS), redirect the clone to
     #: the central helper at the user-site instead of retiring its entries.

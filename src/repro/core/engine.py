@@ -172,6 +172,17 @@ class WebDisEngine:
         self.network.set_site_up(site)
         server.restart()
 
+    def advance_memo_epoch(self) -> None:
+        """Bump every server's cross-query memo epoch (EXP-P4 seam).
+
+        Explicit, deployment-wide invalidation: nothing cached before the
+        bump can ever be served after it.  This is the hook a future
+        live-web mutation source drives; today tests and operators call it
+        to model "the web changed" without crashing anything.
+        """
+        for server in self.servers.values():
+            server.advance_memo_epoch()
+
     def _server_or_raise(self, site: str) -> QueryServer:
         server = self.servers.get(site)
         if server is None:

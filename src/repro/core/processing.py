@@ -39,6 +39,7 @@ from .webquery import WebQuery
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..relational.compile import CompiledPlan
     from .messages import NodeReport
+    from .resultmemo import NodeMemoView
     from .webquery import QueryClone
 
 __all__ = ["Forward", "FrontierResult", "NodeOutcome", "process_frontier", "process_node"]
@@ -89,13 +90,14 @@ class NodeOutcome:
 
 def process_node(
     node: Url,
-    database: NodeDatabase,
+    database: "NodeDatabase | Callable[[], NodeDatabase]",
     query: WebQuery,
     step_index: int,
     rem: Pre,
     config: EngineConfig,
     site_documents=None,
     plan_for: "Callable[[int], CompiledPlan] | None" = None,
+    memo: "NodeMemoView | None" = None,
 ) -> NodeOutcome:
     """Run the ServerRouter/PureRouter logic for one node.
 
@@ -107,10 +109,23 @@ def process_node(
     query); when None, evaluation falls back to the tree-walking
     interpreter.  Both paths are result-identical — same rows, same order.
 
+    ``memo`` is the cross-query memo bound to this node (EXP-P4): rows and
+    forward fan-outs are served from it when present, and ``database`` may
+    then be a zero-arg *provider* that is only invoked — paying the
+    document parse and table build — if some probe actually misses.  A full
+    memo hit processes the node without ever materializing its database.
+    Role accounting is unchanged either way: a served evaluation still
+    counts as the node acting as a ServerRouter.
+
     Pure function: no network, no tables — the server layers protocol
     bookkeeping (log table, CHT reports, message batching) on top.
     """
     outcome = NodeOutcome()
+    if callable(database):
+        resolve_db: "Callable[[], NodeDatabase]" = database
+    else:
+        def resolve_db(db: NodeDatabase = database) -> NodeDatabase:
+            return db
     pending: deque[tuple[int, Pre]] = deque([(step_index, rem)])
     seen: set[tuple[int, Pre]] = set()
 
@@ -123,13 +138,18 @@ def process_node(
         forward_continuations = True
         if nullable(current) and k < len(query.steps):
             step = query.steps[k]
-            if plan_for is None:
-                rows = evaluate_node_query(step.query, database, site_documents)
-            else:
-                rows = plan_for(k).execute(database, site_documents)
-            outcome.tuples_scanned += database.tuple_count()
-            if step.query.sitewide_aliases and site_documents is not None:
-                outcome.tuples_scanned += len(site_documents)
+            rows = memo.rows(k) if memo is not None else None
+            if rows is None:
+                db = resolve_db()
+                if plan_for is None:
+                    rows = evaluate_node_query(step.query, db, site_documents)
+                else:
+                    rows = plan_for(k).execute(db, site_documents)
+                outcome.tuples_scanned += db.tuple_count()
+                if step.query.sitewide_aliases and site_documents is not None:
+                    outcome.tuples_scanned += len(site_documents)
+                if memo is not None:
+                    memo.store_rows(k, tuple(rows))
             success = bool(rows)
             outcome.evaluations.append((k, success))
             if success:
@@ -141,7 +161,7 @@ def process_node(
                 forward_continuations = False
 
         if forward_continuations:
-            _emit_forwards(outcome, database, k, current)
+            _emit_forwards(outcome, resolve_db, k, current, memo)
 
     return outcome
 
@@ -237,12 +257,44 @@ def _fanout(rem: Pre) -> tuple[tuple[LinkType, Pre], ...]:
     return tuple(pairs)
 
 
-def _emit_forwards(outcome: NodeOutcome, database: NodeDatabase, k: int, rem: Pre) -> None:
-    """Append one forward per (link matching ``rem``'s first symbols)."""
+def _emit_forwards(
+    outcome: NodeOutcome,
+    resolve_db: "Callable[[], NodeDatabase]",
+    k: int,
+    rem: Pre,
+    memo: "NodeMemoView | None" = None,
+) -> None:
+    """Append one forward per (link matching ``rem``'s first symbols).
+
+    With a memo bound, the per-link-type target tuples come from (and feed)
+    the cross-query fan-out memo; the anchor scan then only runs on a miss.
+    Without one, the original direct scan is preserved untouched — the
+    uncached hot path pays nothing for the feature existing.
+    """
     emitted = outcome._emitted
+    if memo is None:
+        database = resolve_db()
+        for ltype, next_rem in _fanout(rem):
+            for anchor in database.outgoing_links(ltype):
+                forward = Forward(k, next_rem, anchor.href.without_fragment())
+                if forward not in emitted:
+                    emitted.add(forward)
+                    outcome.forwards.append(forward)
+        return
+    targets = memo.fanout(rem)
+    if targets is None:
+        database = resolve_db()
+        targets = {
+            ltype: tuple(
+                anchor.href.without_fragment()
+                for anchor in database.outgoing_links(ltype)
+            )
+            for ltype, __ in _fanout(rem)
+        }
+        memo.store_fanout(rem, targets)
     for ltype, next_rem in _fanout(rem):
-        for anchor in database.outgoing_links(ltype):
-            forward = Forward(k, next_rem, anchor.href.without_fragment())
+        for target in targets.get(ltype, ()):
+            forward = Forward(k, next_rem, target)
             if forward not in emitted:
                 emitted.add(forward)
                 outcome.forwards.append(forward)

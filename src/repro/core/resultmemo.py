@@ -1,0 +1,230 @@
+"""Cross-query result memoization — the EXP-P4 reuse layer.
+
+The log table (paper §3.1) dedups clone visits *within* one qid and the
+plan cache shares *compilation*; this module shares the actual per-node
+work across queries.  Under the millions-of-users traffic shape, many
+overlapping queries re-walk the same popular pages, and for a frozen web
+incarnation both halves of :func:`~repro.core.processing.process_node` are
+pure functions of per-node data:
+
+* **rows** — ``(node, structural hash of the node-query) → result rows``.
+  Two structurally equal node-queries (same select/from/where/sitewide
+  aliases, any label, any qid) compute the same rows at the same node, so
+  the evaluation — including the document parse feeding it — can be
+  skipped entirely.  An empty tuple is a real entry: "evaluated, no rows"
+  (the failed-evaluation outcome) is as reusable as a hit.
+* **forward fan-out** — ``(node, PRE-state) → {link type → targets}``.
+  Which links leave a node per link type is *state-independent* node data;
+  the PRE state only selects which link types matter.  That is what makes
+  subsumption-aware reuse sound: an entry logged for a more general state
+  serves any contained state (``A*m·B`` containment via
+  :func:`~repro.pre.ops.compare_for_log`, exactly the log table's §3.1.1
+  machinery) after a **residual filter** that restricts the stored buckets
+  to the contained state's own first symbols.
+
+Keying and collision safety mirror the plan cache: rows entries are keyed
+by the short structural digest but store the full
+:func:`~repro.relational.compile.structural_key` and verify it on every
+hit, so a digest collision degrades to a miss instead of wrong rows.
+
+Invalidation is explicit and coarse: the memo belongs to one *(process
+incarnation, web epoch)*.  :meth:`ResultMemo.clear` (called by
+:meth:`~repro.core.server.QueryServer.crash`) and
+:meth:`ResultMemo.advance_epoch` (the seam a future live-web mutation
+feature drives) both bump ``version`` and drop everything; every entry is
+stamped with the version that wrote it, so the DST
+``check_memo_coherence`` invariant can audit that no entry ever outlives
+an invalidation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..model.relations import LinkType
+from ..pre.ast import Pre
+from ..pre.ops import LogComparison, compare_for_log, first_symbols
+from ..relational.compile import structural_hash, structural_key
+from ..relational.query import NodeQuery, ResultRow
+from ..urlutils import Url
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.stats import TrafficStats
+    from .webquery import WebQuery
+
+__all__ = ["NodeMemoView", "ResultMemo"]
+
+#: Fan-out payload: per link type, the forward targets (fragment-stripped),
+#: in the page's link order.
+FanoutTargets = dict[LinkType, tuple[Url, ...]]
+
+
+@dataclass(frozen=True, slots=True)
+class _RowsEntry:
+    full_key: str
+    rows: tuple[ResultRow, ...]
+    version: int
+
+
+@dataclass(frozen=True, slots=True)
+class _FanoutEntry:
+    targets: FanoutTargets
+    version: int
+
+
+class ResultMemo:
+    """One site's cross-query memo of rows and forward fan-outs."""
+
+    __slots__ = ("version", "_rows", "_fanout", "_stats")
+
+    def __init__(self, stats: "TrafficStats | None" = None) -> None:
+        #: Bumped by every invalidation; entries stamped with an older
+        #: version must not exist (audited by ``check_memo_coherence``).
+        self.version = 0
+        self._rows: dict[tuple[Url, str], _RowsEntry] = {}
+        self._fanout: dict[Url, dict[Pre, _FanoutEntry]] = {}
+        self._stats = stats
+
+    # -- rows -----------------------------------------------------------------
+
+    def rows_for(self, node: Url, query: NodeQuery) -> tuple[ResultRow, ...] | None:
+        """The memoized rows of ``query`` at ``node``; None on a miss.
+
+        Exact structural equality only — a contained *node-query* (unlike a
+        contained PRE state) computes a genuinely different relation, so
+        there is nothing sound to filter from.
+        """
+        entry = self._rows.get((node, structural_hash(query)))
+        if entry is None or entry.full_key != structural_key(query):
+            self._count("memo_misses")
+            return None
+        self._count("memo_hits")
+        return entry.rows
+
+    def store_rows(self, node: Url, query: NodeQuery, rows: tuple[ResultRow, ...]) -> None:
+        self._rows[(node, structural_hash(query))] = _RowsEntry(
+            structural_key(query), rows, self.version
+        )
+
+    # -- forward fan-out ------------------------------------------------------
+
+    def fanout_for(self, node: Url, rem: Pre) -> FanoutTargets | None:
+        """The memoized link fan-out for state ``rem`` at ``node``.
+
+        Exact hit first; otherwise any logged state at this node that
+        *subsumes* ``rem`` (A*m·B containment, §3.1.1) serves it through a
+        residual filter — the stored buckets restricted to ``rem``'s own
+        first symbols.  The filtered fan-out is promoted to an exact entry
+        so the residual filter is paid once per (node, state).
+        """
+        per_node = self._fanout.get(node)
+        if per_node is None:
+            self._count("memo_misses")
+            return None
+        entry = per_node.get(rem)
+        if entry is not None:
+            self._count("memo_hits")
+            return entry.targets
+        needed = first_symbols(rem)
+        for general, candidate in per_node.items():
+            if compare_for_log(rem, general) is not LogComparison.DUPLICATE:
+                continue
+            if not all(ltype in candidate.targets for ltype in needed):
+                # Conservative coverage check: only reuse when the general
+                # entry logged a bucket for every link type ``rem`` can
+                # follow.  (Containment implies it for the A*m·B shapes,
+                # but reuse must stay locally provable.)
+                continue
+            filtered: FanoutTargets = {
+                ltype: candidate.targets[ltype] for ltype in needed
+            }
+            per_node[rem] = _FanoutEntry(filtered, self.version)
+            self._count("memo_hits")
+            self._count("residual_filters")
+            return filtered
+        self._count("memo_misses")
+        return None
+
+    def store_fanout(self, node: Url, rem: Pre, targets: FanoutTargets) -> None:
+        self._fanout.setdefault(node, {})[rem] = _FanoutEntry(targets, self.version)
+
+    # -- invalidation ---------------------------------------------------------
+
+    def clear(self) -> None:
+        """Crash invalidation: the incarnation died, nothing survives it."""
+        self.version += 1
+        self._rows.clear()
+        self._fanout.clear()
+
+    def advance_epoch(self) -> int:
+        """The live-web mutation seam: declare every cached entry stale.
+
+        Today the simulated web is frozen, so nothing calls this on the hot
+        path; a future mutation source bumps the epoch when page content or
+        links change, and in-flight queries recompute from the live web.
+        Returns the new version for callers that stamp downstream state.
+        """
+        self.clear()
+        return self.version
+
+    # -- audit ----------------------------------------------------------------
+
+    def stale_entries(self) -> list[str]:
+        """Entries stamped with a dead version — always empty unless an
+        invalidation path forgot to drop them (the coherence invariant)."""
+        stale = [
+            f"rows {key[1]} @ {key[0]} (v{entry.version} != v{self.version})"
+            for key, entry in self._rows.items()
+            if entry.version != self.version
+        ]
+        stale += [
+            f"fanout {rem} @ {node} (v{entry.version} != v{self.version})"
+            for node, per_node in self._fanout.items()
+            for rem, entry in per_node.items()
+            if entry.version != self.version
+        ]
+        return stale
+
+    def __len__(self) -> int:
+        return len(self._rows) + sum(len(v) for v in self._fanout.values())
+
+    def view(self, node: Url, query: "WebQuery") -> "NodeMemoView":
+        """Bind the memo to one (node, web-query) for a process_node call."""
+        return NodeMemoView(self, node, query)
+
+    def _count(self, counter: str) -> None:
+        if self._stats is not None:
+            setattr(self._stats, counter, getattr(self._stats, counter) + 1)
+
+
+class NodeMemoView:
+    """Memo access scoped to one node and one web-query's steps.
+
+    This is the adapter :func:`~repro.core.processing.process_node` talks
+    to: ``rows(k)`` / ``store_rows(k, rows)`` address step ``k``'s
+    node-query, ``fanout(rem)`` / ``store_fanout(rem, targets)`` address
+    the PRE state — the view owns the (node, step → structural key)
+    resolution so the processing hot path stays protocol-free.
+    """
+
+    __slots__ = ("_memo", "_node", "_query")
+
+    def __init__(self, memo: ResultMemo, node: Url, query: "WebQuery") -> None:
+        self._memo = memo
+        self._node = node
+        self._query = query
+
+    def rows(self, step_index: int) -> tuple[ResultRow, ...] | None:
+        return self._memo.rows_for(self._node, self._query.steps[step_index].query)
+
+    def store_rows(self, step_index: int, rows: tuple[ResultRow, ...]) -> None:
+        self._memo.store_rows(
+            self._node, self._query.steps[step_index].query, rows
+        )
+
+    def fanout(self, rem: Pre) -> FanoutTargets | None:
+        return self._memo.fanout_for(self._node, rem)
+
+    def store_fanout(self, rem: Pre, targets: FanoutTargets) -> None:
+        self._memo.store_fanout(self._node, rem, targets)

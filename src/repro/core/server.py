@@ -73,6 +73,7 @@ from .logtable import LogAction, NodeQueryLogTable
 from .messages import ChtEntry, CloneBundle, Disposition, NodeReport, RelayMessage, ResultMessage
 from .plancache import PlanCache
 from .processing import Forward, process_frontier, process_node
+from .resultmemo import ResultMemo
 from .scheduler import make_scheduler
 from .trace import Tracer
 from .webquery import QueryClone, QueryId, WebQuery
@@ -102,9 +103,14 @@ class QueryServer:
         self.tracer = tracer
         self.constructor = DatabaseConstructor(config.db_cache_size)
         self.log_table = NodeQueryLogTable(config.log_subsumption)
-        #: Compiled node-query plans, keyed (qid, step) — volatile process
-        #: state, cleared by crash() exactly like the db cache.
-        self.plans = PlanCache()
+        #: Compiled node-query plans, structurally keyed so tenants share
+        #: compilations — volatile process state, cleared by crash()
+        #: exactly like the db cache.
+        self.plans = PlanCache(stats=stats)
+        #: Cross-query memo of per-node rows and forward fan-outs (EXP-P4);
+        #: None when the knob is off.  Volatile like the plan cache, plus
+        #: an explicit epoch hook for future live-web mutation.
+        self.memo = ResultMemo(stats) if config.cross_query_caching else None
         self.channel = ReliableChannel(
             network, clock, config.retry_policy,
             name=f"server:{site}", trace=self._trace_transport,
@@ -164,6 +170,8 @@ class QueryServer:
         self.log_table = NodeQueryLogTable(self.config.log_subsumption)
         self.constructor = DatabaseConstructor(self.config.db_cache_size)
         self.plans.clear()
+        if self.memo is not None:
+            self.memo.clear()
         self._site_documents = None
         self._purged = set()
         self._last_purge = 0.0
@@ -177,6 +185,16 @@ class QueryServer:
         """
         if not self.network.is_listening(self.site, QUERY_PORT):
             self.network.listen(self.site, QUERY_PORT, self._on_message)
+
+    def advance_memo_epoch(self) -> None:
+        """Invalidate the cross-query memo without a crash.
+
+        The versioned epoch hook: the seam a live-web mutation source will
+        drive when this site's pages change under a running system.  No-op
+        with ``cross_query_caching`` off.
+        """
+        if self.memo is not None:
+            self.memo.advance_epoch()
 
     # -- ingress ----------------------------------------------------------------
 
@@ -397,14 +415,40 @@ class QueryServer:
                 reports.append(NodeReport(entry, Disposition.MISSING))
                 continue
 
-            database = self.constructor.construct(node, html)
-            self.stats.documents_parsed += 1
-            outcome = process_node(
-                node, database, clone.query, clone.step_index, rem, self.config,
-                site_documents=self._site_documents_for(clone.query),
-                plan_for=plan_for,
-            )
-            service += self.config.service_time(len(html), outcome.tuples_scanned)
+            if self.memo is None:
+                database = self.constructor.construct(node, html)
+                self.stats.documents_parsed += 1
+                outcome = process_node(
+                    node, database, clone.query, clone.step_index, rem, self.config,
+                    site_documents=self._site_documents_for(clone.query),
+                    plan_for=plan_for,
+                )
+                service += self.config.service_time(len(html), outcome.tuples_scanned)
+            else:
+                # Cross-query caching (EXP-P4): the database is built lazily
+                # — a node fully served from the memo never parses its
+                # document, and is charged only the base per-node service
+                # time (like a duplicate drop) instead of parse + scan cost.
+                built: list = []
+
+                def provider(node=node, html=html, built=built):
+                    if not built:
+                        built.append(self.constructor.construct(node, html))
+                        self.stats.documents_parsed += 1
+                    return built[0]
+
+                outcome = process_node(
+                    node, provider, clone.query, clone.step_index, rem, self.config,
+                    site_documents=self._site_documents_for(clone.query),
+                    plan_for=plan_for,
+                    memo=self.memo.view(node, clone.query),
+                )
+                if built:
+                    service += self.config.service_time(
+                        len(html), outcome.tuples_scanned
+                    )
+                else:
+                    service += self.config.node_service_time
             self.stats.node_queries_evaluated += len(outcome.evaluations)
             self._trace_outcome(now, node, clone, outcome)
 
@@ -466,7 +510,7 @@ class QueryServer:
         qid = query.qid
         steps = query.steps
         cache = self.plans
-        return lambda k: cache.plan_for(qid, k, steps[k].query)
+        return lambda k: cache.plan_for(steps[k].query, qid)
 
     def _site_documents_for(self, query):
         """The site-spanning DOCUMENT table, built lazily on first need.

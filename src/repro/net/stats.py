@@ -116,6 +116,20 @@ class TrafficStats:
     clone_bundles_sent: int = 0
     clones_bundled: int = 0
 
+    # Cross-query caching (EXP-P4).
+    #: ResultMemo probes answered from cache — each one skipped a node-query
+    #: evaluation (rows probe) or a link-graph fan-out scan (state probe).
+    memo_hits: int = 0
+    #: ResultMemo probes that missed and paid the full computation (which
+    #: then populated the memo for the next structurally-equal query).
+    memo_misses: int = 0
+    #: Plan-cache hits where the plan had been compiled for a *different*
+    #: web-query — structural sharing across qids.
+    plans_shared: int = 0
+    #: Memo hits served from a strictly more general logged PRE state via
+    #: A*m·B containment plus a residual fan-out filter.
+    residual_filters: int = 0
+
     @property
     def events_saved(self) -> int:
         """SimClock events avoided by frontier batching (one schedule +
@@ -212,6 +226,10 @@ class TrafficStats:
             "frontier_clones_batched": self.frontier_clones_batched,
             "clone_bundles_sent": self.clone_bundles_sent,
             "clones_bundled": self.clones_bundled,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "plans_shared": self.plans_shared,
+            "residual_filters": self.residual_filters,
             "events_saved": self.events_saved,
             "messages_saved": self.messages_saved,
         }

@@ -29,6 +29,8 @@ are static, so one plan serves every node database.
 
 from __future__ import annotations
 
+import hashlib
+from functools import lru_cache
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..errors import DisqlSemanticsError, EvaluationError, SchemaError
@@ -52,7 +54,7 @@ from .table import Table
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..model.database import NodeDatabase
 
-__all__ = ["CompiledPlan", "compile_node_query"]
+__all__ = ["CompiledPlan", "compile_node_query", "structural_hash", "structural_key"]
 
 _SCHEMAS = {
     "document": DOCUMENT_SCHEMA,
@@ -110,6 +112,37 @@ class CompiledPlan:
         results: list[ResultRow] = []
         self._runner([None] * len(tables), tables, results)
         return results
+
+
+@lru_cache(maxsize=65536)
+def structural_key(query: NodeQuery) -> str:
+    """The qid-independent identity of a node-query's *structure*.
+
+    Two node-queries with equal keys compute the same function of a node
+    database — same select list, same table declarations, same predicate,
+    same sitewide aliases — so compiled plans and memoized results are
+    interchangeable between them even when they belong to different
+    web-queries.  The ``label`` is deliberately excluded: it names the step
+    for traces and result grouping but never affects evaluation.  Built
+    from the dataclass reprs (complete by construction) rather than the
+    prettified ``str(query)``, so no two distinct structures can collide
+    on rendering.
+    """
+    return repr((query.select, query.tables, query.where, query.sitewide_aliases))
+
+
+@lru_cache(maxsize=65536)
+def structural_hash(query: NodeQuery) -> str:
+    """Short digest of :func:`structural_key` — the cache key.
+
+    64 bits is plenty for the handful of live node-queries a server sees,
+    but consumers must still verify the full key on a hit (see
+    :class:`~repro.core.plancache.PlanCache`): a digest can collide, and a
+    collision served silently would mean wrong rows.
+    """
+    return hashlib.blake2b(
+        structural_key(query).encode("utf-8"), digest_size=8
+    ).hexdigest()
 
 
 def compile_node_query(query: NodeQuery) -> CompiledPlan:

@@ -194,6 +194,11 @@ def generate_case(seed: int, schedule_seed: int | None = None) -> Spec:
             config["server_queue_limit"] = rng.choice((16, 24, 32))
             config["shed_after"] = round(rng.uniform(0.5, 2.0), 3)
 
+    # Cross-query caching (EXP-P4) — drawn after every earlier knob
+    # (ordering rule above), so existing seeds keep their webs, queries,
+    # faults and pressure draws byte-for-byte.
+    config["cross_query_caching"] = rng.random() < 0.5
+
     return {
         "seed": seed,
         "web": {"sites": sites},

@@ -61,6 +61,7 @@ from ..errors import ProtocolError
 __all__ = [
     "Violation",
     "check_handle",
+    "check_memo_coherence",
     "check_no_refused_retry",
     "check_queue_ceilings",
     "check_run",
@@ -188,6 +189,38 @@ def check_no_refused_retry(tracer) -> list[Violation]:
     return violations
 
 
+def check_memo_coherence(engine) -> list[Violation]:
+    """No cross-query memo entry outlives a crash or an epoch bump.
+
+    Every :class:`~repro.core.resultmemo.ResultMemo` entry is stamped with
+    the memo version that wrote it; ``clear()`` (crash) and
+    ``advance_epoch()`` bump the version *and* drop the entries, so any
+    surviving entry stamped with an older version means an invalidation
+    path leaked cached state across an incarnation or web-epoch boundary —
+    exactly the silently-wrong-rows failure mode caching introduces.
+    Run-level check; engines without per-site servers, or with
+    ``cross_query_caching`` off, are skipped.
+    """
+    servers = getattr(engine, "servers", None)
+    if not servers:
+        return []
+    violations = []
+    for site, server in servers.items():
+        memo = getattr(server, "memo", None)
+        if memo is None:
+            continue
+        stale = memo.stale_entries()
+        if stale:
+            violations.append(
+                Violation(
+                    "memo-coherence", "-",
+                    f"server {site} memo holds {len(stale)} entr(y/ies) from "
+                    f"a dead version, e.g. {stale[0]}",
+                )
+            )
+    return violations
+
+
 def check_queue_ceilings(engine) -> list[Violation]:
     """No server's per-query run-queue ever exceeded the configured ceiling.
 
@@ -305,4 +338,5 @@ def check_run(
         )
     violations += check_no_refused_retry(engine.tracer)
     violations += check_queue_ceilings(engine)
+    violations += check_memo_coherence(engine)
     return violations

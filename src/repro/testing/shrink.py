@@ -96,6 +96,13 @@ def _candidates(spec: Spec) -> Iterator[Spec]:
             candidate = copy.deepcopy(spec)
             candidate["config"][knob] = None
             yield candidate
+    # 1c. Clear the cross-query memo knob: a repro that still fails with
+    # caching off has nothing to do with the memo, which halves the
+    # suspect surface for the debugging human.
+    if spec.get("config", {}).get("cross_query_caching", True):
+        candidate = copy.deepcopy(spec)
+        candidate.setdefault("config", {})["cross_query_caching"] = False
+        yield candidate
     # 2. Disable schedule jitter.
     if spec.get("schedule_seed") is not None:
         candidate = copy.deepcopy(spec)

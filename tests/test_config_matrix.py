@@ -72,3 +72,36 @@ def test_figure8_invariant_under_extensions(campus_web, config):
     handle = engine.run_query(CAMPUS_QUERY_DISQL)
     assert handle.status is QueryStatus.COMPLETE
     assert {r.values for r in handle.unique_rows("q2")} == set(EXPECTED_CONVENER_ROWS)
+
+
+# Cross-query caching (EXP-P4) crossed against the knobs it interacts with
+# on the hot path: the scheduler (interleaves tenants, so memo warm-up
+# order varies), frontier batching (moves probes into the frontier pump)
+# and compiled plans (plan sharing vs interpreter).  Two identical tenants
+# run per combo so the memo genuinely engages — both must stay row-exact.
+_CACHING_AXES = {
+    "cross_query_caching": (True, False),
+    "scheduler": ("fair", "fifo"),
+    "frontier_batching": (True, False),
+    "compiled_plans": (True, False),
+}
+
+_CACHING_COMBOS = [
+    dict(zip(_CACHING_AXES, values))
+    for values in itertools.product(*_CACHING_AXES.values())
+]
+
+
+@pytest.mark.parametrize("combo", _CACHING_COMBOS, ids=_combo_id)
+def test_figure8_invariant_under_caching_axis(campus_web, combo):
+    engine = WebDisEngine(campus_web, config=EngineConfig(**combo))
+    first = engine.submit_disql(CAMPUS_QUERY_DISQL)
+    second = engine.submit_disql(CAMPUS_QUERY_DISQL)
+    engine.run()
+    for handle in (first, second):
+        assert handle.status is QueryStatus.COMPLETE
+        assert {r.values for r in handle.unique_rows("q2")} == set(
+            EXPECTED_CONVENER_ROWS
+        )
+        handle.cht.check_consistency()
+        assert handle.cht.imbalance() == 0

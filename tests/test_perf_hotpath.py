@@ -2,9 +2,10 @@
 
 Covers the perf-layer invariants the benchmarks rely on:
 
-* :class:`~repro.core.plancache.PlanCache` is a bounded LRU keyed
-  ``(qid, step)``; a crash clears it, so a stale plan is never served
-  across server incarnations;
+* :class:`~repro.core.plancache.PlanCache` is a bounded LRU keyed by the
+  node-query's structural hash — shared across qids, verified against the
+  full structural key on every hit (collision safety) — and a crash clears
+  it, so a stale plan is never served across server incarnations;
 * engine results are bit-identical with ``compiled_plans`` on and off;
 * a disabled tracer costs nothing on the hot path — zero ``record``
   calls, zero event allocations;
@@ -53,46 +54,78 @@ def _node_query():
     return compile_disql(QUERY).steps[0].query
 
 
+def _variant_queries(count):
+    """Structurally distinct node-queries (different contains-words)."""
+    return [
+        compile_disql(QUERY.replace('"topic"', f'"topic{n}"')).steps[0].query
+        for n in range(count)
+    ]
+
+
 class TestPlanCache:
     def test_hit_returns_same_plan_object(self):
         cache = PlanCache()
         qid = QueryId("maya", "user.example", 4000, 1)
         query = _node_query()
-        first = cache.plan_for(qid, 0, query)
-        second = cache.plan_for(qid, 0, query)
+        first = cache.plan_for(query, qid)
+        second = cache.plan_for(query, qid)
         assert first is second
         assert (cache.hits, cache.misses) == (1, 1)
 
-    def test_distinct_keys_get_distinct_plans(self):
+    def test_structural_equals_share_one_plan_across_qids(self):
+        # The EXP-P4 rekeying: two tenants submitting the same node-query
+        # structure get ONE compilation, counted as cross-query sharing.
         cache = PlanCache()
         query = _node_query()
-        a = cache.plan_for(QueryId("maya", "user.example", 4000, 1), 0, query)
-        b = cache.plan_for(QueryId("maya", "user.example", 4000, 2), 0, query)
-        assert a is not b
+        a = cache.plan_for(query, QueryId("maya", "user.example", 4000, 1))
+        b = cache.plan_for(query, QueryId("noor", "user.example", 4000, 2))
+        assert a is b
+        assert len(cache) == 1
+        assert cache.shared_hits == 1
+
+    def test_distinct_structures_get_distinct_plans(self):
+        cache = PlanCache()
+        q1, q2 = _variant_queries(2)
+        assert cache.plan_for(q1) is not cache.plan_for(q2)
         assert len(cache) == 2
 
     def test_lru_eviction_is_bounded(self):
         cache = PlanCache(max_size=2)
-        query = _node_query()
-        keys = [QueryId("maya", "user.example", 4000, n) for n in (1, 2, 3)]
-        plans = [cache.plan_for(qid, 0, query) for qid in keys]
+        queries = _variant_queries(3)
+        plans = [cache.plan_for(query) for query in queries]
         assert len(cache) == 2
-        assert (keys[0], 0) not in cache  # oldest evicted
-        # Re-requesting the evicted key recompiles: a new plan object.
-        assert cache.plan_for(keys[0], 0, query) is not plans[0]
+        assert queries[0] not in cache  # oldest evicted
+        # Re-requesting the evicted structure recompiles: a new plan object.
+        assert cache.plan_for(queries[0]) is not plans[0]
 
     def test_clear_forces_recompilation(self):
         cache = PlanCache()
-        qid = QueryId("maya", "user.example", 4000, 1)
         query = _node_query()
-        before = cache.plan_for(qid, 0, query)
+        before = cache.plan_for(query)
         cache.clear()
         assert len(cache) == 0
-        assert cache.plan_for(qid, 0, query) is not before
+        assert cache.plan_for(query) is not before
 
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
             PlanCache(max_size=0)
+
+    def test_hash_collision_never_serves_the_wrong_plan(self):
+        # Regression (satellite fix): force every digest to collide; the
+        # full-key verification must still hand each structure its own
+        # correct plan instead of the colliding entry's.
+        cache = PlanCache(hash_fn=lambda query: "deadbeef")
+        q1, q2 = _variant_queries(2)
+        p1 = cache.plan_for(q1)
+        p2 = cache.plan_for(q2)
+        assert cache.collisions == 1
+        assert p1 is not p2
+        assert p1.query is q1 and p2.query is q2
+        # The collision evicted q1's entry (same slot); a fresh q1 probe
+        # collides again and recompiles — correct, never silently wrong.
+        p1_again = cache.plan_for(q1)
+        assert cache.collisions == 2
+        assert p1_again.query is q1
 
 
 class TestInvalidationAcrossIncarnations:
@@ -102,7 +135,9 @@ class TestInvalidationAcrossIncarnations:
         engine.run()
         server = engine.server_for("root.example")
         assert len(server.plans) > 0
-        pre_crash = dict(server.plans._plans)
+        pre_crash = {
+            digest: plan for digest, (__, __, plan) in server.plans._plans.items()
+        }
         engine.crash_server("root.example")
         assert len(server.plans) == 0
         engine.restart_server("root.example")
@@ -111,8 +146,8 @@ class TestInvalidationAcrossIncarnations:
         handle = engine.submit_disql(QUERY)
         engine.run()
         assert handle.results
-        for key, plan in server.plans._plans.items():
-            assert pre_crash.get(key) is not plan
+        for digest, (__, __, plan) in server.plans._plans.items():
+            assert pre_crash.get(digest) is not plan
 
     def test_engine_results_identical_with_and_without_compilation(self):
         runs = {}

@@ -80,7 +80,9 @@ class CentralProcessor:
         self.channel = ReliableChannel(
             network, clock, config.retry_policy, name=f"central:{user_site}"
         )
-        self.constructor = DatabaseConstructor(config.db_cache_size)
+        self.constructor = DatabaseConstructor(
+            config.db_cache_size, storage=config.storage_backend, stats=stats
+        )
         self.log_table = NodeQueryLogTable(config.log_subsumption)
         self.plans = PlanCache(stats=stats)
         self._queue: deque[QueryClone] = deque()

@@ -76,6 +76,30 @@ class EngineConfig:
     #: costs change.
     cross_query_caching: bool = True
 
+    #: Node-query executor (EXP-P5): ``"columnar"`` (default) evaluates
+    #: compiled plans through batch operators over the relations' columnar
+    #: layout — selection-vector filters and batch projections, innermost
+    #: scan vectorized (:mod:`repro.relational.columnar`) — and emits
+    #: forwards from the precomputed per-``LinkType`` target selections;
+    #: ``"row"`` keeps the row-at-a-time closure chain, byte-identical to
+    #: the pre-columnar engine.  Rows, order and lazily-raised errors are
+    #: identical on both executors (hypothesis equivalence suite + the DST
+    #: harness draw the knob per case); only wall-clock changes — the
+    #: simulated cost model is executor-independent.  With
+    #: ``compiled_plans=False`` the interpreter runs regardless.
+    executor: str = "columnar"
+
+    #: Node-database storage backend: ``"memory"`` (the paper's temporary
+    #: in-memory databases) or ``"sqlite"`` (same relations behind stdlib
+    #: sqlite, :mod:`repro.model.storage`, for corpora that shouldn't live
+    #: as Python tuples).  Both executors run on both backends.
+    storage_backend: str = "memory"
+
+    #: Ceiling on entries per server's cross-query ResultMemo (rows and
+    #: fan-out entries combined, LRU-evicted; ``memo_evictions`` /
+    #: ``memo_bytes_est`` account it).  None = unbounded (EXP-P4 behaviour).
+    memo_capacity: int | None = None
+
     #: §7.1 migration path: when a clone's destination site refuses the
     #: query connection (not participating in WEBDIS), redirect the clone to
     #: the central helper at the user-site instead of retiring its entries.
@@ -157,6 +181,12 @@ class EngineConfig:
     parse_time_per_kb: float = 0.001
     #: Cost per virtual-relation tuple scanned during node-query evaluation.
     eval_time_per_tuple: float = 0.0001
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("row", "columnar"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.storage_backend not in ("memory", "sqlite"):
+            raise ValueError(f"unknown storage backend {self.storage_backend!r}")
 
     def service_time(self, html_bytes: int, tuples_scanned: int) -> float:
         """CPU time to parse a document and evaluate node-queries over it."""

@@ -45,7 +45,15 @@ __all__ = ["PlanCache"]
 
 
 class PlanCache:
-    """Bounded LRU of :class:`CompiledPlan` objects, structurally keyed."""
+    """Bounded LRU of :class:`CompiledPlan` objects, structurally keyed.
+
+    Executor-independent: a cached plan carries the row runner and lazily
+    lowers its columnar runner on first batch execution, so one shared
+    entry amortizes compilation for whichever executor
+    (``EngineConfig.executor``) the engine selects — and both lowerings are
+    pure functions of the same structure, which keeps the structural key
+    sound unchanged.
+    """
 
     __slots__ = (
         "max_size", "hits", "misses", "shared_hits", "collisions",

@@ -126,6 +126,12 @@ def process_node(
     else:
         def resolve_db(db: NodeDatabase = database) -> NodeDatabase:
             return db
+    # The executor seam (EXP-P5): "columnar" routes plan execution through
+    # the batch operators and forward emission through the precomputed
+    # per-LinkType target selections; "row" leaves both hot paths exactly
+    # as the pre-columnar engine ran them.  Interpreter evaluation
+    # (plan_for=None) is row-at-a-time on either executor.
+    columnar = config.executor == "columnar"
     pending: deque[tuple[int, Pre]] = deque([(step_index, rem)])
     seen: set[tuple[int, Pre]] = set()
 
@@ -143,6 +149,8 @@ def process_node(
                 db = resolve_db()
                 if plan_for is None:
                     rows = evaluate_node_query(step.query, db, site_documents)
+                elif columnar:
+                    rows = plan_for(k).execute_columnar(db, site_documents)
                 else:
                     rows = plan_for(k).execute(db, site_documents)
                 outcome.tuples_scanned += db.tuple_count()
@@ -161,7 +169,7 @@ def process_node(
                 forward_continuations = False
 
         if forward_continuations:
-            _emit_forwards(outcome, resolve_db, k, current, memo)
+            _emit_forwards(outcome, resolve_db, k, current, memo, columnar)
 
     return outcome
 
@@ -263,17 +271,29 @@ def _emit_forwards(
     k: int,
     rem: Pre,
     memo: "NodeMemoView | None" = None,
+    columnar: bool = False,
 ) -> None:
     """Append one forward per (link matching ``rem``'s first symbols).
 
     With a memo bound, the per-link-type target tuples come from (and feed)
     the cross-query fan-out memo; the anchor scan then only runs on a miss.
-    Without one, the original direct scan is preserved untouched — the
-    uncached hot path pays nothing for the feature existing.
+    Without one, the original direct scan is preserved untouched on the row
+    executor — the uncached row hot path pays nothing for the feature
+    existing — while the columnar executor reads the database's precomputed
+    per-``LinkType`` target selections (same URLs, stripped once per
+    database instead of per probe).
     """
     emitted = outcome._emitted
     if memo is None:
         database = resolve_db()
+        if columnar:
+            for ltype, next_rem in _fanout(rem):
+                for target in database.forward_targets(ltype):
+                    forward = Forward(k, next_rem, target)
+                    if forward not in emitted:
+                        emitted.add(forward)
+                        outcome.forwards.append(forward)
+            return
         for ltype, next_rem in _fanout(rem):
             for anchor in database.outgoing_links(ltype):
                 forward = Forward(k, next_rem, anchor.href.without_fragment())
@@ -284,13 +304,18 @@ def _emit_forwards(
     targets = memo.fanout(rem)
     if targets is None:
         database = resolve_db()
-        targets = {
-            ltype: tuple(
-                anchor.href.without_fragment()
-                for anchor in database.outgoing_links(ltype)
-            )
-            for ltype, __ in _fanout(rem)
-        }
+        if columnar:
+            targets = {
+                ltype: database.forward_targets(ltype) for ltype, __ in _fanout(rem)
+            }
+        else:
+            targets = {
+                ltype: tuple(
+                    anchor.href.without_fragment()
+                    for anchor in database.outgoing_links(ltype)
+                )
+                for ltype, __ in _fanout(rem)
+            }
         memo.store_fanout(rem, targets)
     for ltype, next_rem in _fanout(rem):
         for target in targets.get(ltype, ()):

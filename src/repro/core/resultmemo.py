@@ -39,6 +39,7 @@ an invalidation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -74,16 +75,40 @@ class _FanoutEntry:
 
 
 class ResultMemo:
-    """One site's cross-query memo of rows and forward fan-outs."""
+    """One site's cross-query memo of rows and forward fan-outs.
 
-    __slots__ = ("version", "_rows", "_fanout", "_stats")
+    Optionally bounded: with ``capacity`` set, rows and fan-out entries
+    share one LRU (hits refresh recency, stores evict the coldest entry
+    once the ceiling is crossed), accounted in ``evictions`` and the
+    ``bytes_est`` size gauge — mirrored to ``TrafficStats`` as
+    ``memo_evictions`` / ``memo_bytes_est``.  Entries are layout- and
+    executor-independent (plain ``ResultRow`` tuples and URL tuples), so a
+    memo populated under one executor serves the other unchanged.
+    """
 
-    def __init__(self, stats: "TrafficStats | None" = None) -> None:
+    __slots__ = ("version", "capacity", "evictions", "bytes_est", "_rows", "_fanout", "_lru", "_stats")
+
+    def __init__(
+        self,
+        stats: "TrafficStats | None" = None,
+        capacity: int | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("memo capacity must be at least 1 entry")
         #: Bumped by every invalidation; entries stamped with an older
         #: version must not exist (audited by ``check_memo_coherence``).
         self.version = 0
+        self.capacity = capacity
+        self.evictions = 0
+        #: Rough retained-size gauge (strings + per-object overhead); an
+        #: estimate for observability, not an allocator measurement.
+        self.bytes_est = 0
         self._rows: dict[tuple[Url, str], _RowsEntry] = {}
         self._fanout: dict[Url, dict[Pre, _FanoutEntry]] = {}
+        #: Shared recency order over both entry kinds: key → byte estimate.
+        #: ``("r", node, digest)`` addresses ``_rows``; ``("f", node, rem)``
+        #: addresses ``_fanout``.
+        self._lru: "OrderedDict[tuple, int]" = OrderedDict()
         self._stats = stats
 
     # -- rows -----------------------------------------------------------------
@@ -95,17 +120,20 @@ class ResultMemo:
         contained PRE state) computes a genuinely different relation, so
         there is nothing sound to filter from.
         """
-        entry = self._rows.get((node, structural_hash(query)))
+        key = (node, structural_hash(query))
+        entry = self._rows.get(key)
         if entry is None or entry.full_key != structural_key(query):
             self._count("memo_misses")
             return None
+        self._touch(("r",) + key)
         self._count("memo_hits")
         return entry.rows
 
     def store_rows(self, node: Url, query: NodeQuery, rows: tuple[ResultRow, ...]) -> None:
-        self._rows[(node, structural_hash(query))] = _RowsEntry(
-            structural_key(query), rows, self.version
-        )
+        key = (node, structural_hash(query))
+        entry = _RowsEntry(structural_key(query), rows, self.version)
+        self._rows[key] = entry
+        self._account(("r",) + key, _rows_bytes(entry))
 
     # -- forward fan-out ------------------------------------------------------
 
@@ -124,6 +152,7 @@ class ResultMemo:
             return None
         entry = per_node.get(rem)
         if entry is not None:
+            self._touch(("f", node, rem))
             self._count("memo_hits")
             return entry.targets
         needed = first_symbols(rem)
@@ -140,6 +169,7 @@ class ResultMemo:
                 ltype: candidate.targets[ltype] for ltype in needed
             }
             per_node[rem] = _FanoutEntry(filtered, self.version)
+            self._account(("f", node, rem), _fanout_bytes(filtered))
             self._count("memo_hits")
             self._count("residual_filters")
             return filtered
@@ -148,6 +178,7 @@ class ResultMemo:
 
     def store_fanout(self, node: Url, rem: Pre, targets: FanoutTargets) -> None:
         self._fanout.setdefault(node, {})[rem] = _FanoutEntry(targets, self.version)
+        self._account(("f", node, rem), _fanout_bytes(targets))
 
     # -- invalidation ---------------------------------------------------------
 
@@ -156,6 +187,9 @@ class ResultMemo:
         self.version += 1
         self._rows.clear()
         self._fanout.clear()
+        self._lru.clear()
+        self._gauge(-self.bytes_est)
+        self.bytes_est = 0
 
     def advance_epoch(self) -> int:
         """The live-web mutation seam: declare every cached entry stale.
@@ -193,9 +227,72 @@ class ResultMemo:
         """Bind the memo to one (node, web-query) for a process_node call."""
         return NodeMemoView(self, node, query)
 
+    # -- LRU bookkeeping ------------------------------------------------------
+
+    def _touch(self, key: tuple) -> None:
+        """Refresh recency on a verified hit (no-op if unaccounted yet)."""
+        if key in self._lru:
+            self._lru.move_to_end(key)
+
+    def _account(self, key: tuple, size: int) -> None:
+        """Register a (re)stored entry under ``key`` and enforce capacity."""
+        lru = self._lru
+        previous = lru.pop(key, None)
+        if previous is not None:
+            self.bytes_est -= previous
+            self._gauge(-previous)
+        lru[key] = size
+        self.bytes_est += size
+        self._gauge(size)
+        capacity = self.capacity
+        if capacity is None:
+            return
+        while len(lru) > capacity:
+            victim, victim_size = lru.popitem(last=False)
+            if victim[0] == "r":
+                self._rows.pop((victim[1], victim[2]), None)
+            else:
+                per_node = self._fanout.get(victim[1])
+                if per_node is not None:
+                    per_node.pop(victim[2], None)
+                    if not per_node:
+                        del self._fanout[victim[1]]
+            self.bytes_est -= victim_size
+            self._gauge(-victim_size)
+            self.evictions += 1
+            self._count("memo_evictions")
+
+    def _gauge(self, delta: int) -> None:
+        if self._stats is not None and delta:
+            self._stats.memo_bytes_est += delta
+
     def _count(self, counter: str) -> None:
         if self._stats is not None:
             setattr(self._stats, counter, getattr(self._stats, counter) + 1)
+
+
+# Flat per-object size guesses (CPython-ish): this is a gauge for dashboards
+# and eviction sanity checks, not an allocator audit.  URLs are shared
+# objects, so they are charged as references plus a small constant.
+_ROW_OVERHEAD = 56
+_ENTRY_OVERHEAD = 80
+_URL_EST = 64
+
+
+def _rows_bytes(entry: _RowsEntry) -> int:
+    total = _ENTRY_OVERHEAD + len(entry.full_key)
+    for row in entry.rows:
+        total += _ROW_OVERHEAD
+        for value in row.values:
+            total += (len(value) + 49) if isinstance(value, str) else 28
+    return total
+
+
+def _fanout_bytes(targets: FanoutTargets) -> int:
+    total = _ENTRY_OVERHEAD
+    for urls in targets.values():
+        total += 24 + _URL_EST * len(urls)
+    return total
 
 
 class NodeMemoView:

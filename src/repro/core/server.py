@@ -101,7 +101,9 @@ class QueryServer:
         self.config = config
         self.stats = stats
         self.tracer = tracer
-        self.constructor = DatabaseConstructor(config.db_cache_size)
+        self.constructor = DatabaseConstructor(
+            config.db_cache_size, storage=config.storage_backend, stats=stats
+        )
         self.log_table = NodeQueryLogTable(config.log_subsumption)
         #: Compiled node-query plans, structurally keyed so tenants share
         #: compilations — volatile process state, cleared by crash()
@@ -110,7 +112,11 @@ class QueryServer:
         #: Cross-query memo of per-node rows and forward fan-outs (EXP-P4);
         #: None when the knob is off.  Volatile like the plan cache, plus
         #: an explicit epoch hook for future live-web mutation.
-        self.memo = ResultMemo(stats) if config.cross_query_caching else None
+        self.memo = (
+            ResultMemo(stats, capacity=config.memo_capacity)
+            if config.cross_query_caching
+            else None
+        )
         self.channel = ReliableChannel(
             network, clock, config.retry_policy,
             name=f"server:{site}", trace=self._trace_transport,
@@ -168,7 +174,11 @@ class QueryServer:
         self._saturated_since = None
         self._active_workers = 0
         self.log_table = NodeQueryLogTable(self.config.log_subsumption)
-        self.constructor = DatabaseConstructor(self.config.db_cache_size)
+        self.constructor = DatabaseConstructor(
+            self.config.db_cache_size,
+            storage=self.config.storage_backend,
+            stats=self.stats,
+        )
         self.plans.clear()
         if self.memo is not None:
             self.memo.clear()

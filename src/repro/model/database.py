@@ -40,7 +40,7 @@ class NodeDatabase:
 
     __slots__ = (
         "url", "document", "anchor", "relinfon", "_anchors",
-        "_relations", "_links_by_type",
+        "_relations", "_links_by_type", "_forward_targets",
     )
 
     def __init__(
@@ -64,6 +64,7 @@ class NodeDatabase:
         for anchor in anchors:
             buckets[anchor.ltype].append(anchor)
         self._links_by_type = buckets
+        self._forward_targets: dict[LinkType, tuple[Url, ...]] | None = None
 
     def relation(self, name: str) -> Table:
         """Look up a virtual relation by its lowercase name."""
@@ -79,6 +80,23 @@ class NodeDatabase:
         """
         return self._links_by_type[ltype]
 
+    def forward_targets(self, ltype: LinkType) -> tuple[Url, ...]:
+        """Fragment-stripped destinations of the given link type.
+
+        The columnar layout's per-:class:`LinkType` anchor *selection*: the
+        forwarding step only needs where each link leads, so the hrefs are
+        materialized once per database (lazily, so row-only consumers never
+        pay) instead of re-stripping fragments per fan-out probe.  Order
+        matches :meth:`outgoing_links`.
+        """
+        cached = self._forward_targets
+        if cached is None:
+            cached = self._forward_targets = {
+                bucket_type: tuple(a.href.without_fragment() for a in bucket)
+                for bucket_type, bucket in self._links_by_type.items()
+            }
+        return cached[ltype]
+
     def tuple_count(self) -> int:
         """Total tuples across the three relations (a proxy for build cost)."""
         return len(self.document) + len(self.anchor) + len(self.relinfon)
@@ -90,10 +108,26 @@ class DatabaseConstructor:
     Args:
         cache_size: number of node databases to retain (LRU).  ``0`` is the
             paper's default behaviour — construct, use, purge.
+        storage: ``"memory"`` builds plain in-memory :class:`NodeDatabase`
+            objects; ``"sqlite"`` builds them behind the same interface on
+            an sqlite store (:mod:`repro.model.storage`) for corpora that
+            should not live as Python tuples.
+        stats: optional :class:`~repro.net.stats.TrafficStats` mirror for
+            the hit/miss counters (``db_cache_hits`` / ``db_cache_misses``
+            / ``parse_cache_hits``).
     """
 
-    def __init__(self, cache_size: int = 0) -> None:
+    def __init__(
+        self,
+        cache_size: int = 0,
+        storage: str = "memory",
+        stats: "object | None" = None,
+    ) -> None:
+        if storage not in ("memory", "sqlite"):
+            raise ValueError(f"unknown storage backend {storage!r}")
         self._cache_size = cache_size
+        self._storage = storage
+        self._stats = stats
         self._cache: OrderedDict[Url, NodeDatabase] = OrderedDict()
         #: Parsed documents, shared *across* LRU evictions: an evicted
         #: database that comes back only re-runs tuple construction, never
@@ -104,6 +138,10 @@ class DatabaseConstructor:
         self.cache_hits = 0
         self.parse_hits = 0
 
+    def _count(self, counter: str) -> None:
+        if self._stats is not None:
+            setattr(self._stats, counter, getattr(self._stats, counter) + 1)
+
     def construct(self, url: Url, html: str) -> NodeDatabase:
         """Parse ``html`` and build the node database for ``url``."""
         key = url.without_fragment()
@@ -112,21 +150,41 @@ class DatabaseConstructor:
             if cached is not None:
                 self._cache.move_to_end(key)
                 self.cache_hits += 1
+                self._count("db_cache_hits")
                 return cached
         self.builds += 1
+        self._count("db_cache_misses")
         entry = self._parsed.get(key)
         if entry is not None and (entry[0] is html or entry[0] == html):
             parsed = entry[1]
             self.parse_hits += 1
+            self._count("parse_cache_hits")
         else:
             parsed = parse_html(html)
             self._parsed[key] = (html, parsed)
-        database = build_node_database(key, html, parsed=parsed)
+        database = build_node_database(key, html, parsed=parsed, storage=self._storage)
         if self._cache_size:
             self._cache[key] = database
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
         return database
+
+    def cache_info(self) -> dict[str, int | str]:
+        """Snapshot of both constructor caches for introspection.
+
+        ``builds`` counts actual constructions (= misses), ``cache_hits``
+        databases served without rebuilding, and ``parse_hits`` the builds
+        that skipped tokenization thanks to the parsed-document cache.
+        """
+        return {
+            "storage": self._storage,
+            "cache_size": self._cache_size,
+            "cached_databases": len(self._cache),
+            "parsed_documents": len(self._parsed),
+            "builds": self.builds,
+            "cache_hits": self.cache_hits,
+            "parse_hits": self.parse_hits,
+        }
 
     def purge(self) -> None:
         """Drop every cached database and parsed document."""
@@ -156,12 +214,17 @@ def build_documents_table(pages: "list[tuple[Url, str]]") -> Table:
 
 
 def build_node_database(
-    url: Url, html: str, parsed: ParsedDocument | None = None
+    url: Url,
+    html: str,
+    parsed: ParsedDocument | None = None,
+    storage: str = "memory",
 ) -> NodeDatabase:
     """Single-pass construction of the virtual relations for ``url``.
 
     ``parsed`` short-circuits tokenization when the caller already holds the
     parse result (the constructor's shared parsed-document cache).
+    ``storage="sqlite"`` materializes the same relations behind the sqlite
+    backend (:mod:`repro.model.storage`) instead of in-memory tables.
     """
     if parsed is None:
         parsed = parse_html(html)
@@ -171,6 +234,10 @@ def build_node_database(
         RelInfonTuple(delimiter=infon.delimiter, url=url, text=infon.text, length=len(infon.text))
         for infon in parsed.relinfons
     )
+    if storage == "sqlite":
+        from .storage import SqliteNodeDatabase
+
+        return SqliteNodeDatabase(url, document, anchors, relinfons)
     return NodeDatabase(url, document, anchors, relinfons)
 
 

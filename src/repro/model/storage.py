@@ -1,0 +1,207 @@
+"""Sqlite-backed node databases behind the :class:`NodeDatabase` interface.
+
+The paper's query-servers keep each node's virtual relations as a
+temporary *in-memory* database (§2.4).  That is the right default for
+web-page-sized relations, but nothing above the model layer actually
+depends on the rows living as Python lists: compiled plans consume a
+table through ``schema`` / ``row_list()`` / ``columns()``, and the
+processing layer through ``relation()`` / ``outgoing_links()`` /
+``forward_targets()`` / ``tuple_count()``.  This module implements that
+same interface on an sqlite store (stdlib ``sqlite3``, in-memory by
+default, file-backed on request) so site-scale corpora can live behind a
+real storage engine — the idiom of duckdb/aiosqlite stores behind a
+narrow query interface.
+
+Rows round-trip exactly: the virtual relations hold only ``str`` and
+``int`` values (see ``as_row()`` in :mod:`repro.model.relations`), which
+sqlite maps onto TEXT/INTEGER without loss, so both executors produce
+row-identical results on either backend (property-tested in
+``tests/test_columnar_executor.py``).  Fetched relations are cached per
+table until :meth:`SqliteTable.purge_cache`, keeping repeated plan
+executions O(1) in sqlite round-trips while only ever materializing the
+relations a query actually scans.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterator
+
+from ..errors import SchemaError
+from ..relational.schema import Schema
+from ..urlutils import Url, parse_url
+from .relations import (
+    ANCHOR_SCHEMA,
+    DOCUMENT_SCHEMA,
+    RELINFON_SCHEMA,
+    AnchorTuple,
+    DocumentTuple,
+    LinkType,
+    RelInfonTuple,
+)
+
+__all__ = ["SqliteNodeDatabase", "SqliteTable"]
+
+
+class SqliteTable:
+    """A virtual relation stored in sqlite, drop-in for
+    :class:`~repro.relational.table.Table` on the read path.
+
+    Rows and the columnar transpose are fetched lazily (``ORDER BY rowid``
+    preserves insertion order) and cached; callers must treat both as
+    read-only, exactly as with the in-memory table.
+    """
+
+    __slots__ = ("schema", "_conn", "_table", "_count", "_rows", "_columns")
+
+    def __init__(self, schema: Schema, conn: sqlite3.Connection, table: str, count: int) -> None:
+        self.schema = schema
+        self._conn = conn
+        self._table = table
+        self._count = count
+        self._rows: list[tuple[object, ...]] | None = None
+        self._columns: tuple[list[object], ...] | None = None
+
+    def row_list(self) -> list[tuple[object, ...]]:
+        """All rows in insertion order (fetched once, then cached)."""
+        rows = self._rows
+        if rows is None:
+            names = ", ".join(f'"{a}"' for a in self.schema.attributes)
+            cursor = self._conn.execute(
+                f'SELECT {names} FROM "{self._table}" ORDER BY rowid'
+            )
+            rows = self._rows = [tuple(row) for row in cursor]
+        return rows
+
+    def rows(self) -> Iterator[tuple[object, ...]]:
+        """Iterate rows in insertion order."""
+        return iter(self.row_list())
+
+    def columns(self) -> tuple[list[object], ...]:
+        """The columnar view, same contract as :meth:`Table.columns`."""
+        cols = self._columns
+        if cols is None:
+            rows = self.row_list()
+            cols = self._columns = tuple(
+                [row[index] for row in rows] for index in range(self.schema.arity)
+            )
+        return cols
+
+    def column(self, attribute: str) -> list[object]:
+        """All values of ``attribute`` in insertion order."""
+        pos = self.schema.position(attribute)
+        return [row[pos] for row in self.row_list()]
+
+    def purge_cache(self) -> None:
+        """Drop the fetched-row cache (rows stay in the store)."""
+        self._rows = None
+        self._columns = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return f"SqliteTable({self.schema.name!r}, {self._count} rows)"
+
+
+class SqliteNodeDatabase:
+    """One node's virtual relations behind an sqlite store.
+
+    Construction mirrors :class:`~repro.model.database.NodeDatabase` —
+    same tuples in, same interface out — but the rows live in sqlite and
+    anchors are *reconstructed* from the store per link type on demand
+    (then cached: there are only four link types, so the working set is
+    bounded regardless of corpus size).
+    """
+
+    __slots__ = (
+        "url", "document", "anchor", "relinfon",
+        "_conn", "_relations", "_link_counts", "_links_by_type", "_forward_targets",
+    )
+
+    def __init__(
+        self,
+        url: Url,
+        document: DocumentTuple,
+        anchors: tuple[AnchorTuple, ...],
+        relinfons: tuple[RelInfonTuple, ...],
+        path: str = ":memory:",
+    ) -> None:
+        self.url = url
+        conn = self._conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE IF NOT EXISTS document (url TEXT, title TEXT, text TEXT, length INTEGER);
+            CREATE TABLE IF NOT EXISTS anchor (label TEXT, base TEXT, href TEXT, ltype TEXT);
+            CREATE TABLE IF NOT EXISTS relinfon (delimiter TEXT, url TEXT, text TEXT, length INTEGER);
+            CREATE INDEX IF NOT EXISTS anchor_ltype ON anchor (ltype);
+            DELETE FROM document; DELETE FROM anchor; DELETE FROM relinfon;
+            """
+        )
+        conn.execute("INSERT INTO document VALUES (?, ?, ?, ?)", document.as_row())
+        conn.executemany(
+            "INSERT INTO anchor VALUES (?, ?, ?, ?)", [a.as_row() for a in anchors]
+        )
+        conn.executemany(
+            "INSERT INTO relinfon VALUES (?, ?, ?, ?)", [r.as_row() for r in relinfons]
+        )
+        conn.commit()
+        self.document = SqliteTable(DOCUMENT_SCHEMA, conn, "document", 1)
+        self.anchor = SqliteTable(ANCHOR_SCHEMA, conn, "anchor", len(anchors))
+        self.relinfon = SqliteTable(RELINFON_SCHEMA, conn, "relinfon", len(relinfons))
+        self._relations = {
+            "document": self.document,
+            "anchor": self.anchor,
+            "relinfon": self.relinfon,
+        }
+        counts: dict[LinkType, int] = {ltype: 0 for ltype in LinkType}
+        for anchor in anchors:
+            counts[anchor.ltype] += 1
+        self._link_counts = counts
+        self._links_by_type: dict[LinkType, list[AnchorTuple]] = {}
+        self._forward_targets: dict[LinkType, tuple[Url, ...]] = {}
+
+    def relation(self, name: str) -> SqliteTable:
+        """Look up a virtual relation by its lowercase name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no virtual relation named {name!r}") from None
+
+    def outgoing_links(self, ltype: LinkType) -> list[AnchorTuple]:
+        """Anchors of the given link type, rebuilt from the store on first
+        use; callers must treat the list as read-only."""
+        bucket = self._links_by_type.get(ltype)
+        if bucket is None:
+            cursor = self._conn.execute(
+                "SELECT label, base, href FROM anchor WHERE ltype = ? ORDER BY rowid",
+                (ltype.value,),
+            )
+            bucket = self._links_by_type[ltype] = [
+                AnchorTuple(
+                    label=label,
+                    base=parse_url(base),
+                    href=parse_url(href),
+                    ltype=ltype,
+                )
+                for label, base, href in cursor
+            ]
+        return bucket
+
+    def forward_targets(self, ltype: LinkType) -> tuple[Url, ...]:
+        """Fragment-stripped destinations of the given link type (same
+        contract as :meth:`NodeDatabase.forward_targets`)."""
+        targets = self._forward_targets.get(ltype)
+        if targets is None:
+            targets = self._forward_targets[ltype] = tuple(
+                anchor.href.without_fragment() for anchor in self.outgoing_links(ltype)
+            )
+        return targets
+
+    def tuple_count(self) -> int:
+        """Total tuples across the three relations (a proxy for build cost)."""
+        return len(self.document) + len(self.anchor) + len(self.relinfon)
+
+    def close(self) -> None:
+        """Release the sqlite connection."""
+        self._conn.close()

@@ -129,6 +129,20 @@ class TrafficStats:
     #: Memo hits served from a strictly more general logged PRE state via
     #: A*m·B containment plus a residual fan-out filter.
     residual_filters: int = 0
+    #: Memo entries dropped by the LRU bound (``EngineConfig.memo_capacity``).
+    memo_evictions: int = 0
+    #: Estimated bytes currently held by result memos — a gauge, not a
+    #: counter: stores add their entry's estimate, evictions/clears subtract.
+    memo_bytes_est: int = 0
+
+    # Database-constructor caches (EXP-P5 satellites).
+    #: Node databases served from the constructor's LRU without rebuilding.
+    db_cache_hits: int = 0
+    #: Constructions that had to (re)build the node database.
+    db_cache_misses: int = 0
+    #: Builds that skipped HTML tokenization because the parsed document was
+    #: already cached (a subset of ``db_cache_misses``).
+    parse_cache_hits: int = 0
 
     @property
     def events_saved(self) -> int:
@@ -230,6 +244,11 @@ class TrafficStats:
             "memo_misses": self.memo_misses,
             "plans_shared": self.plans_shared,
             "residual_filters": self.residual_filters,
+            "memo_evictions": self.memo_evictions,
+            "memo_bytes_est": self.memo_bytes_est,
+            "db_cache_hits": self.db_cache_hits,
+            "db_cache_misses": self.db_cache_misses,
+            "parse_cache_hits": self.parse_cache_hits,
             "events_saved": self.events_saved,
             "messages_saved": self.messages_saved,
         }

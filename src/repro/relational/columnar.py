@@ -1,0 +1,386 @@
+"""Batch (columnar) execution of compiled node-query plans — EXP-P5.
+
+:class:`~repro.relational.compile.CompiledPlan` already resolves pushdown
+placement and column positions at compile time, but its runner is still a
+row-at-a-time closure chain: every row of the innermost scan pays a level
+dispatch, one closure call per conjunct, and a projection call.  For the
+virtual relations that cost is pure interpreter overhead — the data is
+already materialized, the predicates are mostly ``attr contains "const"``
+and ``attr = "const"``, and the innermost scan dominates (outer scans bind
+a handful of rows; the leaf scan touches every tuple).
+
+This module lowers the *leaf level* of the nested loop to batch operators
+over the table's columnar view (:meth:`Table.columns`):
+
+* each leaf conjunct becomes a **kernel** mapping a selection vector (list
+  of surviving row indices; ``None`` means "all rows") to a smaller one,
+  evaluated as one comprehension over a column slice instead of per-row
+  closure calls — with specialized kernels for the hot shapes
+  (constant-needle ``contains``, ``=``/``!=`` against a non-numeric string
+  constant) and a generic per-row kernel for everything else;
+* the projection becomes a **batch projector** appending ``ResultRow``s
+  for the surviving indices in one pass, reading leaf attributes straight
+  from columns and outer-alias attributes once per batch.
+
+Lazy error semantics are preserved *exactly*, not approximately.  Batch
+evaluation reorders work (conjunct-major instead of row-major), so a
+kernel can hit an error the interpreter would never reach first.  The
+batch is therefore optimistic: evaluation is pure, so on *any* exception
+the partial output is rolled back and the batch re-runs row-at-a-time
+through the same scalar closures the row executor uses — reproducing the
+interpreter's outcome, including which row's which conjunct raises.  The
+set of (row, conjunct) evaluations is identical in both orders (kernels
+only evaluate conjunct *k* on rows that survived conjuncts ``< k``, just
+like the short-circuiting row loop), so the fallback raises whenever the
+batch did, and nothing diverges silently.  The specialized kernels are
+value-exact by construction: a non-numeric string constant can never
+trigger :func:`~repro.relational.expr._coerce_pair`'s numeric coercion,
+and a non-string haystack raises out of the ``contains`` comprehension
+(into the fallback) for every type the virtual relations can hold.
+
+Equivalence with the row executor is property-tested in
+``tests/test_columnar_executor.py`` (including hostile expressions whose
+only output *is* the error).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .expr import Attr, Compare, Contains, Expr, Literal, _to_number
+from .query import ResultRow
+from .schema import Schema
+
+__all__ = ["build_columnar_runner"]
+
+#: A scalar compiled expression (see :mod:`repro.relational.compile`).
+_Scalar = Callable[[list], object]
+
+#: A batch kernel: selection vector in, selection vector out.
+_Kernel = Callable[[list, tuple, list, "list[int] | None"], "list[int]"]
+
+
+class _ConstSource:
+    """Projection source for an outer-alias attribute: one value per batch."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __getitem__(self, index: int) -> object:
+        return self.value
+
+
+class _MissingSource:
+    """Projection source for an absent attribute — the interpreter's lazy
+    ``KeyError(name)``, raised only if a row actually projects."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __getitem__(self, index: int) -> object:
+        raise KeyError(self.name)
+
+
+def build_columnar_runner(
+    select: Sequence[Attr],
+    filter_plan: Sequence[Sequence[Expr]],
+    scalar_filters: Sequence[tuple[_Scalar, ...]],
+    scalar_project: _Scalar,
+    positions: dict[str, int],
+    schemas: Sequence[Schema],
+    header: tuple[str, ...],
+) -> Callable[[list, list, tuple, list], None]:
+    """Build the batch runner for one compiled plan.
+
+    The runner signature is ``runner(env, tables, leaf_cols, out)`` —
+    identical to the row runner plus the leaf table's columnar view.
+    Outer loop levels reuse the row executor's scalar filter closures
+    unchanged (they bind one row at a time by construction); only the
+    innermost level is batched.
+    """
+    leaf = len(schemas) - 1
+    leaf_schema = schemas[leaf]
+    leaf_alias = next(alias for alias, depth in positions.items() if depth == leaf)
+    kernels = tuple(
+        _build_kernel(conjunct, scalar, leaf, leaf_alias, leaf_schema)
+        for conjunct, scalar in zip(filter_plan[leaf + 1], scalar_filters[leaf + 1])
+    )
+    projector = _build_projector(select, positions, schemas, leaf, header)
+    fallback = _build_scalar_leaf(
+        leaf, scalar_filters[leaf + 1], scalar_project, header
+    )
+    step = _build_leaf_batch(leaf, scalar_filters[leaf], kernels, projector, fallback)
+    for depth in range(leaf - 1, -1, -1):
+        step = _make_level(depth, scalar_filters[depth], step)
+    return step
+
+
+# -- loop structure -----------------------------------------------------------
+
+
+def _build_leaf_batch(
+    leaf: int,
+    level_filters: tuple[_Scalar, ...],
+    kernels: tuple[_Kernel, ...],
+    projector: Callable,
+    fallback: Callable,
+) -> Callable:
+    def leaf_batch(
+        env, tables, cols, out, _d=leaf, _lf=level_filters, _ks=kernels,
+        _pj=projector, _fb=fallback,
+    ):
+        for predicate in _lf:
+            if not predicate(env):
+                return
+        rows = tables[_d]
+        mark = len(out)
+        try:
+            sel = None
+            for kernel in _ks:
+                sel = kernel(env, cols, rows, sel)
+                if not sel:
+                    return
+            _pj(env, cols, rows, sel, out)
+        except Exception:
+            # Evaluation is pure: roll back this batch's rows and replay it
+            # through the scalar closures so the error (if the interpreter
+            # would raise one — it would, see module docstring) surfaces at
+            # exactly the row and conjunct the row executor reports.
+            del out[mark:]
+            _fb(env, rows, out)
+
+    return leaf_batch
+
+
+def _make_level(
+    depth: int, level_filters: tuple[_Scalar, ...], inner: Callable
+) -> Callable:
+    if not level_filters:
+
+        def level(env, tables, cols, out, _d=depth, _inner=inner):
+            for row in tables[_d]:
+                env[_d] = row
+                _inner(env, tables, cols, out)
+
+    else:
+
+        def level(env, tables, cols, out, _d=depth, _fs=level_filters, _inner=inner):
+            for predicate in _fs:
+                if not predicate(env):
+                    return
+            for row in tables[_d]:
+                env[_d] = row
+                _inner(env, tables, cols, out)
+
+    return level
+
+
+def _build_scalar_leaf(
+    leaf: int,
+    leaf_filters: tuple[_Scalar, ...],
+    project: _Scalar,
+    header: tuple[str, ...],
+) -> Callable:
+    """Row-at-a-time replay of one leaf batch — the row executor's exact
+    leaf semantics (filter order, short-circuit, lazy projection)."""
+
+    def scalar_leaf(env, rows, out, _d=leaf, _fs=leaf_filters, _p=project, _h=header):
+        for row in rows:
+            env[_d] = row
+            passed = True
+            for predicate in _fs:
+                if not predicate(env):
+                    passed = False
+                    break
+            if passed:
+                out.append(ResultRow(_h, _p(env)))
+
+    return scalar_leaf
+
+
+# -- filter kernels -----------------------------------------------------------
+
+
+def _build_kernel(
+    conjunct: Expr,
+    scalar: _Scalar,
+    leaf: int,
+    leaf_alias: str,
+    leaf_schema: Schema,
+) -> _Kernel:
+    kernel = _specialize(conjunct, leaf_alias, leaf_schema)
+    if kernel is not None:
+        return kernel
+    return _generic_kernel(scalar, leaf)
+
+
+def _generic_kernel(scalar: _Scalar, leaf: int) -> _Kernel:
+    """Per-row evaluation through the scalar closure — correct for every
+    conjunct shape; no batch win beyond skipping the level dispatch."""
+
+    def kernel(env, cols, rows, sel, _d=leaf, _f=scalar):
+        kept = []
+        append = kept.append
+        if sel is None:
+            for index, row in enumerate(rows):
+                env[_d] = row
+                if _f(env):
+                    append(index)
+        else:
+            for index in sel:
+                env[_d] = rows[index]
+                if _f(env):
+                    append(index)
+        return kept
+
+    return kernel
+
+
+def _leaf_column(expr: Expr, leaf_alias: str, leaf_schema: Schema) -> int | None:
+    """Column index if ``expr`` is a present attribute of the leaf alias."""
+    if isinstance(expr, Attr) and expr.alias == leaf_alias and expr.name in leaf_schema:
+        return leaf_schema.position(expr.name)
+    return None
+
+
+def _specialize(
+    conjunct: Expr, leaf_alias: str, leaf_schema: Schema
+) -> _Kernel | None:
+    """Vectorized kernels for the hot predicate shapes, or ``None``.
+
+    Only shapes that are provably value-exact are specialized; anything
+    else (joins, numeric comparisons, boolean combinators, fuzzy match)
+    goes through the generic kernel — still correct, just not batched.
+    """
+    if isinstance(conjunct, Contains) and not conjunct.max_edits:
+        column = _leaf_column(conjunct.haystack, leaf_alias, leaf_schema)
+        needle = conjunct.needle
+        if (
+            column is not None
+            and isinstance(needle, Literal)
+            and isinstance(needle.value, str)
+        ):
+            # Non-string haystacks raise out of the comprehension (ints have
+            # no .lower(); bytes fail the `in`), which routes the batch to
+            # the scalar fallback and its EvaluationError — never a silent
+            # wrong answer for any type the virtual relations can hold.
+            lowered = needle.value.lower()
+
+            def contains_kernel(env, cols, rows, sel, _c=column, _n=lowered):
+                col = cols[_c]
+                if sel is None:
+                    return [i for i, v in enumerate(col) if _n in v.lower()]
+                return [i for i in sel if _n in col[i].lower()]
+
+            return contains_kernel
+
+    if isinstance(conjunct, Compare) and conjunct.op in ("=", "!="):
+        column = None
+        constant: object = None
+        if isinstance(conjunct.right, Literal):
+            column = _leaf_column(conjunct.left, leaf_alias, leaf_schema)
+            constant = conjunct.right.value
+        elif isinstance(conjunct.left, Literal):
+            column = _leaf_column(conjunct.right, leaf_alias, leaf_schema)
+            constant = conjunct.left.value
+        # Safe only for non-numeric string constants: _coerce_pair never
+        # converts for those (conversion requires the *string* side to parse
+        # as a number), and =/!= never raise — so plain ==/!= is exact.
+        if (
+            column is not None
+            and isinstance(constant, str)
+            and _to_number(constant) is None
+        ):
+            if conjunct.op == "=":
+
+                def eq_kernel(env, cols, rows, sel, _c=column, _v=constant):
+                    col = cols[_c]
+                    if sel is None:
+                        return [i for i, v in enumerate(col) if v == _v]
+                    return [i for i in sel if col[i] == _v]
+
+                return eq_kernel
+
+            def ne_kernel(env, cols, rows, sel, _c=column, _v=constant):
+                col = cols[_c]
+                if sel is None:
+                    return [i for i, v in enumerate(col) if v != _v]
+                return [i for i in sel if col[i] != _v]
+
+            return ne_kernel
+
+    return None
+
+
+# -- batch projection ---------------------------------------------------------
+
+
+def _build_projector(
+    select: Sequence[Attr],
+    positions: dict[str, int],
+    schemas: Sequence[Schema],
+    leaf: int,
+    header: tuple[str, ...],
+) -> Callable:
+    specs: list[tuple[str, object, object]] = []
+    all_leaf = True
+    for attr in select:
+        depth = positions[attr.alias]
+        schema = schemas[depth]
+        if attr.name not in schema:
+            specs.append(("missing", attr.name, None))
+            all_leaf = False
+        elif depth == leaf:
+            specs.append(("col", None, schema.position(attr.name)))
+        else:
+            specs.append(("env", depth, schema.position(attr.name)))
+            all_leaf = False
+
+    if all_leaf and len(specs) == 1:
+        column = specs[0][2]
+
+        def project_one(env, cols, rows, sel, out, _c=column, _h=header):
+            col = cols[_c]
+            append = out.append
+            for index in range(len(rows)) if sel is None else sel:
+                append(ResultRow(_h, (col[index],)))
+
+        return project_one
+
+    if all_leaf and len(specs) == 2:
+        first, second = specs[0][2], specs[1][2]
+
+        def project_two(env, cols, rows, sel, out, _c0=first, _c1=second, _h=header):
+            col0 = cols[_c0]
+            col1 = cols[_c1]
+            append = out.append
+            for index in range(len(rows)) if sel is None else sel:
+                append(ResultRow(_h, (col0[index], col1[index])))
+
+        return project_two
+
+    frozen = tuple(specs)
+
+    def project(env, cols, rows, sel, out, _specs=frozen, _h=header):
+        sources: list = []
+        for kind, first, second in _specs:
+            if kind == "col":
+                sources.append(cols[second])
+            elif kind == "env":
+                sources.append(_ConstSource(env[first][second]))
+            else:
+                sources.append(_MissingSource(first))
+        append = out.append
+        if len(sources) == 1:
+            source = sources[0]
+            for index in range(len(rows)) if sel is None else sel:
+                append(ResultRow(_h, (source[index],)))
+        else:
+            for index in range(len(rows)) if sel is None else sel:
+                append(ResultRow(_h, tuple(s[index] for s in sources)))
+
+    return project

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..errors import DisqlSemanticsError, EvaluationError, SchemaError
 from ..model.relations import ANCHOR_SCHEMA, DOCUMENT_SCHEMA, RELINFON_SCHEMA
+from .columnar import build_columnar_runner
 from .expr import (
     _COMPARATORS,
     And,
@@ -68,15 +69,38 @@ _Compiled = Callable[[list], object]
 
 
 class CompiledPlan:
-    """One node-query, lowered and ready to execute against any database."""
+    """One node-query, lowered and ready to execute against any database.
 
-    __slots__ = ("query", "header", "cost_weight", "_scan_specs", "_runner")
+    One plan carries *both* executors: the row runner built eagerly at
+    compile time, and a columnar (batch) runner lowered lazily from the
+    same compile-time artifacts on first :meth:`execute_columnar` call.
+    Both evaluate the identical query, so plans shared through
+    :class:`~repro.core.plancache.PlanCache` amortize whichever lowering
+    the engine's ``EngineConfig.executor`` selects.
+    """
+
+    __slots__ = (
+        "query",
+        "header",
+        "cost_weight",
+        "_scan_specs",
+        "_runner",
+        "_filter_plan",
+        "_scalar_filters",
+        "_scalar_project",
+        "_positions",
+        "_columnar",
+    )
 
     def __init__(
         self,
         query: NodeQuery,
         scan_specs: tuple[tuple[str, bool, Schema], ...],
         runner: Callable[[list, list, list], None],
+        filter_plan: tuple[tuple[Expr, ...], ...],
+        scalar_filters: tuple[tuple[_Compiled, ...], ...],
+        scalar_project: _Compiled,
+        positions: dict[str, int],
     ) -> None:
         self.query = query
         self.header = query.header
@@ -84,6 +108,11 @@ class CompiledPlan:
         self.cost_weight = query.cost_weight()
         self._scan_specs = scan_specs
         self._runner = runner
+        self._filter_plan = filter_plan
+        self._scalar_filters = scalar_filters
+        self._scalar_project = scalar_project
+        self._positions = positions
+        self._columnar: Callable[[list, list, tuple, list], None] | None = None
 
     def execute(
         self,
@@ -111,6 +140,52 @@ class CompiledPlan:
             tables.append(table.row_list())
         results: list[ResultRow] = []
         self._runner([None] * len(tables), tables, results)
+        return results
+
+    def execute_columnar(
+        self,
+        database: "NodeDatabase",
+        site_documents: Table | None = None,
+    ) -> list[ResultRow]:
+        """Evaluate through the batch (columnar) executor.
+
+        Same rows, same order, same lazily-raised errors as
+        :meth:`execute` — see :mod:`repro.relational.columnar` for how the
+        equivalence is preserved.  The batch runner is lowered on first
+        use and cached on the plan.
+        """
+        tables: list[Sequence[tuple[object, ...]]] = []
+        leaf_table: Table | None = None
+        for relation, sitewide, schema in self._scan_specs:
+            if sitewide:
+                if site_documents is None:
+                    raise DisqlSemanticsError(
+                        f"node-query {self.query.label} needs site-wide documents "
+                        "but none were built"
+                    )
+                table = site_documents
+            else:
+                table = database.relation(relation)
+            if table.schema.attributes != schema.attributes:
+                raise SchemaError(
+                    f"table for {relation!r} does not match the compiled schema "
+                    f"{schema.attributes!r}"
+                )
+            tables.append(table.row_list())
+            leaf_table = table
+        runner = self._columnar
+        if runner is None:
+            runner = self._columnar = build_columnar_runner(
+                self.query.select,
+                self._filter_plan,
+                self._scalar_filters,
+                self._scalar_project,
+                self._positions,
+                [spec[2] for spec in self._scan_specs],
+                self.header,
+            )
+        results: list[ResultRow] = []
+        runner([None] * len(tables), tables, leaf_table.columns(), results)
         return results
 
 
@@ -159,14 +234,16 @@ def compile_node_query(query: NodeQuery) -> CompiledPlan:
         for decl in query.tables
     )
     schemas = [spec[2] for spec in scan_specs]
-    filter_plan = _plan_filters(query, alias_order)
+    filter_plan = tuple(tuple(level) for level in _plan_filters(query, alias_order))
     filters = [
         tuple(_compile_expr(conjunct, positions, schemas) for conjunct in level)
         for level in filter_plan
     ]
     project = _compile_projection(query.select, positions, schemas)
     runner = _build_runner(len(alias_order), filters, project, query.header)
-    return CompiledPlan(query, scan_specs, runner)
+    return CompiledPlan(
+        query, scan_specs, runner, filter_plan, tuple(filters), project, positions
+    )
 
 
 # -- the nested loop, pre-built as a closure chain ----------------------------

@@ -27,6 +27,11 @@ class Schema:
         self.attributes = tuple(attributes)
         self._positions = {attr: idx for idx, attr in enumerate(self.attributes)}
 
+    @property
+    def arity(self) -> int:
+        """Number of attributes — the width of every conforming row."""
+        return len(self.attributes)
+
     def position(self, attribute: str) -> int:
         """Index of ``attribute`` in a row; raises :class:`SchemaError` if absent."""
         try:

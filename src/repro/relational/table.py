@@ -16,24 +16,31 @@ class Table:
     Rows are plain tuples in schema attribute order.  Node databases are
     built once, scanned a handful of times, then purged, so the structure is
     deliberately simple: an append-only list with full scans.
+
+    The columnar executor (:mod:`repro.relational.columnar`) reads the same
+    data as parallel per-attribute arrays via :meth:`columns`; the transpose
+    is built lazily on first use and cached until the next :meth:`insert`,
+    so row-only consumers never pay for it.
     """
 
-    __slots__ = ("schema", "_rows")
+    __slots__ = ("schema", "_rows", "_columns")
 
     def __init__(self, schema: Schema, rows: Iterable[tuple[object, ...]] = ()) -> None:
         self.schema = schema
         self._rows: list[tuple[object, ...]] = []
+        self._columns: tuple[list[object], ...] | None = None
         for row in rows:
             self.insert(row)
 
     def insert(self, row: tuple[object, ...]) -> None:
         """Append ``row``; its arity must match the schema."""
-        if len(row) != len(self.schema.attributes):
+        if len(row) != self.schema.arity:
             raise SchemaError(
                 f"row arity {len(row)} does not match schema "
-                f"{self.schema.name!r} arity {len(self.schema.attributes)}"
+                f"{self.schema.name!r} arity {self.schema.arity}"
             )
         self._rows.append(tuple(row))
+        self._columns = None
 
     def rows(self) -> Iterator[tuple[object, ...]]:
         """Iterate rows in insertion order."""
@@ -46,6 +53,21 @@ class Table:
         callers must treat it as read-only.
         """
         return self._rows
+
+    def columns(self) -> tuple[list[object], ...]:
+        """The columnar view: one value list per schema attribute.
+
+        ``columns()[schema.position(a)][i] == row_list()[i][position(a)]``.
+        Built once per table generation and cached; callers must treat the
+        lists as read-only.
+        """
+        cols = self._columns
+        if cols is None:
+            rows = self._rows
+            cols = self._columns = tuple(
+                [row[index] for row in rows] for index in range(self.schema.arity)
+            )
+        return cols
 
     def column(self, attribute: str) -> list[object]:
         """All values of ``attribute`` in insertion order."""

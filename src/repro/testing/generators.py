@@ -199,6 +199,11 @@ def generate_case(seed: int, schedule_seed: int | None = None) -> Spec:
     # faults and pressure draws byte-for-byte.
     config["cross_query_caching"] = rng.random() < 0.5
 
+    # Node-query executor (EXP-P5) — newest knob, drawn last (ordering
+    # rule above).  Either executor must produce the same rows, statuses
+    # and log-table end states; the sweep proves it per case.
+    config["executor"] = "columnar" if rng.random() < 0.5 else "row"
+
     return {
         "seed": seed,
         "web": {"sites": sites},

@@ -1,0 +1,530 @@
+"""Columnar execution (EXP-P5): batch operators, storage backends, memo bounds.
+
+The columnar executor is a *performance* lowering — it must be
+semantically invisible, including the interpreter's lazy error semantics
+that the batch kernels reorder around.  Four property families:
+
+* **Plan-level equivalence** — compiled plans executed columnar vs
+  row-at-a-time over safe and *hostile* grammars (mixed-type literals,
+  missing attributes): identical rows in identical order, or the same
+  error class.  This is the direct check that the optimistic-batch /
+  rollback / scalar-replay machinery reproduces short-circuit errors.
+* **Engine-level equivalence** — random generated webs run end to end
+  under ``executor="columnar"`` vs ``"row"``: identical statuses,
+  per-tenant distinct rows and canonical log-table snapshots, crossed
+  with the cross-query memo (whose entries must be layout-independent).
+* **Storage-backend equivalence** — the same node database materialized
+  in memory vs behind sqlite answers every plan identically under both
+  executors, and a whole engine run on ``storage_backend="sqlite"``
+  matches the in-memory run bit-for-bit.
+* **Bounded memo / constructor caches** — LRU eviction respects
+  capacity, moves the ``memo_evictions`` / ``memo_bytes_est`` gauges,
+  and never changes answers; the constructor's parsed-document cache
+  reports through ``cache_info()`` and ``TrafficStats``.
+
+Plus the DST wiring: the generator draws the executor knob, the runner
+threads it, and the shrinker proposes falling back to the row executor.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import EngineConfig, QueryStatus, WebDisEngine
+from repro.core.resultmemo import ResultMemo
+from repro.errors import EvaluationError
+from repro.html.generator import PageSpec, render_page
+from repro.model.database import (
+    DatabaseConstructor,
+    build_documents_table,
+    build_node_database,
+)
+from repro.net.stats import TrafficStats
+from repro.relational.compile import compile_node_query
+from repro.relational.expr import And, Attr, Compare, Contains, Literal, Not, Or
+from repro.relational.query import NodeQuery, TableDecl
+from repro.testing.generators import build_web, generate_case, query_texts
+from repro.testing.runner import _engine_config
+from repro.testing.shrink import _candidates
+from repro.urlutils import parse_url
+from repro.web.campus import CAMPUS_QUERY_DISQL, EXPECTED_CONVENER_ROWS
+
+URL = parse_url("http://a.example/page.html")
+SIBLING = parse_url("http://a.example/other.html")
+
+
+def _page(title, links, emphasized):
+    return render_page(
+        PageSpec(
+            title=title,
+            paragraphs=["some text body"],
+            links=links,
+            emphasized=emphasized,
+            ruled=["CONVENER someone"],
+        )
+    )
+
+
+_HTML = _page(
+    "alpha topic page",
+    links=[
+        ("one", "http://b.example/"),
+        ("two", "/local.html"),
+        ("three", "#frag"),
+    ],
+    emphasized=[("b", "bold detail"), ("i", "italic note")],
+)
+
+DATABASE = build_node_database(URL, _HTML)
+
+SITE_DOCUMENTS = build_documents_table(
+    [
+        (URL, _page("alpha topic page", [("one", "/other.html")], [("b", "x")])),
+        (SIBLING, _page("beta archive page", [("back", "/page.html")], [("i", "y")])),
+    ]
+)
+
+_ATTRS = [
+    Attr("d", "title"),
+    Attr("d", "url"),
+    Attr("a", "ltype"),
+    Attr("a", "href"),
+    Attr("a", "label"),
+    Attr("r", "delimiter"),
+    Attr("r", "text"),
+]
+_SAFE_LITERALS = [Literal(v) for v in ("G", "L", "b", "topic", "detail", "x")]
+# Mixed-type literals and a bogus attribute: the batch kernels must fall
+# back to the exact scalar replay and surface the interpreter's own error
+# class from the interpreter's own evaluation order.
+_HOSTILE_LITERALS = _SAFE_LITERALS + [Literal(5), Literal("5")]
+_BROKEN = Attr("d", "no_such_attribute")
+
+
+def _comparisons(operands, attrs):
+    ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+    compares = st.builds(
+        Compare, ops, st.sampled_from(operands), st.sampled_from(operands)
+    )
+    contains = st.builds(
+        Contains,
+        st.sampled_from(attrs),
+        st.sampled_from(
+            [Literal("topic"), Literal("G"), Literal("b"), Literal("zzz")]
+        ),
+    )
+    return st.one_of(compares, contains)
+
+
+def _expr_strategy(operands, attrs):
+    return st.recursive(
+        _comparisons(operands, attrs),
+        lambda children: st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Not, children),
+        ),
+        max_leaves=6,
+    )
+
+
+_safe_exprs = _expr_strategy(_ATTRS + _SAFE_LITERALS, _ATTRS)
+_hostile_exprs = _expr_strategy(
+    _ATTRS + _HOSTILE_LITERALS + [_BROKEN], _ATTRS + [_BROKEN]
+)
+_D_ATTRS = [attr for attr in _ATTRS if attr.alias == "d"]
+_d_only_exprs = _expr_strategy(
+    _D_ATTRS + _HOSTILE_LITERALS + [_BROKEN], _D_ATTRS + [_BROKEN]
+)
+
+_selects = st.lists(
+    st.sampled_from(_ATTRS),
+    min_size=1,
+    max_size=3,
+    unique_by=lambda a: (a.alias, a.name),
+)
+
+
+def _query(select, where, *, tables=("document", "anchor", "relinfon"), sitewide=()):
+    aliases = {"document": "d", "anchor": "a", "relinfon": "r"}
+    return NodeQuery(
+        select=tuple(select),
+        tables=tuple(TableDecl(name, aliases[name]) for name in tables),
+        where=where,
+        sitewide_aliases=tuple(sitewide),
+    )
+
+
+def _outcome(run):
+    """Rows-in-order, or the error class: both executors must match exactly."""
+    try:
+        return [(row.header, row.values) for row in run()]
+    except EvaluationError:
+        return "evaluation-error"
+    except KeyError:
+        return "key-error"
+
+
+class TestPlanEquivalence:
+    """execute_columnar() vs execute(): same rows, same order, same errors."""
+
+    @given(_selects, _hostile_exprs)
+    @settings(max_examples=300, deadline=None)
+    def test_columnar_matches_row_hostile(self, select, where):
+        query = _query(select, where)
+        plan = compile_node_query(query)
+        assert _outcome(lambda: plan.execute_columnar(DATABASE)) == _outcome(
+            lambda: plan.execute(DATABASE)
+        )
+
+    @given(_selects, _hostile_exprs)
+    @settings(max_examples=150, deadline=None)
+    def test_columnar_matches_row_sitewide(self, select, where):
+        query = _query(select, where, sitewide=("d",))
+        plan = compile_node_query(query)
+        assert _outcome(
+            lambda: plan.execute_columnar(DATABASE, SITE_DOCUMENTS)
+        ) == _outcome(lambda: plan.execute(DATABASE, SITE_DOCUMENTS))
+
+    @given(_d_only_exprs)
+    @settings(max_examples=150, deadline=None)
+    def test_single_table_shapes(self, where):
+        """One-alias plans exercise the leaf-only batch path directly."""
+        query = _query(
+            [Attr("d", "url"), Attr("d", "title")],
+            where,
+            tables=("document",),
+        )
+        plan = compile_node_query(query)
+        assert _outcome(lambda: plan.execute_columnar(DATABASE)) == _outcome(
+            lambda: plan.execute(DATABASE)
+        )
+
+    @given(_hostile_exprs)
+    @settings(max_examples=100, deadline=None)
+    def test_columnar_plan_is_reusable(self, where):
+        """The lazily-lowered runner is cached: no state leaks between runs
+        and no divergence from a fresh row execution afterwards."""
+        query = _query([Attr("a", "href")], where)
+        plan = compile_node_query(query)
+        first = _outcome(lambda: plan.execute_columnar(DATABASE))
+        second = _outcome(lambda: plan.execute_columnar(DATABASE))
+        assert first == second
+        assert first == _outcome(lambda: plan.execute(DATABASE))
+
+
+# -- engine level --------------------------------------------------------------
+
+
+def _distinct_rows(handle):
+    return frozenset(
+        (label, row.header, row.values) for label, row, __ in handle.results
+    )
+
+
+def _semantic_state(engine, handles):
+    return (
+        [handle.status for handle in handles],
+        [_distinct_rows(handle) for handle in handles],
+        {
+            site: server.log_table.canonical_snapshot()
+            for site, server in sorted(engine.servers.items())
+        },
+    )
+
+
+def _run_batch(web, texts, **config):
+    engine = WebDisEngine(web, config=EngineConfig(**config))
+    handles = [engine.submit_disql(text) for text in texts]
+    engine.run()
+    return engine, handles
+
+
+class TestEngineEquivalence:
+    """Whole-engine runs: the executor knob changes cost, never answers."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_webs(self, seed):
+        spec = generate_case(seed)
+        web = build_web(spec)
+        texts = query_texts(spec)
+        runs = {}
+        for executor in ("columnar", "row"):
+            engine, handles = _run_batch(web, texts, executor=executor)
+            runs[executor] = _semantic_state(engine, handles)
+        assert runs["columnar"] == runs["row"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_equivalence_crossed_with_memo(self, seed):
+        """Memo entries are layout-independent: a memo warmed by either
+        executor must leave answers identical to the other's."""
+        spec = generate_case(seed)
+        web = build_web(spec)
+        # Duplicate the main query so the memo demonstrably engages.
+        texts = query_texts(spec) + [query_texts(spec)[0]]
+        runs = {}
+        for executor in ("columnar", "row"):
+            engine, handles = _run_batch(
+                web, texts, executor=executor, cross_query_caching=True
+            )
+            runs[executor] = _semantic_state(engine, handles)
+        assert runs["columnar"] == runs["row"]
+
+    def test_campus_rows_identical(self, campus_web):
+        states = {}
+        for executor in ("columnar", "row"):
+            engine, (handle,) = _run_batch(
+                campus_web, [CAMPUS_QUERY_DISQL], executor=executor
+            )
+            assert handle.status is QueryStatus.COMPLETE
+            assert {r.values for r in handle.unique_rows("q2")} == set(
+                EXPECTED_CONVENER_ROWS
+            )
+            states[executor] = _semantic_state(engine, [handle])
+        assert states["columnar"] == states["row"]
+
+
+class TestMemoLayoutIndependence:
+    def test_columnar_rows_round_trip_through_the_memo(self):
+        """Rows computed by the batch path are plain ResultRow tuples: a
+        memo entry written under one executor serves the other unchanged."""
+        query = _query(
+            [Attr("d", "url"), Attr("a", "href")],
+            Compare("=", Attr("a", "ltype"), Literal("G")),
+            tables=("document", "anchor"),
+        )
+        plan = compile_node_query(query)
+        columnar = tuple(plan.execute_columnar(DATABASE))
+        row = tuple(plan.execute(DATABASE))
+        assert columnar == row
+        memo = ResultMemo()
+        memo.store_rows(URL, query, columnar)
+        assert memo.rows_for(URL, query) == row
+
+
+# -- sqlite storage backend ----------------------------------------------------
+
+
+SQLITE_DATABASE = build_node_database(URL, _HTML, storage="sqlite")
+
+
+class TestSqliteBackend:
+    def test_relations_round_trip(self):
+        for name in ("document", "anchor", "relinfon"):
+            memory, sqlite = DATABASE.relation(name), SQLITE_DATABASE.relation(name)
+            assert memory.schema == sqlite.schema
+            assert memory.row_list() == sqlite.row_list()
+            assert memory.columns() == sqlite.columns()
+        assert DATABASE.tuple_count() == SQLITE_DATABASE.tuple_count()
+
+    def test_link_structure_round_trips(self):
+        from repro.model.relations import LinkType
+
+        for ltype in LinkType:
+            assert [
+                (a.base, a.href, a.label)
+                for a in DATABASE.outgoing_links(ltype)
+            ] == [
+                (a.base, a.href, a.label)
+                for a in SQLITE_DATABASE.outgoing_links(ltype)
+            ]
+            assert DATABASE.forward_targets(ltype) == SQLITE_DATABASE.forward_targets(
+                ltype
+            )
+
+    @given(_selects, _hostile_exprs)
+    @settings(max_examples=100, deadline=None)
+    def test_plans_blind_to_the_backend(self, select, where):
+        """executor × storage: all four combinations agree exactly."""
+        plan = compile_node_query(_query(select, where))
+        baseline = _outcome(lambda: plan.execute(DATABASE))
+        assert _outcome(lambda: plan.execute_columnar(DATABASE)) == baseline
+        assert _outcome(lambda: plan.execute(SQLITE_DATABASE)) == baseline
+        assert _outcome(lambda: plan.execute_columnar(SQLITE_DATABASE)) == baseline
+
+    def test_engine_on_sqlite_matches_memory(self, campus_web):
+        states = {}
+        for backend in ("memory", "sqlite"):
+            engine, (handle,) = _run_batch(
+                campus_web, [CAMPUS_QUERY_DISQL], storage_backend=backend
+            )
+            assert handle.status is QueryStatus.COMPLETE
+            states[backend] = _semantic_state(engine, [handle])
+        assert states["memory"] == states["sqlite"]
+
+
+# -- bounded memo (S1) ---------------------------------------------------------
+
+
+def _rows_of(query):
+    return tuple(compile_node_query(query).execute(DATABASE))
+
+
+class TestBoundedMemo:
+    def _queries(self, count):
+        return [
+            _query(
+                [Attr("d", "url")],
+                Compare("=", Attr("d", "title"), Literal(f"t{i}")),
+                tables=("document",),
+            )
+            for i in range(count)
+        ]
+
+    def test_capacity_is_respected_with_lru_order(self):
+        stats = TrafficStats()
+        memo = ResultMemo(stats, capacity=2)
+        q0, q1, q2 = self._queries(3)
+        memo.store_rows(URL, q0, _rows_of(q0))
+        memo.store_rows(URL, q1, _rows_of(q1))
+        # Touch q0 so q1 becomes the coldest entry...
+        assert memo.rows_for(URL, q0) is not None
+        memo.store_rows(URL, q2, _rows_of(q2))
+        # ...and gets evicted; q0 and q2 survive.
+        assert len(memo) == 2
+        assert memo.evictions == 1
+        assert stats.memo_evictions == 1
+        assert memo.rows_for(URL, q1) is None
+        assert memo.rows_for(URL, q0) == _rows_of(q0)
+        assert memo.rows_for(URL, q2) == _rows_of(q2)
+
+    def test_bytes_gauge_tracks_stores_evictions_and_clear(self):
+        stats = TrafficStats()
+        memo = ResultMemo(stats, capacity=2)
+        queries = self._queries(4)
+        for query in queries:
+            memo.store_rows(URL, query, _rows_of(query))
+        assert len(memo) == 2
+        assert memo.evictions == 2
+        assert memo.bytes_est > 0
+        assert stats.memo_bytes_est == memo.bytes_est
+        memo.clear()
+        assert memo.bytes_est == 0
+        assert stats.memo_bytes_est == 0
+        assert len(memo) == 0
+
+    def test_overwrite_does_not_leak_bytes(self):
+        memo = ResultMemo(capacity=4)
+        (query,) = self._queries(1)
+        memo.store_rows(URL, query, _rows_of(query))
+        size = memo.bytes_est
+        memo.store_rows(URL, query, _rows_of(query))
+        assert memo.bytes_est == size
+        assert len(memo) == 1
+
+    def test_capacity_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultMemo(capacity=0)
+
+    def test_unbounded_memo_never_evicts(self):
+        memo = ResultMemo()
+        for query in self._queries(8):
+            memo.store_rows(URL, query, _rows_of(query))
+        assert len(memo) == 8
+        assert memo.evictions == 0
+
+    def test_tiny_capacity_never_changes_answers(self, campus_web):
+        baseline, cold_handles = _run_batch(
+            campus_web, [CAMPUS_QUERY_DISQL] * 2, cross_query_caching=False
+        )
+        engine, bounded_handles = _run_batch(
+            campus_web, [CAMPUS_QUERY_DISQL] * 2, memo_capacity=2
+        )
+        for bounded, cold in zip(bounded_handles, cold_handles):
+            assert bounded.status is QueryStatus.COMPLETE
+            assert _distinct_rows(bounded) == _distinct_rows(cold)
+        # The tiny bound genuinely bit: entries were evicted somewhere.
+        assert engine.stats.memo_evictions > 0
+
+
+# -- constructor caches (S2) ---------------------------------------------------
+
+
+class TestConstructorCaches:
+    def test_cache_info_and_stats_counters(self):
+        stats = TrafficStats()
+        constructor = DatabaseConstructor(cache_size=1, stats=stats)
+        constructor.construct(URL, _HTML)
+        constructor.construct(URL, _HTML)  # LRU hit
+        constructor.construct(SIBLING, _HTML)  # evicts URL
+        constructor.construct(URL, _HTML)  # rebuild, but parse-cache hit
+        info = constructor.cache_info()
+        assert info["storage"] == "memory"
+        assert info["cache_size"] == 1
+        assert info["cached_databases"] == 1
+        assert info["parsed_documents"] == 2
+        assert info["builds"] == 3
+        assert info["cache_hits"] == 1
+        assert info["parse_hits"] == 1
+        assert stats.db_cache_hits == 1
+        assert stats.db_cache_misses == 3
+        assert stats.parse_cache_hits == 1
+
+    def test_uncached_constructor_still_counts_misses(self):
+        stats = TrafficStats()
+        constructor = DatabaseConstructor(stats=stats)
+        constructor.construct(URL, _HTML)
+        constructor.construct(URL, _HTML)
+        assert stats.db_cache_hits == 0
+        assert stats.db_cache_misses == 2
+        # The parse cache works even with the database cache off.
+        assert stats.parse_cache_hits == 1
+
+    def test_rejects_unknown_backend(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DatabaseConstructor(storage="parquet")
+
+    def test_engine_surfaces_the_counters(self, campus_web):
+        engine, (handle,) = _run_batch(
+            campus_web, [CAMPUS_QUERY_DISQL], db_cache_size=16
+        )
+        assert handle.status is QueryStatus.COMPLETE
+        summary = engine.stats.summary()
+        assert "db_cache_misses" in summary
+        assert engine.stats.db_cache_misses > 0
+
+
+# -- DST wiring ----------------------------------------------------------------
+
+
+class TestDstIntegration:
+    def test_generator_draws_both_executor_values(self):
+        draws = {
+            generate_case(seed)["config"]["executor"] for seed in range(16)
+        }
+        assert draws == {"columnar", "row"}
+
+    def test_runner_threads_the_knob(self):
+        spec = {"seed": 0, "config": {"executor": "row"}}
+        assert _engine_config(spec, inject_bug=False).executor == "row"
+        # Absent (older repro files) defaults to the engine default.
+        assert _engine_config(
+            {"seed": 0, "config": {}}, inject_bug=False
+        ).executor == "columnar"
+
+    def test_shrinker_proposes_the_row_fallback(self):
+        spec = generate_case(3)
+        spec["config"]["executor"] = "columnar"
+        flipped = [
+            candidate
+            for candidate in _candidates(spec)
+            if candidate["config"].get("executor") == "row"
+            and {k: v for k, v in candidate["config"].items() if k != "executor"}
+            == {k: v for k, v in spec["config"].items() if k != "executor"}
+            and candidate["web"] == spec["web"]
+            and candidate["faults"] == spec["faults"]
+        ]
+        assert flipped
+        # ...and never re-fires once the executor is already row.
+        spec["config"]["executor"] = "row"
+        assert not any(
+            candidate["config"].get("executor") == "row"
+            and candidate == spec
+            for candidate in _candidates(spec)
+        )

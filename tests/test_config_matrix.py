@@ -105,3 +105,37 @@ def test_figure8_invariant_under_caching_axis(campus_web, combo):
         )
         handle.cht.check_consistency()
         assert handle.cht.imbalance() == 0
+
+
+# The executor seam (EXP-P5) crossed against the knobs that change *where*
+# node-queries run: the cross-query memo (columnar results must serve row
+# probes and vice versa), frontier batching (moves fan-out emission into
+# the pump, whose columnar path reads precomputed forward targets) and the
+# storage backend (both executors over both table materializations).  Two
+# identical tenants per combo so the memo genuinely engages.
+_EXECUTOR_AXES = {
+    "executor": ("columnar", "row"),
+    "cross_query_caching": (True, False),
+    "frontier_batching": (True, False),
+    "storage_backend": ("memory", "sqlite"),
+}
+
+_EXECUTOR_COMBOS = [
+    dict(zip(_EXECUTOR_AXES, values))
+    for values in itertools.product(*_EXECUTOR_AXES.values())
+]
+
+
+@pytest.mark.parametrize("combo", _EXECUTOR_COMBOS, ids=_combo_id)
+def test_figure8_invariant_under_executor_axis(campus_web, combo):
+    engine = WebDisEngine(campus_web, config=EngineConfig(**combo))
+    first = engine.submit_disql(CAMPUS_QUERY_DISQL)
+    second = engine.submit_disql(CAMPUS_QUERY_DISQL)
+    engine.run()
+    for handle in (first, second):
+        assert handle.status is QueryStatus.COMPLETE
+        assert {r.values for r in handle.unique_rows("q2")} == set(
+            EXPECTED_CONVENER_ROWS
+        )
+        handle.cht.check_consistency()
+        assert handle.cht.imbalance() == 0

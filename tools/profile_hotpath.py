@@ -5,11 +5,13 @@ Runs one of the perf-bench workloads under :mod:`cProfile` and prints the
 top-N functions by cumulative time, so a perf regression can be localized
 without wiring up an external profiler::
 
-    PYTHONPATH=src python tools/profile_hotpath.py                  # both
+    PYTHONPATH=src python tools/profile_hotpath.py                  # all
     PYTHONPATH=src python tools/profile_hotpath.py --workload p1
     PYTHONPATH=src python tools/profile_hotpath.py --workload p2 --top 40
+    PYTHONPATH=src python tools/profile_hotpath.py --workload p5
     PYTHONPATH=src python tools/profile_hotpath.py --sort tottime
     PYTHONPATH=src python tools/profile_hotpath.py --out p2.pstats  # dump
+    PYTHONPATH=src python tools/profile_hotpath.py --json > prof.json
 
 The workloads are imported from the benches themselves, so the profile
 always matches what ``BENCH_PERF.json`` measures:
@@ -17,7 +19,15 @@ always matches what ``BENCH_PERF.json`` measures:
 * ``p1`` — EXP-P1: every (node-query, node-database) pair of the hot-path
   bench, evaluated with compiled plans and with the interpreter;
 * ``p2`` — EXP-P2: the frontier-batching drill-down workload, one full
-  engine run with the knob on and one with it off.
+  engine run with the knob on and one with it off;
+* ``p5`` — EXP-P5: the columnar workloads, one batch pass and one row
+  pass per (node-query, node-database) pair — the per-operator view, since
+  each batch kernel (specialized equality, ``contains``, the generic
+  per-row fallback) and the projector show up as distinct frames.
+
+``--json`` emits the top-N table as machine-readable JSON (one object per
+workload: function, ncalls, tottime, cumtime) for diffing profiles across
+commits.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import io
+import json
 import pstats
 import sys
 from pathlib import Path
@@ -60,11 +71,31 @@ def _p2_pass() -> None:
     _run(4, False, template, pages)
 
 
-WORKLOAD_PASSES = {"p1": _p1_pass, "p2": _p2_pass}
+def _p5_pass() -> None:
+    """One full EXP-P5 cell: every columnar workload, batch and row passes.
+
+    Profiling this exposes the per-operator cost split: each specialized
+    kernel, the generic per-row kernel and the batch projectors are
+    separate functions in :mod:`repro.relational.columnar`.
+    """
+    from repro.relational.compile import compile_node_query
+
+    from bench_columnar import _workloads
+
+    for __, query, databases, site_documents in _workloads(smoke=True):
+        plan = compile_node_query(query)
+        for database in databases:
+            plan.execute_columnar(database, site_documents)
+            plan.execute(database, site_documents)
 
 
-def profile_workload(name: str, sort: str, top: int, out: str | None) -> str:
-    """Profile one workload; returns the formatted stats text."""
+WORKLOAD_PASSES = {"p1": _p1_pass, "p2": _p2_pass, "p5": _p5_pass}
+
+
+def profile_workload(
+    name: str, sort: str, top: int, out: str | None
+) -> tuple[str, list[dict]]:
+    """Profile one workload; returns (formatted stats text, JSON rows)."""
     profiler = cProfile.Profile()
     profiler.enable()
     WORKLOAD_PASSES[name]()
@@ -76,7 +107,25 @@ def profile_workload(name: str, sort: str, top: int, out: str | None) -> str:
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.strip_dirs().sort_stats(sort).print_stats(top)
-    return buffer.getvalue()
+
+    sort_index = {"cumulative": 3, "tottime": 2, "ncalls": 1}[sort]
+    entries = sorted(
+        (
+            {
+                "function": f"{filename}:{line}({func})",
+                "ncalls": ncalls,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+            for (filename, line, func), (__, ncalls, tottime, cumtime, __c)
+            in stats.stats.items()
+        ),
+        key=lambda row: (row["ncalls"], row["tottime"], row["cumtime"])[
+            sort_index - 1
+        ],
+        reverse=True,
+    )[:top]
+    return buffer.getvalue(), entries
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,17 +145,28 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None,
         help="also dump raw pstats data to this path (snakeviz-compatible)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the top-N table as JSON instead of pstats text",
+    )
     args = parser.parse_args(argv)
 
     names = list(WORKLOAD_PASSES) if args.workload == "all" else [args.workload]
+    as_json: dict[str, list[dict]] = {}
     for name in names:
         out = None
         if args.out:
             out = args.out if len(names) == 1 else f"{name}-{args.out}"
-        print(f"== {name.upper()} workload — top {args.top} by {args.sort} ==")
-        print(profile_workload(name, args.sort, args.top, out))
-        if out:
+        text, entries = profile_workload(name, args.sort, args.top, out)
+        if args.json:
+            as_json[name] = entries
+        else:
+            print(f"== {name.upper()} workload — top {args.top} by {args.sort} ==")
+            print(text)
+        if out and not args.json:
             print(f"raw profile dumped to {out}")
+    if args.json:
+        print(json.dumps(as_json, indent=2))
     return 0
 
 

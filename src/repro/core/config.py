@@ -76,17 +76,25 @@ class EngineConfig:
     #: costs change.
     cross_query_caching: bool = True
 
-    #: Node-query executor (EXP-P5): ``"columnar"`` (default) evaluates
-    #: compiled plans through batch operators over the relations' columnar
-    #: layout — selection-vector filters and batch projections, innermost
-    #: scan vectorized (:mod:`repro.relational.columnar`) — and emits
-    #: forwards from the precomputed per-``LinkType`` target selections;
-    #: ``"row"`` keeps the row-at-a-time closure chain, byte-identical to
-    #: the pre-columnar engine.  Rows, order and lazily-raised errors are
-    #: identical on both executors (hypothesis equivalence suite + the DST
-    #: harness draw the knob per case); only wall-clock changes — the
-    #: simulated cost model is executor-independent.  With
-    #: ``compiled_plans=False`` the interpreter runs regardless.
+    #: Node-query executor (EXP-P5/P6): ``"columnar"`` (default) runs
+    #: *every* plan level of a compiled plan as a batch operator
+    #: (:mod:`repro.relational.columnar`) — a selection-vector batch of
+    #: candidate bindings flows through per-level batch filters, hash-index
+    #: probes on equality joins (:meth:`~repro.relational.table.Table.index`,
+    #: cached per table and mirrored in ``index_builds``/``index_hits``),
+    #: leaf conjunct kernels and batch projection, with tuples materialized
+    #: only at projection time — and emits forwards from the precomputed
+    #: per-``LinkType`` target selections; ``"row"`` keeps the
+    #: row-at-a-time closure chain, byte-identical to the pre-columnar
+    #: engine.  Rows, order and lazily-raised errors are identical on both
+    #: executors: the batch pipeline only skips evaluations that are
+    #: provably total, probes only when hash equality provably matches the
+    #: interpreter's coerced ``=``, and on any non-provable case (or any
+    #: batch exception) optimistically rolls back and replays the plan
+    #: through the row path (hypothesis equivalence suite + the DST harness
+    #: draw the knob per case); only wall-clock changes — the simulated
+    #: cost model is executor-independent.  With ``compiled_plans=False``
+    #: the interpreter runs regardless.
     executor: str = "columnar"
 
     #: Node-database storage backend: ``"memory"`` (the paper's temporary

@@ -126,11 +126,12 @@ def process_node(
     else:
         def resolve_db(db: NodeDatabase = database) -> NodeDatabase:
             return db
-    # The executor seam (EXP-P5): "columnar" routes plan execution through
-    # the batch operators and forward emission through the precomputed
-    # per-LinkType target selections; "row" leaves both hot paths exactly
-    # as the pre-columnar engine ran them.  Interpreter evaluation
-    # (plan_for=None) is row-at-a-time on either executor.
+    # The executor seam (EXP-P5/P6): "columnar" routes plan execution
+    # through the full batch pipeline — per-level batch filters, hash-probe
+    # joins, leaf kernels, batch projection — and forward emission through
+    # the precomputed per-LinkType target selections; "row" leaves both hot
+    # paths exactly as the pre-columnar engine ran them.  Interpreter
+    # evaluation (plan_for=None) is row-at-a-time on either executor.
     columnar = config.executor == "columnar"
     pending: deque[tuple[int, Pre]] = deque([(step_index, rem)])
     seen: set[tuple[int, Pre]] = set()

@@ -220,6 +220,24 @@ class ResultMemo:
         ]
         return stale
 
+    def recount_bytes(self) -> int:
+        """Recompute the byte gauge from scratch over the live entries.
+
+        The audit twin of ``bytes_est``: the gauge is maintained
+        incrementally (stores add, overwrites subtract the replaced entry's
+        estimate first, evictions and clears subtract), and overwrite-heavy
+        sequences are exactly where incremental accounting drifts if any
+        path forgets the subtraction — an entry shrinking in place must
+        *decrease* the gauge.  ``check_memo_coherence`` (and the regression
+        test) assert ``recount_bytes() == bytes_est`` so any future store
+        path that breaks the invariant fails loudly instead of skewing the
+        dashboard gauge and the LRU's eviction pressure.
+        """
+        total = sum(_rows_bytes(entry) for entry in self._rows.values())
+        for per_node in self._fanout.values():
+            total += sum(_fanout_bytes(entry.targets) for entry in per_node.values())
+        return total
+
     def __len__(self) -> int:
         return len(self._rows) + sum(len(v) for v in self._fanout.values())
 

@@ -107,8 +107,10 @@ class QueryServer:
         self.log_table = NodeQueryLogTable(config.log_subsumption)
         #: Compiled node-query plans, structurally keyed so tenants share
         #: compilations — volatile process state, cleared by crash()
-        #: exactly like the db cache.
-        self.plans = PlanCache(stats=stats)
+        #: exactly like the db cache.  Under the columnar executor the
+        #: batch pipeline is lowered at compile time (prelower) so the
+        #: first clone's evaluation doesn't pay lowering on the hot path.
+        self.plans = PlanCache(stats=stats, prelower=config.executor == "columnar")
         #: Cross-query memo of per-node rows and forward fan-outs (EXP-P4);
         #: None when the knob is off.  Volatile like the plan cache, plus
         #: an explicit epoch hook for future live-web mutation.
@@ -536,7 +538,7 @@ class QueryServer:
                 (site.url_of(path), page.html)
                 for path, page in sorted(site.pages.items())
             ]
-            self._site_documents = build_documents_table(pages)
+            self._site_documents = build_documents_table(pages, stats=self.stats)
             self.stats.documents_parsed += len(pages)
         return self._site_documents
 

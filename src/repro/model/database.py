@@ -49,12 +49,13 @@ class NodeDatabase:
         document: DocumentTuple,
         anchors: tuple[AnchorTuple, ...],
         relinfons: tuple[RelInfonTuple, ...],
+        stats: "object | None" = None,
     ) -> None:
         self.url = url
         self._anchors = anchors
-        self.document = Table(DOCUMENT_SCHEMA, [document.as_row()])
-        self.anchor = Table(ANCHOR_SCHEMA, [a.as_row() for a in anchors])
-        self.relinfon = Table(RELINFON_SCHEMA, [r.as_row() for r in relinfons])
+        self.document = Table(DOCUMENT_SCHEMA, [document.as_row()], stats=stats)
+        self.anchor = Table(ANCHOR_SCHEMA, [a.as_row() for a in anchors], stats=stats)
+        self.relinfon = Table(RELINFON_SCHEMA, [r.as_row() for r in relinfons], stats=stats)
         self._relations = {
             "document": self.document,
             "anchor": self.anchor,
@@ -162,7 +163,9 @@ class DatabaseConstructor:
         else:
             parsed = parse_html(html)
             self._parsed[key] = (html, parsed)
-        database = build_node_database(key, html, parsed=parsed, storage=self._storage)
+        database = build_node_database(
+            key, html, parsed=parsed, storage=self._storage, stats=self._stats
+        )
         if self._cache_size:
             self._cache[key] = database
             while len(self._cache) > self._cache_size:
@@ -192,14 +195,19 @@ class DatabaseConstructor:
         self._parsed.clear()
 
 
-def build_documents_table(pages: "list[tuple[Url, str]]") -> Table:
+def build_documents_table(
+    pages: "list[tuple[Url, str]]", stats: "object | None" = None
+) -> Table:
     """A DOCUMENT table spanning several pages (one row per page).
 
     This is the site-wide relation multi-document node-queries range over
     (paper §7.1 footnote 2): the extra document aliases join against every
     page of the current site, still without any inter-site communication.
+    ``stats`` mirrors join-index reuse on this table — it lives for the
+    server's whole incarnation, so sitewide joins are where the cached
+    :meth:`~repro.relational.table.Table.index` pays off most.
     """
-    table = Table(DOCUMENT_SCHEMA)
+    table = Table(DOCUMENT_SCHEMA, stats=stats)
     for url, html in pages:
         parsed = parse_html(html)
         table.insert(
@@ -218,6 +226,7 @@ def build_node_database(
     html: str,
     parsed: ParsedDocument | None = None,
     storage: str = "memory",
+    stats: "object | None" = None,
 ) -> NodeDatabase:
     """Single-pass construction of the virtual relations for ``url``.
 
@@ -225,6 +234,8 @@ def build_node_database(
     parse result (the constructor's shared parsed-document cache).
     ``storage="sqlite"`` materializes the same relations behind the sqlite
     backend (:mod:`repro.model.storage`) instead of in-memory tables.
+    ``stats`` threads the :class:`~repro.net.stats.TrafficStats` mirror down
+    to the tables' join-index counters (``index_builds`` / ``index_hits``).
     """
     if parsed is None:
         parsed = parse_html(html)
@@ -237,8 +248,8 @@ def build_node_database(
     if storage == "sqlite":
         from .storage import SqliteNodeDatabase
 
-        return SqliteNodeDatabase(url, document, anchors, relinfons)
-    return NodeDatabase(url, document, anchors, relinfons)
+        return SqliteNodeDatabase(url, document, anchors, relinfons, stats=stats)
+    return NodeDatabase(url, document, anchors, relinfons, stats=stats)
 
 
 def _anchor_tuples(base: Url, parsed: ParsedDocument) -> tuple[AnchorTuple, ...]:

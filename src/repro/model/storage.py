@@ -29,6 +29,7 @@ from typing import Iterator
 
 from ..errors import SchemaError
 from ..relational.schema import Schema
+from ..relational.table import ColumnIndex
 from ..urlutils import Url, parse_url
 from .relations import (
     ANCHOR_SCHEMA,
@@ -47,20 +48,30 @@ class SqliteTable:
     """A virtual relation stored in sqlite, drop-in for
     :class:`~repro.relational.table.Table` on the read path.
 
-    Rows and the columnar transpose are fetched lazily (``ORDER BY rowid``
-    preserves insertion order) and cached; callers must treat both as
-    read-only, exactly as with the in-memory table.
+    Rows, the columnar transpose and per-column join indexes are fetched
+    lazily (``ORDER BY rowid`` preserves insertion order) and cached;
+    callers must treat them as read-only, exactly as with the in-memory
+    table.
     """
 
-    __slots__ = ("schema", "_conn", "_table", "_count", "_rows", "_columns")
+    __slots__ = ("schema", "stats", "_conn", "_table", "_count", "_rows", "_columns", "_indexes")
 
-    def __init__(self, schema: Schema, conn: sqlite3.Connection, table: str, count: int) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        conn: sqlite3.Connection,
+        table: str,
+        count: int,
+        stats: "object | None" = None,
+    ) -> None:
         self.schema = schema
+        self.stats = stats
         self._conn = conn
         self._table = table
         self._count = count
         self._rows: list[tuple[object, ...]] | None = None
         self._columns: tuple[list[object], ...] | None = None
+        self._indexes: dict[int, ColumnIndex] = {}
 
     def row_list(self) -> list[tuple[object, ...]]:
         """All rows in insertion order (fetched once, then cached)."""
@@ -92,10 +103,27 @@ class SqliteTable:
         pos = self.schema.position(attribute)
         return [row[pos] for row in self.row_list()]
 
+    def index(self, position: int) -> ColumnIndex:
+        """The cached :class:`ColumnIndex` for the column at ``position`` —
+        same contract (and same ``index_builds`` / ``index_hits`` stats
+        mirror) as :meth:`~repro.relational.table.Table.index`; sqlite
+        tables are immutable after construction, so only
+        :meth:`purge_cache` invalidates it."""
+        index = self._indexes.get(position)
+        stats = self.stats
+        if index is None:
+            index = self._indexes[position] = ColumnIndex(self.columns()[position])
+            if stats is not None:
+                stats.index_builds += 1
+        elif stats is not None:
+            stats.index_hits += 1
+        return index
+
     def purge_cache(self) -> None:
         """Drop the fetched-row cache (rows stay in the store)."""
         self._rows = None
         self._columns = None
+        self._indexes.clear()
 
     def __len__(self) -> int:
         return self._count
@@ -126,6 +154,7 @@ class SqliteNodeDatabase:
         anchors: tuple[AnchorTuple, ...],
         relinfons: tuple[RelInfonTuple, ...],
         path: str = ":memory:",
+        stats: "object | None" = None,
     ) -> None:
         self.url = url
         conn = self._conn = sqlite3.connect(path)
@@ -146,9 +175,11 @@ class SqliteNodeDatabase:
             "INSERT INTO relinfon VALUES (?, ?, ?, ?)", [r.as_row() for r in relinfons]
         )
         conn.commit()
-        self.document = SqliteTable(DOCUMENT_SCHEMA, conn, "document", 1)
-        self.anchor = SqliteTable(ANCHOR_SCHEMA, conn, "anchor", len(anchors))
-        self.relinfon = SqliteTable(RELINFON_SCHEMA, conn, "relinfon", len(relinfons))
+        self.document = SqliteTable(DOCUMENT_SCHEMA, conn, "document", 1, stats=stats)
+        self.anchor = SqliteTable(ANCHOR_SCHEMA, conn, "anchor", len(anchors), stats=stats)
+        self.relinfon = SqliteTable(
+            RELINFON_SCHEMA, conn, "relinfon", len(relinfons), stats=stats
+        )
         self._relations = {
             "document": self.document,
             "anchor": self.anchor,

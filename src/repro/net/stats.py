@@ -144,6 +144,15 @@ class TrafficStats:
     #: already cached (a subset of ``db_cache_misses``).
     parse_cache_hits: int = 0
 
+    # Join-key hash indexes (EXP-P6 outer-level batching).
+    #: Per-column hash indexes built by ``Table.index()`` — one per
+    #: (table generation, column) the batch executor probed.
+    index_builds: int = 0
+    #: Probes served from an already-built index; repeated node-queries on
+    #: the same node (or the long-lived sitewide table) hit instead of
+    #: rebuilding, mirroring ``forward_targets``-style reuse.
+    index_hits: int = 0
+
     @property
     def events_saved(self) -> int:
         """SimClock events avoided by frontier batching (one schedule +
@@ -249,6 +258,8 @@ class TrafficStats:
             "db_cache_hits": self.db_cache_hits,
             "db_cache_misses": self.db_cache_misses,
             "parse_cache_hits": self.parse_cache_hits,
+            "index_builds": self.index_builds,
+            "index_hits": self.index_hits,
             "events_saved": self.events_saved,
             "messages_saved": self.messages_saved,
         }

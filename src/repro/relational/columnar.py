@@ -1,53 +1,68 @@
-"""Batch (columnar) execution of compiled node-query plans — EXP-P5.
+"""Batch (columnar) execution of compiled node-query plans — EXP-P5/P6.
 
-:class:`~repro.relational.compile.CompiledPlan` already resolves pushdown
-placement and column positions at compile time, but its runner is still a
-row-at-a-time closure chain: every row of the innermost scan pays a level
-dispatch, one closure call per conjunct, and a projection call.  For the
-virtual relations that cost is pure interpreter overhead — the data is
-already materialized, the predicates are mostly ``attr contains "const"``
-and ``attr = "const"``, and the innermost scan dominates (outer scans bind
-a handful of rows; the leaf scan touches every tuple).
+:class:`~repro.relational.compile.CompiledPlan` resolves pushdown placement
+and column positions at compile time; this module lowers the *whole*
+nested-loop join into a pipeline of batch operators over the tables'
+columnar views (:meth:`Table.columns`) and join-key hash indexes
+(:meth:`Table.index`).  EXP-P5 vectorized only the innermost (leaf) scan;
+every outer level was still a per-row closure chain, which the sitewide
+and join-heavy workloads exposed as the ceiling.  The pipeline now carries
+a **batch of candidate bindings** — one index tuple per partial binding,
+the multi-level generalization of a selection vector — through the join
+order:
 
-This module lowers the *leaf level* of the nested loop to batch operators
-over the table's columnar view (:meth:`Table.columns`):
-
-* each leaf conjunct becomes a **kernel** mapping a selection vector (list
-  of surviving row indices; ``None`` means "all rows") to a smaller one,
-  evaluated as one comprehension over a column slice instead of per-row
-  closure calls — with specialized kernels for the hot shapes
-  (constant-needle ``contains``, ``=``/``!=`` against a non-numeric string
-  constant) and a generic per-row kernel for everything else;
-* the projection becomes a **batch projector** appending ``ResultRow``s
-  for the surviving indices in one pass, reading leaf attributes straight
-  from columns and outer-alias attributes once per batch.
+* each level's pushdown conjuncts become **batch filters** mapping a
+  binding batch to a smaller one (specialized comprehensions for the hot
+  constant shapes, the scalar closure per binding otherwise);
+* binding the next table becomes an **expansion**: a hash-index probe per
+  binding when an equality conjunct joins the new table to already-bound
+  aliases (or to a constant), the cross product otherwise — bucket lists
+  are insertion-ordered, so probing reproduces the scan order exactly;
+* the leaf level keeps EXP-P5's selection-vector kernels (now seeded by
+  the leaf join's probe result) and batch projectors; tuples materialize
+  only at projection.
 
 Lazy error semantics are preserved *exactly*, not approximately.  Batch
-evaluation reorders work (conjunct-major instead of row-major), so a
-kernel can hit an error the interpreter would never reach first.  The
-batch is therefore optimistic: evaluation is pure, so on *any* exception
-the partial output is rolled back and the batch re-runs row-at-a-time
-through the same scalar closures the row executor uses — reproducing the
-interpreter's outcome, including which row's which conjunct raises.  The
-set of (row, conjunct) evaluations is identical in both orders (kernels
-only evaluate conjunct *k* on rows that survived conjuncts ``< k``, just
-like the short-circuiting row loop), so the fallback raises whenever the
-batch did, and nothing diverges silently.  The specialized kernels are
-value-exact by construction: a non-numeric string constant can never
-trigger :func:`~repro.relational.expr._coerce_pair`'s numeric coercion,
-and a non-string haystack raises out of the ``contains`` comprehension
-(into the fallback) for every type the virtual relations can hold.
+evaluation reorders work (conjunct-major, probe-before-filter), so the
+pipeline can hit an error the interpreter would never reach, or reach one
+late.  Evaluation is pure, so the whole pipeline is optimistic: on *any*
+exception the partial output is rolled back and the plan re-runs through
+the row executor's closure chain, reproducing the interpreter's outcome
+bit-for-bit — including which binding's which conjunct raises, or that
+nothing raises at all.  A batch that completes *cleanly* is row-identical
+by construction: every evaluation the row path performs and the batch
+skips is **provably total** (present attributes, literals, ``=``/``!=``
+and boolean combinators over them — checked at lowering time), and a hash
+probe substitutes for an equality conjunct only when
+:meth:`ColumnIndex.probe` proves dict equality coincides with the
+interpreter's coerced equality for that probe value (no numeric
+number-vs-numeric-string coercion possible, hash-exact value profile).
+Any non-provable case — and any empty-probe ambiguity — degrades to a
+scan through the conjunct's own scalar closure, or to the row path
+wholesale.
 
 Equivalence with the row executor is property-tested in
 ``tests/test_columnar_executor.py`` (including hostile expressions whose
-only output *is* the error).
+only output *is* the error, at every plan level).
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Sequence
 
-from .expr import Attr, Compare, Contains, Expr, Literal, _to_number
+from .expr import (
+    And,
+    Attr,
+    Compare,
+    Contains,
+    Expr,
+    Literal,
+    Not,
+    Or,
+    attrs_referenced,
+    _to_number,
+)
 from .query import ResultRow
 from .schema import Schema
 
@@ -56,33 +71,15 @@ __all__ = ["build_columnar_runner"]
 #: A scalar compiled expression (see :mod:`repro.relational.compile`).
 _Scalar = Callable[[list], object]
 
-#: A batch kernel: selection vector in, selection vector out.
-_Kernel = Callable[[list, tuple, list, "list[int] | None"], "list[int]"]
+#: A leaf batch kernel: selection vector in, selection vector out.  The
+#: trailing argument is the leaf table object, for kernels that need its
+#: runtime column profiles (:meth:`Table.index`).
+_Kernel = Callable[[list, tuple, list, "Sequence[int] | None", object], "list[int]"]
 
-
-class _ConstSource:
-    """Projection source for an outer-alias attribute: one value per batch."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: object) -> None:
-        self.value = value
-
-    def __getitem__(self, index: int) -> object:
-        return self.value
-
-
-class _MissingSource:
-    """Projection source for an absent attribute — the interpreter's lazy
-    ``KeyError(name)``, raised only if a row actually projects."""
-
-    __slots__ = ("name",)
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-
-    def __getitem__(self, index: int) -> object:
-        raise KeyError(self.name)
+#: A hash-join choice: (conjunct position in its level, build-side column
+#: on the table being bound, probe-side scalar, full-conjunct scalar for
+#: non-provable probe values).
+_Join = "tuple[int, int, _Scalar, _Scalar] | None"
 
 
 def build_columnar_runner(
@@ -93,116 +90,442 @@ def build_columnar_runner(
     positions: dict[str, int],
     schemas: Sequence[Schema],
     header: tuple[str, ...],
-) -> Callable[[list, list, tuple, list], None]:
+    compile_expr: Callable[[Expr], _Scalar],
+    row_runner: Callable[[list, list, list], None],
+) -> Callable:
     """Build the batch runner for one compiled plan.
 
-    The runner signature is ``runner(env, tables, leaf_cols, out)`` —
-    identical to the row runner plus the leaf table's columnar view.
-    Outer loop levels reuse the row executor's scalar filter closures
-    unchanged (they bind one row at a time by construction); only the
-    innermost level is batched.
+    The runner signature is ``runner(env, tables, table_objs, out,
+    level_times=None)``: ``tables`` are the scanned row lists (row-runner
+    compatible — the rollback replay hands them straight to
+    ``row_runner``), ``table_objs`` the table objects behind them (for
+    ``columns()`` / ``index()``), and ``level_times`` an optional dict
+    accumulating per-level wall-clock (``level-0`` … ``leaf``) for the
+    profiling harness.
     """
-    leaf = len(schemas) - 1
-    leaf_schema = schemas[leaf]
+    count = len(schemas)
+    leaf = count - 1
     leaf_alias = next(alias for alias, depth in positions.items() if depth == leaf)
+
+    # joins[d]: the equality conjunct (from plan level d+1) used to expand
+    # the table at depth d via a hash probe, when one is provably usable.
+    joins: list[_Join] = [
+        _choose_join(
+            filter_plan[depth + 1], scalar_filters[depth + 1],
+            depth, positions, schemas, compile_expr,
+        )
+        for depth in range(count)
+    ]
+
+    stages: list[tuple[str, Callable]] = []
+    for depth in range(leaf):
+        entry = _entry_filters(depth, filter_plan, scalar_filters, joins, positions, schemas)
+        stages.append((f"level-{depth}", _build_expand_stage(depth, entry, joins[depth])))
+
+    leaf_entry = _entry_filters(leaf, filter_plan, scalar_filters, joins, positions, schemas)
+    leaf_join = joins[leaf]
+    skip = leaf_join[0] if leaf_join is not None else -1
     kernels = tuple(
-        _build_kernel(conjunct, scalar, leaf, leaf_alias, leaf_schema)
-        for conjunct, scalar in zip(filter_plan[leaf + 1], scalar_filters[leaf + 1])
+        _build_kernel(conjunct, scalar, leaf, leaf_alias, schemas[leaf])
+        for position, (conjunct, scalar) in enumerate(
+            zip(filter_plan[count], scalar_filters[count])
+        )
+        if position != skip
     )
     projector = _build_projector(select, positions, schemas, leaf, header)
-    fallback = _build_scalar_leaf(
-        leaf, scalar_filters[leaf + 1], scalar_project, header
-    )
-    step = _build_leaf_batch(leaf, scalar_filters[leaf], kernels, projector, fallback)
-    for depth in range(leaf - 1, -1, -1):
-        step = _make_level(depth, scalar_filters[depth], step)
-    return step
+    leaf_stage = _build_leaf_stage(leaf, leaf_entry, leaf_join, kernels, projector)
+    stage_list = tuple(stages)
 
-
-# -- loop structure -----------------------------------------------------------
-
-
-def _build_leaf_batch(
-    leaf: int,
-    level_filters: tuple[_Scalar, ...],
-    kernels: tuple[_Kernel, ...],
-    projector: Callable,
-    fallback: Callable,
-) -> Callable:
-    def leaf_batch(
-        env, tables, cols, out, _d=leaf, _lf=level_filters, _ks=kernels,
-        _pj=projector, _fb=fallback,
+    def runner(
+        env, tables, table_objs, out, level_times=None,
+        _stages=stage_list, _leaf_stage=leaf_stage, _fallback=row_runner,
     ):
-        for predicate in _lf:
-            if not predicate(env):
-                return
-        rows = tables[_d]
         mark = len(out)
         try:
-            sel = None
-            for kernel in _ks:
-                sel = kernel(env, cols, rows, sel)
-                if not sel:
-                    return
-            _pj(env, cols, rows, sel, out)
+            batch: list[tuple[int, ...]] = [()]
+            if level_times is None:
+                for __, stage in _stages:
+                    batch = stage(env, tables, table_objs, batch)
+                    if not batch:
+                        return
+                _leaf_stage(env, tables, table_objs, batch, out)
+            else:
+                for name, stage in _stages:
+                    started = perf_counter()
+                    batch = stage(env, tables, table_objs, batch)
+                    level_times[name] = (
+                        level_times.get(name, 0.0) + perf_counter() - started
+                    )
+                    if not batch:
+                        return
+                started = perf_counter()
+                _leaf_stage(env, tables, table_objs, batch, out)
+                level_times["leaf"] = (
+                    level_times.get("leaf", 0.0) + perf_counter() - started
+                )
         except Exception:
-            # Evaluation is pure: roll back this batch's rows and replay it
-            # through the scalar closures so the error (if the interpreter
-            # would raise one — it would, see module docstring) surfaces at
-            # exactly the row and conjunct the row executor reports.
+            # Evaluation is pure: roll back this run's rows and replay the
+            # whole plan through the row executor's closures, so the error
+            # (if the interpreter raises one — it may not: the batch also
+            # evaluates probe expressions the short-circuiting row loop
+            # never reaches) surfaces at exactly the binding and conjunct
+            # the row executor reports, or the correct rows come back.
             del out[mark:]
-            _fb(env, rows, out)
+            _fallback(env, tables, out)
 
-    return leaf_batch
+    return runner
 
 
-def _make_level(
-    depth: int, level_filters: tuple[_Scalar, ...], inner: Callable
+# -- join-conjunct selection ---------------------------------------------------
+
+
+def _provably_total(expr: Expr, positions: dict[str, int], schemas: Sequence[Schema]) -> bool:
+    """True when evaluating ``expr`` (on any bound env) can never raise.
+
+    Present attributes and literals are total; ``=``/``!=`` never raise
+    (:func:`~repro.relational.expr._coerce_pair` is total and equality is
+    defined across the system's value types); ``and``/``or``/``not`` of
+    total operands are total.  Ordered comparisons and ``contains`` can
+    raise on type mismatches, so they are never claimed total.
+    """
+    if isinstance(expr, Literal):
+        return True
+    if isinstance(expr, Attr):
+        return expr.name in schemas[positions[expr.alias]]
+    if isinstance(expr, Compare):
+        return (
+            expr.op in ("=", "!=")
+            and _provably_total(expr.left, positions, schemas)
+            and _provably_total(expr.right, positions, schemas)
+        )
+    if isinstance(expr, (And, Or)):
+        return (
+            _provably_total(expr.left, positions, schemas)
+            and _provably_total(expr.right, positions, schemas)
+        )
+    if isinstance(expr, Not):
+        return _provably_total(expr.operand, positions, schemas)
+    return False
+
+
+def _choose_join(
+    conjuncts: Sequence[Expr],
+    scalars: Sequence[_Scalar],
+    depth: int,
+    positions: dict[str, int],
+    schemas: Sequence[Schema],
+    compile_expr: Callable[[Expr], _Scalar],
+) -> _Join:
+    """Pick the hash-probe conjunct for binding the table at ``depth``.
+
+    Eligible: an ``=`` whose one side is a present attribute of the alias
+    being bound and whose other side references only already-bound aliases
+    (or is constant).  A conjunct is only usable if every conjunct *before*
+    it at this level is provably total — the probe skips their evaluation
+    on pruned rows, which must not be able to suppress an error the row
+    path would raise.  The search stops at the first non-total conjunct.
+    """
+    schema = schemas[depth]
+    for position, conjunct in enumerate(conjuncts):
+        if isinstance(conjunct, Compare) and conjunct.op == "=":
+            for build_expr, probe_expr in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not (
+                    isinstance(build_expr, Attr)
+                    and positions[build_expr.alias] == depth
+                    and build_expr.name in schema
+                ):
+                    continue
+                if any(
+                    positions[attr.alias] >= depth
+                    for attr in attrs_referenced(probe_expr)
+                ):
+                    continue
+                return (
+                    position,
+                    schema.position(build_expr.name),
+                    compile_expr(probe_expr),
+                    scalars[position],
+                )
+        if not _provably_total(conjunct, positions, schemas):
+            return None
+    return None
+
+
+# -- batch filters (outer-level pushdown conjuncts) ---------------------------
+
+
+def _entry_filters(
+    depth: int,
+    filter_plan: Sequence[Sequence[Expr]],
+    scalar_filters: Sequence[tuple[_Scalar, ...]],
+    joins: Sequence[_Join],
+    positions: dict[str, int],
+    schemas: Sequence[Schema],
+) -> tuple[Callable, ...]:
+    """Batch filters for plan level ``depth`` (evaluated on width-``depth``
+    batches), minus the conjunct the previous expansion's probe applied."""
+    skip = -1
+    if depth >= 1 and joins[depth - 1] is not None:
+        skip = joins[depth - 1][0]
+    return tuple(
+        _build_batch_filter(conjunct, scalar, depth, positions, schemas)
+        for position, (conjunct, scalar) in enumerate(
+            zip(filter_plan[depth], scalar_filters[depth])
+        )
+        if position != skip
+    )
+
+
+def _bound_column(
+    expr: Expr, width: int, positions: dict[str, int], schemas: Sequence[Schema]
+) -> tuple[int, int] | None:
+    """(depth, column) if ``expr`` is a present attribute of a bound alias."""
+    if isinstance(expr, Attr):
+        depth = positions[expr.alias]
+        if depth < width and expr.name in schemas[depth]:
+            return depth, schemas[depth].position(expr.name)
+    return None
+
+
+def _specialize_batch(
+    conjunct: Expr, width: int, positions: dict[str, int], schemas: Sequence[Schema]
+) -> Callable | None:
+    """Vectorized batch filters for the hot constant shapes, or ``None``.
+
+    The same value-exactness arguments as the leaf kernels
+    (:func:`_specialize`) apply: constant-needle ``contains`` raises out of
+    the comprehension (into the pipeline rollback) for non-string cells,
+    and ``=``/``!=`` against a non-numeric string constant can never
+    trigger numeric coercion.
+    """
+    if isinstance(conjunct, Contains) and not conjunct.max_edits:
+        where = _bound_column(conjunct.haystack, width, positions, schemas)
+        needle = conjunct.needle
+        if (
+            where is not None
+            and isinstance(needle, Literal)
+            and isinstance(needle.value, str)
+        ):
+            depth, column = where
+            lowered = needle.value.lower()
+
+            def contains_filter(
+                env, tables, table_objs, batch, _j=depth, _c=column, _n=lowered
+            ):
+                values = table_objs[_j].columns()[_c]
+                return [b for b in batch if _n in values[b[_j]].lower()]
+
+            return contains_filter
+
+    if isinstance(conjunct, Compare) and conjunct.op in ("=", "!="):
+        where = None
+        constant: object = None
+        if isinstance(conjunct.right, Literal):
+            where = _bound_column(conjunct.left, width, positions, schemas)
+            constant = conjunct.right.value
+        elif isinstance(conjunct.left, Literal):
+            where = _bound_column(conjunct.right, width, positions, schemas)
+            constant = conjunct.left.value
+        if (
+            where is not None
+            and isinstance(constant, str)
+            and _to_number(constant) is None
+        ):
+            depth, column = where
+            if conjunct.op == "=":
+
+                def eq_filter(
+                    env, tables, table_objs, batch, _j=depth, _c=column, _v=constant
+                ):
+                    values = table_objs[_j].columns()[_c]
+                    return [b for b in batch if values[b[_j]] == _v]
+
+                return eq_filter
+
+            def ne_filter(
+                env, tables, table_objs, batch, _j=depth, _c=column, _v=constant
+            ):
+                values = table_objs[_j].columns()[_c]
+                return [b for b in batch if values[b[_j]] != _v]
+
+            return ne_filter
+
+    return None
+
+
+def _build_batch_filter(
+    conjunct: Expr,
+    scalar: _Scalar,
+    width: int,
+    positions: dict[str, int],
+    schemas: Sequence[Schema],
 ) -> Callable:
-    if not level_filters:
+    specialized = _specialize_batch(conjunct, width, positions, schemas)
+    if specialized is not None:
+        return specialized
+    if width == 0:
+        # Constant predicate (plan[0]): one evaluation gates the whole run,
+        # exactly like the row runner's outermost level.
+        def constant_filter(env, tables, table_objs, batch, _f=scalar):
+            return batch if _f(env) else []
 
-        def level(env, tables, cols, out, _d=depth, _inner=inner):
-            for row in tables[_d]:
-                env[_d] = row
-                _inner(env, tables, cols, out)
+        return constant_filter
 
-    else:
+    def batch_filter(env, tables, table_objs, batch, _f=scalar, _w=width):
+        kept = []
+        append = kept.append
+        for binding in batch:
+            for depth in range(_w):
+                env[depth] = tables[depth][binding[depth]]
+            if _f(env):
+                append(binding)
+        return kept
 
-        def level(env, tables, cols, out, _d=depth, _fs=level_filters, _inner=inner):
-            for predicate in _fs:
-                if not predicate(env):
-                    return
-            for row in tables[_d]:
-                env[_d] = row
-                _inner(env, tables, cols, out)
-
-    return level
+    return batch_filter
 
 
-def _build_scalar_leaf(
+# -- expansion (binding the next table) ---------------------------------------
+
+
+def _build_expand_stage(
+    depth: int, entry_filters: tuple[Callable, ...], join: _Join
+) -> Callable:
+    """Stage ``depth`` of the pipeline: apply the level's batch filters,
+    then bind the table at ``depth`` — hash probe per binding when a join
+    conjunct was chosen, cross product otherwise."""
+    if join is None:
+
+        def expand(env, tables, table_objs, batch, _d=depth, _fs=entry_filters):
+            for batch_filter in _fs:
+                batch = batch_filter(env, tables, table_objs, batch)
+                if not batch:
+                    return batch
+            rows = tables[_d]
+            if not rows:
+                return []
+            indices = range(len(rows))
+            return [binding + (i,) for binding in batch for i in indices]
+
+        return expand
+
+    __, build_col, probe, conjunct_scalar = join
+
+    def expand_join(
+        env, tables, table_objs, batch,
+        _d=depth, _fs=entry_filters, _c=build_col, _p=probe, _f=conjunct_scalar,
+    ):
+        for batch_filter in _fs:
+            batch = batch_filter(env, tables, table_objs, batch)
+            if not batch:
+                return batch
+        rows = tables[_d]
+        if not rows:
+            # The row path never evaluates this level's join conjunct (or
+            # its probe side) when the table is empty; neither may we.
+            return []
+        index = table_objs[_d].index(_c)
+        expanded = []
+        append = expanded.append
+        for binding in batch:
+            for outer in range(_d):
+                env[outer] = tables[outer][binding[outer]]
+            bucket = index.probe(_p(env))
+            if bucket is None:
+                # Not provably hash-exact for this probe value: scan with
+                # the conjunct's own scalar closure instead.
+                for i, row in enumerate(rows):
+                    env[_d] = row
+                    if _f(env):
+                        append(binding + (i,))
+            else:
+                for i in bucket:
+                    append(binding + (i,))
+        return expanded
+
+    return expand_join
+
+
+def _build_leaf_stage(
     leaf: int,
-    leaf_filters: tuple[_Scalar, ...],
-    project: _Scalar,
-    header: tuple[str, ...],
+    entry_filters: tuple[Callable, ...],
+    join: _Join,
+    kernels: tuple[_Kernel, ...],
+    projector: Callable,
 ) -> Callable:
-    """Row-at-a-time replay of one leaf batch — the row executor's exact
-    leaf semantics (filter order, short-circuit, lazy projection)."""
+    """The final stage: per surviving binding, seed the leaf selection
+    vector (hash probe when a leaf join was chosen), run the conjunct
+    kernels and batch-project the survivors."""
+    if join is None:
 
-    def scalar_leaf(env, rows, out, _d=leaf, _fs=leaf_filters, _p=project, _h=header):
-        for row in rows:
-            env[_d] = row
-            passed = True
-            for predicate in _fs:
-                if not predicate(env):
-                    passed = False
+        def leaf_stage(
+            env, tables, table_objs, batch, out,
+            _d=leaf, _fs=entry_filters, _ks=kernels, _pj=projector,
+        ):
+            for batch_filter in _fs:
+                batch = batch_filter(env, tables, table_objs, batch)
+                if not batch:
+                    return
+            rows = tables[_d]
+            leaf_obj = table_objs[_d]
+            cols = leaf_obj.columns()
+            for binding in batch:
+                for outer in range(_d):
+                    env[outer] = tables[outer][binding[outer]]
+                sel = None
+                for kernel in _ks:
+                    sel = kernel(env, cols, rows, sel, leaf_obj)
+                    if not sel:
+                        break
+                else:
+                    _pj(env, cols, rows, sel, out)
+
+        return leaf_stage
+
+    __, build_col, probe, conjunct_scalar = join
+
+    def leaf_stage_join(
+        env, tables, table_objs, batch, out,
+        _d=leaf, _fs=entry_filters, _c=build_col, _p=probe, _f=conjunct_scalar,
+        _ks=kernels, _pj=projector,
+    ):
+        for batch_filter in _fs:
+            batch = batch_filter(env, tables, table_objs, batch)
+            if not batch:
+                return
+        rows = tables[_d]
+        if not rows:
+            return
+        leaf_obj = table_objs[_d]
+        cols = leaf_obj.columns()
+        index = leaf_obj.index(_c)
+        for binding in batch:
+            for outer in range(_d):
+                env[outer] = tables[outer][binding[outer]]
+            sel = index.probe(_p(env))
+            if sel is None:
+                kept = []
+                append = kept.append
+                for i, row in enumerate(rows):
+                    env[_d] = row
+                    if _f(env):
+                        append(i)
+                sel = kept
+            if not sel:
+                continue
+            for kernel in _ks:
+                sel = kernel(env, cols, rows, sel, leaf_obj)
+                if not sel:
                     break
-            if passed:
-                out.append(ResultRow(_h, _p(env)))
+            else:
+                _pj(env, cols, rows, sel, out)
 
-    return scalar_leaf
+    return leaf_stage_join
 
 
-# -- filter kernels -----------------------------------------------------------
+# -- leaf filter kernels -------------------------------------------------------
 
 
 def _build_kernel(
@@ -212,7 +535,7 @@ def _build_kernel(
     leaf_alias: str,
     leaf_schema: Schema,
 ) -> _Kernel:
-    kernel = _specialize(conjunct, leaf_alias, leaf_schema)
+    kernel = _specialize(conjunct, scalar, leaf, leaf_alias, leaf_schema)
     if kernel is not None:
         return kernel
     return _generic_kernel(scalar, leaf)
@@ -222,7 +545,7 @@ def _generic_kernel(scalar: _Scalar, leaf: int) -> _Kernel:
     """Per-row evaluation through the scalar closure — correct for every
     conjunct shape; no batch win beyond skipping the level dispatch."""
 
-    def kernel(env, cols, rows, sel, _d=leaf, _f=scalar):
+    def kernel(env, cols, rows, sel, leaf_obj, _d=leaf, _f=scalar):
         kept = []
         append = kept.append
         if sel is None:
@@ -248,13 +571,18 @@ def _leaf_column(expr: Expr, leaf_alias: str, leaf_schema: Schema) -> int | None
 
 
 def _specialize(
-    conjunct: Expr, leaf_alias: str, leaf_schema: Schema
+    conjunct: Expr,
+    scalar: _Scalar,
+    leaf: int,
+    leaf_alias: str,
+    leaf_schema: Schema,
 ) -> _Kernel | None:
     """Vectorized kernels for the hot predicate shapes, or ``None``.
 
     Only shapes that are provably value-exact are specialized; anything
-    else (joins, numeric comparisons, boolean combinators, fuzzy match)
-    goes through the generic kernel — still correct, just not batched.
+    else (cross-level joins, numeric comparisons, boolean combinators,
+    fuzzy match) goes through the generic kernel — still correct, just not
+    batched.
     """
     if isinstance(conjunct, Contains) and not conjunct.max_edits:
         column = _leaf_column(conjunct.haystack, leaf_alias, leaf_schema)
@@ -265,12 +593,12 @@ def _specialize(
             and isinstance(needle.value, str)
         ):
             # Non-string haystacks raise out of the comprehension (ints have
-            # no .lower(); bytes fail the `in`), which routes the batch to
-            # the scalar fallback and its EvaluationError — never a silent
+            # no .lower(); bytes fail the `in`), which routes the run to the
+            # row-path replay and its EvaluationError — never a silent
             # wrong answer for any type the virtual relations can hold.
             lowered = needle.value.lower()
 
-            def contains_kernel(env, cols, rows, sel, _c=column, _n=lowered):
+            def contains_kernel(env, cols, rows, sel, leaf_obj, _c=column, _n=lowered):
                 col = cols[_c]
                 if sel is None:
                     return [i for i, v in enumerate(col) if _n in v.lower()]
@@ -297,7 +625,7 @@ def _specialize(
         ):
             if conjunct.op == "=":
 
-                def eq_kernel(env, cols, rows, sel, _c=column, _v=constant):
+                def eq_kernel(env, cols, rows, sel, leaf_obj, _c=column, _v=constant):
                     col = cols[_c]
                     if sel is None:
                         return [i for i, v in enumerate(col) if v == _v]
@@ -305,7 +633,7 @@ def _specialize(
 
                 return eq_kernel
 
-            def ne_kernel(env, cols, rows, sel, _c=column, _v=constant):
+            def ne_kernel(env, cols, rows, sel, leaf_obj, _c=column, _v=constant):
                 col = cols[_c]
                 if sel is None:
                     return [i for i, v in enumerate(col) if v != _v]
@@ -313,10 +641,77 @@ def _specialize(
 
             return ne_kernel
 
+        # Column-vs-column =/!= on the leaf (the generic-conjunct hot
+        # shape, e.g. ``a.base != a.href``): plain ==/!= is exact unless
+        # numeric coercion could apply between the two columns' values,
+        # which the runtime column profiles rule out per database.  The
+        # profiles themselves are only trustworthy over the system value
+        # types (hash_exact); anything else scans through the scalar.
+        left_col = _leaf_column(conjunct.left, leaf_alias, leaf_schema)
+        right_col = _leaf_column(conjunct.right, leaf_alias, leaf_schema)
+        if left_col is not None and right_col is not None:
+            return _pair_kernel(conjunct.op, left_col, right_col, scalar, leaf)
+
     return None
 
 
+def _pair_kernel(
+    op: str, left_col: int, right_col: int, scalar: _Scalar, leaf: int
+) -> _Kernel:
+    generic = _generic_kernel(scalar, leaf)
+    equality = op == "="
+
+    def kernel(
+        env, cols, rows, sel, leaf_obj,
+        _c1=left_col, _c2=right_col, _eq=equality, _g=generic,
+    ):
+        left = leaf_obj.index(_c1)
+        right = leaf_obj.index(_c2)
+        if (
+            not (left.hash_exact and right.hash_exact)
+            or (left.has_number and right.has_numeric_str)
+            or (right.has_number and left.has_numeric_str)
+        ):
+            return _g(env, cols, rows, sel, leaf_obj)
+        a = cols[_c1]
+        b = cols[_c2]
+        if _eq:
+            if sel is None:
+                return [i for i in range(len(rows)) if a[i] == b[i]]
+            return [i for i in sel if a[i] == b[i]]
+        if sel is None:
+            return [i for i in range(len(rows)) if a[i] != b[i]]
+        return [i for i in sel if a[i] != b[i]]
+
+    return kernel
+
+
 # -- batch projection ---------------------------------------------------------
+
+
+class _ConstSource:
+    """Projection source for an outer-alias attribute: one value per batch."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __getitem__(self, index: int) -> object:
+        return self.value
+
+
+class _MissingSource:
+    """Projection source for an absent attribute — the interpreter's lazy
+    ``KeyError(name)``, raised only if a row actually projects."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __getitem__(self, index: int) -> object:
+        raise KeyError(self.name)
 
 
 def _build_projector(
@@ -362,6 +757,61 @@ def _build_projector(
                 append(ResultRow(_h, (col0[index], col1[index])))
 
         return project_two
+
+    kinds = tuple(spec[0] for spec in specs)
+    if "missing" not in kinds and len(specs) == 1:
+        # Single outer-alias attribute: one value per surviving binding.
+        __, depth, column = specs[0]
+
+        def project_const(env, cols, rows, sel, out, _d=depth, _c=column, _h=header):
+            value = env[_d][_c]
+            append = out.append
+            for __ in range(len(rows)) if sel is None else sel:
+                append(ResultRow(_h, (value,)))
+
+        return project_const
+
+    if "missing" not in kinds and len(specs) == 2:
+        # The sitewide-scan hot shape (outer const + leaf column) and its
+        # mirror: resolve the constant once per binding, index the column
+        # directly — no per-row source dispatch.
+        (kind0, depth0, col0), (kind1, depth1, col1) = specs
+        if kind0 == "env" and kind1 == "col":
+
+            def project_env_col(
+                env, cols, rows, sel, out, _d=depth0, _c0=col0, _c1=col1, _h=header
+            ):
+                value = env[_d][_c0]
+                col = cols[_c1]
+                append = out.append
+                for index in range(len(rows)) if sel is None else sel:
+                    append(ResultRow(_h, (value, col[index])))
+
+            return project_env_col
+
+        if kind0 == "col" and kind1 == "env":
+
+            def project_col_env(
+                env, cols, rows, sel, out, _c0=col0, _d=depth1, _c1=col1, _h=header
+            ):
+                col = cols[_c0]
+                value = env[_d][_c1]
+                append = out.append
+                for index in range(len(rows)) if sel is None else sel:
+                    append(ResultRow(_h, (col[index], value)))
+
+            return project_col_env
+
+        def project_env_env(
+            env, cols, rows, sel, out,
+            _d0=depth0, _c0=col0, _d1=depth1, _c1=col1, _h=header,
+        ):
+            values = (env[_d0][_c0], env[_d1][_c1])
+            append = out.append
+            for __ in range(len(rows)) if sel is None else sel:
+                append(ResultRow(_h, values))
+
+        return project_env_env
 
     frozen = tuple(specs)
 

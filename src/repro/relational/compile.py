@@ -142,20 +142,47 @@ class CompiledPlan:
         self._runner([None] * len(tables), tables, results)
         return results
 
+    def lower_batch(self) -> None:
+        """Lower (and cache) the batch runner now instead of on first use.
+
+        :class:`~repro.core.plancache.PlanCache` calls this on a miss when
+        the engine runs columnar, so lowering happens once per structure at
+        compile time rather than inside the first clone's evaluation.
+        Idempotent; a pure function of the plan's compile-time artifacts.
+        """
+        if self._columnar is None:
+            schemas = [spec[2] for spec in self._scan_specs]
+            self._columnar = build_columnar_runner(
+                self.query.select,
+                self._filter_plan,
+                self._scalar_filters,
+                self._scalar_project,
+                self._positions,
+                schemas,
+                self.header,
+                compile_expr=lambda expr: _compile_expr(
+                    expr, self._positions, schemas
+                ),
+                row_runner=self._runner,
+            )
+
     def execute_columnar(
         self,
         database: "NodeDatabase",
         site_documents: Table | None = None,
+        level_times: "dict[str, float] | None" = None,
     ) -> list[ResultRow]:
         """Evaluate through the batch (columnar) executor.
 
         Same rows, same order, same lazily-raised errors as
         :meth:`execute` — see :mod:`repro.relational.columnar` for how the
         equivalence is preserved.  The batch runner is lowered on first
-        use and cached on the plan.
+        use and cached on the plan (or ahead of time via
+        :meth:`lower_batch`).  ``level_times`` optionally accumulates
+        per-pipeline-stage wall-clock for the profiling harness.
         """
         tables: list[Sequence[tuple[object, ...]]] = []
-        leaf_table: Table | None = None
+        table_objs: list[Table] = []
         for relation, sitewide, schema in self._scan_specs:
             if sitewide:
                 if site_documents is None:
@@ -172,20 +199,11 @@ class CompiledPlan:
                     f"{schema.attributes!r}"
                 )
             tables.append(table.row_list())
-            leaf_table = table
-        runner = self._columnar
-        if runner is None:
-            runner = self._columnar = build_columnar_runner(
-                self.query.select,
-                self._filter_plan,
-                self._scalar_filters,
-                self._scalar_project,
-                self._positions,
-                [spec[2] for spec in self._scan_specs],
-                self.header,
-            )
+            table_objs.append(table)
+        if self._columnar is None:
+            self.lower_batch()
         results: list[ResultRow] = []
-        runner([None] * len(tables), tables, leaf_table.columns(), results)
+        self._columnar([None] * len(tables), tables, table_objs, results, level_times)
         return results
 
 

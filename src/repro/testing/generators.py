@@ -199,10 +199,19 @@ def generate_case(seed: int, schedule_seed: int | None = None) -> Spec:
     # faults and pressure draws byte-for-byte.
     config["cross_query_caching"] = rng.random() < 0.5
 
-    # Node-query executor (EXP-P5) — newest knob, drawn last (ordering
-    # rule above).  Either executor must produce the same rows, statuses
-    # and log-table end states; the sweep proves it per case.
+    # Node-query executor (EXP-P5) — drawn after every earlier knob
+    # (ordering rule above).  Either executor must produce the same rows,
+    # statuses and log-table end states; the sweep proves it per case.
     config["executor"] = "columnar" if rng.random() < 0.5 else "row"
+
+    # Join-depth axis (EXP-P6) — newest draw, appended last (ordering rule
+    # above).  An anchor alias joined on a shared variable
+    # (``a.base = d.url``) deepens the main node-query by one plan level —
+    # three levels when the relinfon join is also on — so the batch
+    # pipeline's hash-probe expansion and the row executor are
+    # cross-checked on multi-level joins per case, not just in the
+    # hypothesis suite.
+    query["anchor"] = rng.random() < 0.35
 
     return {
         "seed": seed,
@@ -333,16 +342,31 @@ def build_web(spec: Spec) -> Web:
 
 
 def _render_query(query: dict) -> str:
-    """Render one query dict as DISQL text."""
+    """Render one query dict as DISQL text.
+
+    Composed from declaration / select / where fragments so the optional
+    axes stack: ``relinfon`` adds the delimiter-keyed join, ``anchor``
+    (absent in older repro files — ``.get`` keeps them byte-identical)
+    adds an anchor alias equality-joined on the shared ``d.url`` variable.
+    With both on, the node-query is a three-level join.
+    """
     pre = pre_from_tree(query["pre"])
+    decls = [f'document d such that "{query["start"]}" {pre} d']
     if query["relinfon"]:
-        return (
-            "select d.url, r.text\n"
-            f'from document d such that "{query["start"]}" {pre} d,\n'
-            f'     relinfon r such that r.delimiter = "{query["delimiter"]}"\n'
-            f'where r.text contains "{query["contains"]}"'
-        )
-    return f'select d.url, d.title\nfrom document d such that "{query["start"]}" {pre} d'
+        select = ["d.url", "r.text"]
+        decls.append(f'relinfon r such that r.delimiter = "{query["delimiter"]}"')
+        where = [f'r.text contains "{query["contains"]}"']
+    else:
+        select = ["d.url", "d.title"]
+        where = []
+    if query.get("anchor"):
+        select.append("a.href")
+        decls.append("anchor a such that a.base = d.url")
+        where.append("a.href != a.base")
+    text = "select " + ", ".join(select) + "\nfrom " + ",\n     ".join(decls)
+    if where:
+        text += "\nwhere " + " and ".join(where)
+    return text
 
 
 def query_specs(spec: Spec) -> list[dict]:

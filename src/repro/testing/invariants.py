@@ -198,7 +198,13 @@ def check_memo_coherence(engine) -> list[Violation]:
     surviving entry stamped with an older version means an invalidation
     path leaked cached state across an incarnation or web-epoch boundary —
     exactly the silently-wrong-rows failure mode caching introduces.
-    Run-level check; engines without per-site servers, or with
+    The same sweep audits the memo's byte gauge: ``bytes_est`` is
+    maintained incrementally across stores, overwrites, evictions and
+    clears, and must always equal a from-scratch recount
+    (:meth:`~repro.core.resultmemo.ResultMemo.recount_bytes`) — drift means
+    some store path forgot to subtract a replaced entry's estimate, which
+    silently skews both the dashboard gauge and the LRU's eviction
+    pressure.  Run-level check; engines without per-site servers, or with
     ``cross_query_caching`` off, are skipped.
     """
     servers = getattr(engine, "servers", None)
@@ -216,6 +222,16 @@ def check_memo_coherence(engine) -> list[Violation]:
                     "memo-coherence", "-",
                     f"server {site} memo holds {len(stale)} entr(y/ies) from "
                     f"a dead version, e.g. {stale[0]}",
+                )
+            )
+        recount = memo.recount_bytes()
+        if recount != memo.bytes_est:
+            violations.append(
+                Violation(
+                    "memo-coherence", "-",
+                    f"server {site} memo byte gauge drifted: bytes_est="
+                    f"{memo.bytes_est} but a from-scratch recount gives "
+                    f"{recount}",
                 )
             )
     return violations

@@ -47,6 +47,7 @@ def spec_size(spec: Spec) -> tuple[int, ...]:
         len(spec.get("latency", ())),
         1 if spec.get("schedule_seed") is not None else 0,
         1 if spec["query"]["relinfon"] else 0,
+        1 if spec["query"].get("anchor") else 0,
     )
 
 
@@ -162,7 +163,14 @@ def _candidates(spec: Spec) -> Iterator[Spec]:
         candidate = copy.deepcopy(spec)
         candidate["query"]["pre"] = subtree
         yield candidate
-    # 8. Simplify the query: drop the relinfon join.
+    # 8. Simplify the query: drop the anchor join level, then the relinfon
+    # join ("anchor" is absent in pre-EXP-P6 repro files).  Each drop
+    # removes one plan level, so a repro that still fails pinpoints the
+    # shallowest join depth that triggers it.
+    if spec["query"].get("anchor"):
+        candidate = copy.deepcopy(spec)
+        candidate["query"]["anchor"] = False
+        yield candidate
     if spec["query"]["relinfon"]:
         candidate = copy.deepcopy(spec)
         candidate["query"]["relinfon"] = False

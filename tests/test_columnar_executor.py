@@ -28,6 +28,8 @@ threads it, and the shrinker proposes falling back to the row executor.
 
 from __future__ import annotations
 
+from functools import reduce
+
 from hypothesis import given, settings, strategies as st
 
 from repro import EngineConfig, QueryStatus, WebDisEngine
@@ -211,6 +213,155 @@ class TestPlanEquivalence:
         second = _outcome(lambda: plan.execute_columnar(DATABASE))
         assert first == second
         assert first == _outcome(lambda: plan.execute(DATABASE))
+
+
+# -- multi-level join plans (EXP-P6) -------------------------------------------
+
+# Equality joins over shared variables at every plan level — the conjunct
+# shapes the hash-probe expansion claims — mixed with conjuncts that are
+# *not* provably total (ordered compares, contains, numeric-coercion
+# literals, missing attributes at non-leaf levels), so every lowering
+# decision (probe vs scan vs wholesale row replay) gets exercised.
+_BROKEN_A = Attr("a", "no_such_attribute")  # raises at a NON-leaf level
+_JOIN_POOL = [
+    Compare("=", Attr("a", "base"), Attr("d", "url")),
+    Compare("=", Attr("d", "url"), Attr("a", "href")),
+    Compare("=", Attr("r", "url"), Attr("d", "url")),
+    Compare("=", Attr("r", "url"), Attr("a", "base")),
+    # int = int cross-level join: probe values are numbers, the build
+    # column is all ints — hash-safe, and must stay row-identical.
+    Compare("=", Attr("d", "length"), Attr("r", "length")),
+    # Constant-equality probes, including a *numeric string* constant where
+    # dict lookup would diverge from coerced `=` if probed carelessly.
+    Compare("=", Attr("r", "delimiter"), Literal("b")),
+    Compare("=", Attr("a", "ltype"), Literal("G")),
+    Compare("=", Attr("r", "length"), Literal("5")),
+    Compare("=", Literal(5), Attr("d", "length")),
+    # Non-total conjuncts ahead of potential joins: ordered compare,
+    # contains, and an error cell at the middle (non-leaf) level.
+    Compare("<", Attr("d", "length"), Attr("r", "length")),
+    Contains(Attr("d", "text"), Literal("topic")),
+    Compare("=", _BROKEN_A, Attr("d", "url")),
+    Compare("!=", Attr("a", "href"), Attr("a", "base")),
+]
+
+_join_wheres = st.lists(
+    st.sampled_from(_JOIN_POOL), min_size=1, max_size=4
+).map(lambda conjuncts: reduce(And, conjuncts))
+
+
+class TestMultiLevelJoins:
+    """3+ level plans with shared join variables: the outer-level hash
+    probes and batch filters must stay row-identical, errors included."""
+
+    @given(_selects, _join_wheres)
+    @settings(max_examples=200, deadline=None)
+    def test_three_level_joins_match_row(self, select, where):
+        query = _query(select, where)
+        plan = compile_node_query(query)
+        assert _outcome(lambda: plan.execute_columnar(DATABASE)) == _outcome(
+            lambda: plan.execute(DATABASE)
+        )
+
+    @given(_selects, _join_wheres)
+    @settings(max_examples=100, deadline=None)
+    def test_three_level_joins_sitewide(self, select, where):
+        """Sitewide document alias at level 0: multi-page outer batch."""
+        query = _query(select, where, sitewide=("d",))
+        plan = compile_node_query(query)
+        assert _outcome(
+            lambda: plan.execute_columnar(DATABASE, SITE_DOCUMENTS)
+        ) == _outcome(lambda: plan.execute(DATABASE, SITE_DOCUMENTS))
+
+    @given(_join_wheres, _join_wheres)
+    @settings(max_examples=100, deadline=None)
+    def test_four_level_joins_match_row(self, left, right):
+        """Four aliases (two anchor scans) — deeper than anything the DST
+        generator emits, so the expansion chain is covered past depth 3."""
+        query = NodeQuery(
+            select=(Attr("d", "url"), Attr("a2", "href")),
+            tables=(
+                TableDecl("document", "d"),
+                TableDecl("anchor", "a"),
+                TableDecl("relinfon", "r"),
+                TableDecl("anchor", "a2"),
+            ),
+            where=And(left, Compare("=", Attr("a2", "base"), Attr("a", "base"))),
+        )
+        plan = compile_node_query(query)
+        assert _outcome(lambda: plan.execute_columnar(DATABASE)) == _outcome(
+            lambda: plan.execute(DATABASE)
+        )
+
+    def test_join_probes_hit_the_cached_index(self):
+        """The tentpole's point: an equality join is served by a cached
+        per-column hash index, visible in the stats counters."""
+        stats = TrafficStats()
+        database = build_node_database(URL, _HTML, stats=stats)
+        query = _query(
+            [Attr("d", "url"), Attr("a", "href")],
+            Compare("=", Attr("a", "base"), Attr("d", "url")),
+            tables=("document", "anchor"),
+        )
+        plan = compile_node_query(query)
+        rows = plan.execute_columnar(database)
+        assert rows == plan.execute(database)
+        assert stats.index_builds >= 1
+        plan.execute_columnar(database)
+        assert stats.index_hits >= 1
+        summary = stats.summary()
+        assert summary["index_builds"] == stats.index_builds
+        assert summary["index_hits"] == stats.index_hits
+
+
+class TestColumnIndexSafety:
+    """ColumnIndex.probe must refuse whenever dict equality is not provably
+    the interpreter's coerced `=` — `5 = "5"` is TRUE in the interpreter."""
+
+    def _index(self, values):
+        from repro.relational.table import ColumnIndex
+
+        return ColumnIndex(values)
+
+    def test_buckets_preserve_insertion_order(self):
+        index = self._index(["x", "y", "x", "x"])
+        assert index.probe("x") == [0, 2, 3]
+        assert index.probe("zzz") == ()
+
+    def test_numeric_string_probe_refused_on_numeric_column(self):
+        index = self._index([5, 7])
+        assert index.probe("5") is None  # coerced `=` would match row 0
+        assert index.probe(6) == ()
+
+    def test_int_probe_refused_when_column_holds_numeric_strings(self):
+        index = self._index(["5", "x"])
+        assert index.probe(5) is None
+        assert index.probe("x") == [1]
+
+    def test_float_and_exotic_columns_always_refuse(self):
+        assert self._index([1.0, 2.0]).probe(1) is None
+        assert self._index([float("nan")]).probe(float("nan")) is None
+        assert self._index([(1, 2)]).probe((1, 2)) is None
+
+    def test_unhashable_column_refuses(self):
+        assert self._index([["a"]]).probe("a") is None
+
+    def test_table_index_invalidated_by_insert(self):
+        from repro.model.relations import DOCUMENT_SCHEMA
+        from repro.relational.table import Table
+
+        stats = TrafficStats()
+        table = Table(DOCUMENT_SCHEMA, stats=stats)
+        table.insert(("u1", "t", "x", 1))
+        first = table.index(0)
+        assert table.index(0) is first  # cached
+        assert stats.index_builds == 1
+        assert stats.index_hits == 1
+        table.insert(("u2", "t", "y", 2))
+        rebuilt = table.index(0)
+        assert rebuilt is not first
+        assert rebuilt.probe("u2") == [1]
+        assert stats.index_builds == 2
 
 
 # -- engine level --------------------------------------------------------------

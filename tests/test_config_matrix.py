@@ -139,3 +139,65 @@ def test_figure8_invariant_under_executor_axis(campus_web, combo):
         )
         handle.cht.check_consistency()
         assert handle.cht.imbalance() == 0
+
+
+# The EXP-P6 outer-level batching crossed with join depth: node-queries of
+# 1, 2 and 3 aliases — the 3-alias one carries explicit equality joins on
+# shared variables (a.base = d.url, r.url = a.base), i.e. the shapes the
+# batch pipeline lowers to hash-index probes.  Every (executor, backend)
+# cell must match the row/memory baseline's statuses and distinct rows
+# exactly; the depth-1/2/3 queries between them cover leaf-only, one
+# expansion level and two expansion levels of the pipeline.
+_JOIN_DEPTH_QUERIES = {
+    1: """
+select d.url, d.title
+from document d such that "http://www.csa.iisc.ernet.in/" L d
+where d.text contains "lab"
+""",
+    2: """
+select d.url, r.text
+from document d such that "http://www.csa.iisc.ernet.in/" L.G.(L*1) d,
+     relinfon r such that r.delimiter = "hr"
+where r.text contains "convener"
+""",
+    3: """
+select d.url, a.href, r.text
+from document d such that "http://www.csa.iisc.ernet.in/" G.(L*1) d,
+     anchor a such that a.base = d.url,
+     relinfon r such that r.url = a.base
+where a.href != a.base
+""",
+}
+
+_JOIN_DEPTH_BASELINES: dict[int, tuple] = {}
+
+
+def _join_depth_state(campus_web, depth, **config):
+    engine = WebDisEngine(campus_web, config=EngineConfig(**config))
+    handle = engine.run_query(_JOIN_DEPTH_QUERIES[depth])
+    rows = frozenset(
+        (label, row.header, row.values) for label, row, __ in handle.results
+    )
+    return (handle.status, rows)
+
+
+@pytest.mark.parametrize("depth", sorted(_JOIN_DEPTH_QUERIES))
+@pytest.mark.parametrize("backend", ("memory", "sqlite"))
+@pytest.mark.parametrize("executor", ("columnar", "row"))
+def test_join_depth_invariant_under_executor_and_storage(
+    campus_web, executor, backend, depth
+):
+    baseline = _JOIN_DEPTH_BASELINES.get(depth)
+    if baseline is None:
+        baseline = _JOIN_DEPTH_BASELINES[depth] = _join_depth_state(
+            campus_web, depth, executor="row", storage_backend="memory"
+        )
+    status, rows = baseline
+    assert status is QueryStatus.COMPLETE
+    assert rows  # every depth's query genuinely produces rows
+    assert (
+        _join_depth_state(
+            campus_web, depth, executor=executor, storage_backend=backend
+        )
+        == baseline
+    )

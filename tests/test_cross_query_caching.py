@@ -220,6 +220,75 @@ class TestInvalidation:
         assert check_memo_coherence(engine) == []
 
 
+class TestByteGaugeAudit:
+    """The incremental ``bytes_est`` gauge must always match a recount.
+
+    Overwrite-heavy sequences are the adversarial case: re-storing an entry
+    under the same key must first subtract the replaced estimate, so an
+    entry *shrinking* in place decreases the gauge instead of ratcheting it
+    upward.
+    """
+
+    @staticmethod
+    def _node_query(needle: str):
+        from repro.relational.expr import Attr, Contains, Literal
+        from repro.relational.query import NodeQuery, TableDecl
+
+        return NodeQuery(
+            select=(Attr("d", "url"),),
+            tables=(TableDecl("document", "d"),),
+            where=Contains(Attr("d", "text"), Literal(needle)),
+        )
+
+    @staticmethod
+    def _row(text: str):
+        from repro.relational.query import ResultRow
+
+        return ResultRow(("url",), (text,))
+
+    def test_overwrite_shrink_decreases_gauge(self):
+        memo = ResultMemo()
+        node = parse_url("http://root.example/")
+        query = self._node_query("alpha")
+        memo.store_rows(node, query, tuple(self._row("x" * 400) for _ in range(8)))
+        fat = memo.bytes_est
+        assert fat == memo.recount_bytes()
+        # Same key, much smaller payload: the gauge must go *down*.
+        memo.store_rows(node, query, (self._row("y"),))
+        assert memo.bytes_est < fat
+        assert memo.bytes_est == memo.recount_bytes()
+
+    def test_gauge_matches_recount_after_overwrite_heavy_sequence(self):
+        import random
+
+        rng = random.Random(0xEB6)
+        memo = ResultMemo(capacity=6)
+        nodes = [parse_url(f"http://site{i}.example/") for i in range(3)]
+        queries = [self._node_query(f"needle-{i}") for i in range(3)]
+        lg = alt([Atom(LinkType.LOCAL), Atom(LinkType.GLOBAL)])
+        states = [repeat(lg, n) for n in range(1, 4)]
+        for _ in range(300):
+            node = rng.choice(nodes)
+            if rng.random() < 0.6:
+                rows = tuple(
+                    self._row("v" * rng.randrange(0, 200))
+                    for _ in range(rng.randrange(0, 5))
+                )
+                memo.store_rows(node, rng.choice(queries), rows)
+            else:
+                targets = {
+                    LinkType.LOCAL: tuple(
+                        parse_url(f"http://root.example/p{i}.html")
+                        for i in range(rng.randrange(0, 4))
+                    )
+                }
+                memo.store_fanout(node, rng.choice(states), targets)
+            if rng.random() < 0.1:
+                memo.clear()
+            assert memo.bytes_est == memo.recount_bytes()
+        assert memo.evictions > 0
+
+
 class TestDstIntegration:
     def test_generator_draws_both_knob_values(self):
         draws = {

@@ -9,6 +9,7 @@ without wiring up an external profiler::
     PYTHONPATH=src python tools/profile_hotpath.py --workload p1
     PYTHONPATH=src python tools/profile_hotpath.py --workload p2 --top 40
     PYTHONPATH=src python tools/profile_hotpath.py --workload p5
+    PYTHONPATH=src python tools/profile_hotpath.py --workload p6 --json
     PYTHONPATH=src python tools/profile_hotpath.py --sort tottime
     PYTHONPATH=src python tools/profile_hotpath.py --out p2.pstats  # dump
     PYTHONPATH=src python tools/profile_hotpath.py --json > prof.json
@@ -23,11 +24,17 @@ always matches what ``BENCH_PERF.json`` measures:
 * ``p5`` — EXP-P5: the columnar workloads, one batch pass and one row
   pass per (node-query, node-database) pair — the per-operator view, since
   each batch kernel (specialized equality, ``contains``, the generic
-  per-row fallback) and the projector show up as distinct frames.
+  per-row fallback) and the projector show up as distinct frames;
+* ``p6`` — EXP-P6: the outer-level workloads (sitewide scan, generic
+  conjunct, join-depth 2/3/4), batch and row passes per pair, with the
+  batch pass timed per pipeline level (``level-0`` … ``leaf``) through
+  ``execute_columnar(..., level_times=...)`` so a join-order or probe
+  regression is attributable to its level.
 
 ``--json`` emits the top-N table as machine-readable JSON (one object per
 workload: function, ncalls, tottime, cumtime) for diffing profiles across
-commits.
+commits; the ``p6`` entry additionally carries ``level_times_s`` — per
+workload, cumulative wall-clock per pipeline level.
 """
 
 from __future__ import annotations
@@ -89,16 +96,43 @@ def _p5_pass() -> None:
             plan.execute(database, site_documents)
 
 
-WORKLOAD_PASSES = {"p1": _p1_pass, "p2": _p2_pass, "p5": _p5_pass}
+def _p6_pass() -> dict:
+    """One full EXP-P6 cell: every outer-level workload, batch and row
+    passes — the batch pass additionally timed per pipeline level.
+
+    Returns ``{"level_times_s": {workload: {"level-0": s, …, "leaf": s}}}``
+    (cumulative across that workload's databases), so the profile shows
+    not only *which operator* is hot but *which plan level* it ran at.
+    """
+    from repro.relational.compile import compile_node_query
+
+    from bench_outer_levels import _workloads
+
+    level_times: dict[str, dict[str, float]] = {}
+    for name, query, databases, site_documents in _workloads(smoke=True):
+        plan = compile_node_query(query)
+        times: dict[str, float] = {}
+        for database in databases:
+            plan.execute_columnar(database, site_documents, level_times=times)
+            plan.execute(database, site_documents)
+        level_times[name] = {key: round(value, 6) for key, value in times.items()}
+    return {"level_times_s": level_times}
+
+
+WORKLOAD_PASSES = {"p1": _p1_pass, "p2": _p2_pass, "p5": _p5_pass, "p6": _p6_pass}
 
 
 def profile_workload(
     name: str, sort: str, top: int, out: str | None
-) -> tuple[str, list[dict]]:
-    """Profile one workload; returns (formatted stats text, JSON rows)."""
+) -> tuple[str, list[dict], dict | None]:
+    """Profile one workload; returns (stats text, JSON rows, extras).
+
+    ``extras`` is whatever the workload pass returned (``p6`` reports its
+    per-level timing breakdown this way), or None.
+    """
     profiler = cProfile.Profile()
     profiler.enable()
-    WORKLOAD_PASSES[name]()
+    extras = WORKLOAD_PASSES[name]()
     profiler.disable()
 
     if out:
@@ -125,7 +159,7 @@ def profile_workload(
         ],
         reverse=True,
     )[:top]
-    return buffer.getvalue(), entries
+    return buffer.getvalue(), entries, extras
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -152,17 +186,28 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     names = list(WORKLOAD_PASSES) if args.workload == "all" else [args.workload]
-    as_json: dict[str, list[dict]] = {}
+    as_json: dict[str, object] = {}
     for name in names:
         out = None
         if args.out:
             out = args.out if len(names) == 1 else f"{name}-{args.out}"
-        text, entries = profile_workload(name, args.sort, args.top, out)
+        text, entries, extras = profile_workload(name, args.sort, args.top, out)
         if args.json:
-            as_json[name] = entries
+            as_json[name] = (
+                entries if extras is None else {"functions": entries, **extras}
+            )
         else:
             print(f"== {name.upper()} workload — top {args.top} by {args.sort} ==")
             print(text)
+            if extras is not None:
+                print("per-level wall-clock (cumulative, batch passes only):")
+                for workload, levels in extras["level_times_s"].items():
+                    split = "  ".join(
+                        f"{level} {seconds * 1e3:.2f}ms"
+                        for level, seconds in levels.items()
+                    )
+                    print(f"  {workload}: {split}")
+                print()
         if out and not args.json:
             print(f"raw profile dumped to {out}")
     if args.json:
